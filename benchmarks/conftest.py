@@ -1,0 +1,57 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  By default the
+experiments run at a reduced "bench" scale (smaller ensembles, fewer active-
+learning rounds, training subsets for the expensive searches) so the whole
+harness completes in minutes; set ``REPRO_PAPER_SCALE=1`` to use the paper's
+full experiment sizes.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.core.estimator import ResourceEstimator
+from repro.data.datasets import CCSDDataset, build_dataset
+
+PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false", "False")
+
+
+def is_paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+@pytest.fixture(scope="session")
+def paper_scale() -> bool:
+    return PAPER_SCALE
+
+
+@pytest.fixture(scope="session")
+def aurora_dataset() -> CCSDDataset:
+    """The paper-sized Aurora dataset (Table 1: 2329 rows, 1746/583 split)."""
+    return build_dataset("aurora", seed=0)
+
+
+@pytest.fixture(scope="session")
+def frontier_dataset() -> CCSDDataset:
+    """The paper-sized Frontier dataset (Table 1: 2454 rows, 1840/614 split)."""
+    return build_dataset("frontier", seed=0)
+
+
+def _make_estimator() -> ResourceEstimator:
+    preset = "paper" if PAPER_SCALE else "fast"
+    return ResourceEstimator(preset=preset, random_state=0)
+
+
+@pytest.fixture(scope="session")
+def aurora_estimator(aurora_dataset) -> ResourceEstimator:
+    """GB runtime model trained on the Aurora training split."""
+    return _make_estimator().fit(aurora_dataset.X_train, aurora_dataset.y_train)
+
+
+@pytest.fixture(scope="session")
+def frontier_estimator(frontier_dataset) -> ResourceEstimator:
+    """GB runtime model trained on the Frontier training split."""
+    return _make_estimator().fit(frontier_dataset.X_train, frontier_dataset.y_train)

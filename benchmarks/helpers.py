@@ -1,0 +1,48 @@
+"""Helpers shared by the benchmark modules."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.active_learning import (
+    ActiveLearningConfig,
+    QueryByCommittee,
+    QueryStrategy,
+    RandomSampling,
+    UncertaintySampling,
+)
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+
+__all__ = ["al_config", "al_strategies", "print_banner"]
+
+
+def print_banner(title: str) -> None:
+    print("\n" + "=" * 78)
+    print(title)
+    print("=" * 78)
+
+
+def al_config(paper_scale: bool, goal: str | None = None, seed: int = 0) -> ActiveLearningConfig:
+    """Active-learning campaign sizes (Algorithms 1-2 at paper scale)."""
+    if paper_scale:
+        return ActiveLearningConfig(
+            n_initial=50, query_size=50, n_queries=20, random_state=seed, goal=goal
+        )
+    return ActiveLearningConfig(
+        n_initial=50, query_size=100, n_queries=6, random_state=seed, goal=goal
+    )
+
+
+def _committee_model(paper_scale: bool) -> GradientBoostingRegressor:
+    if paper_scale:
+        return GradientBoostingRegressor(n_estimators=200, max_depth=8, subsample=0.8, random_state=0)
+    return GradientBoostingRegressor(n_estimators=60, max_depth=6, subsample=0.8, random_state=0)
+
+
+def al_strategies(paper_scale: bool) -> Sequence[QueryStrategy]:
+    """The paper's three query strategies: RS baseline, US (GP), QC (GB committee)."""
+    return (
+        RandomSampling(model=_committee_model(paper_scale)),
+        UncertaintySampling(reoptimize_every=5 if not paper_scale else 3),
+        QueryByCommittee(n_committee=5, base_model=_committee_model(paper_scale)),
+    )

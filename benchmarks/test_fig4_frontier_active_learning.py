@@ -1,0 +1,41 @@
+"""Figure 4 — Frontier active learning results (runtime-regression goal).
+
+Same campaigns as Figure 3 on the Frontier pool.  The paper notes Frontier is
+harder to predict than Aurora, so the curves sit at higher MAPE for the same
+number of known experiments.
+"""
+
+from repro.core.active_learning import run_active_learning
+from repro.core.reporting import format_active_learning_curves
+from benchmarks.helpers import al_config, al_strategies, print_banner
+
+
+def test_fig4_frontier_active_learning(benchmark, frontier_dataset, aurora_dataset, paper_scale):
+    ds = frontier_dataset
+    config = al_config(paper_scale)
+
+    def campaign():
+        results = []
+        for strategy in al_strategies(paper_scale):
+            results.append(run_active_learning(ds.X_train, ds.y_train, strategy, config))
+        return results
+
+    results = benchmark.pedantic(campaign, rounds=1, iterations=1)
+
+    print_banner("Figure 4: Frontier active learning results")
+    for metric in ("r2", "mape", "mae"):
+        print(format_active_learning_curves(results, metric=metric))
+        print()
+
+    by_name = {r.strategy: r for r in results}
+    assert set(by_name) == {"RS", "US", "QC"}
+    for r in results:
+        assert r.mape[-1] <= r.mape[0] + 0.05
+
+    # Frontier (noisier machine) is harder than Aurora for the same strategy
+    # and budget: compare final QC MAPE against an identical Aurora campaign.
+    aurora_qc = run_active_learning(
+        aurora_dataset.X_train, aurora_dataset.y_train, al_strategies(paper_scale)[2], config
+    )
+    print(f"Final QC MAPE: frontier={by_name['QC'].mape[-1]:.3f} aurora={aurora_qc.mape[-1]:.3f}")
+    assert by_name["QC"].mape[-1] >= aurora_qc.mape[-1] * 0.8

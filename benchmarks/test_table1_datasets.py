@@ -1,0 +1,26 @@
+"""Table 1 — Datasets and the corresponding size breakdowns.
+
+Paper values: Aurora 2329 total (1746 train / 583 test), Frontier 2454 total
+(1840 train / 614 test).  The generated datasets reproduce these sizes exactly
+by construction; the benchmark times dataset generation.
+"""
+
+from repro.core.reporting import format_table
+from repro.data.datasets import build_dataset
+from benchmarks.helpers import print_banner
+
+
+def test_table1_dataset_sizes(benchmark, aurora_dataset, frontier_dataset):
+    def regenerate():
+        return build_dataset("aurora", seed=1, n_total=500)
+
+    benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    rows = []
+    for ds in (aurora_dataset, frontier_dataset):
+        rows.append([ds.machine.capitalize(), ds.n_rows, ds.n_train, ds.n_test])
+    print_banner("Table 1: Datasets and the corresponding size breakdowns")
+    print(format_table(["System", "Total", "Train", "Test"], rows))
+
+    assert (aurora_dataset.n_rows, aurora_dataset.n_train, aurora_dataset.n_test) == (2329, 1746, 583)
+    assert (frontier_dataset.n_rows, frontier_dataset.n_train, frontier_dataset.n_test) == (2454, 1840, 614)

@@ -1,0 +1,36 @@
+"""Table 3 — Aurora shortest time results.
+
+For every (O, V) problem size in the Aurora test pool, the true optimal
+(nodes, tile, runtime) is compared against the configuration recommended by
+the trained GB model; recommendations that differ are shown in parentheses.
+Paper metrics over the problem sizes: R2=0.999, MAE=2.36, MAPE=0.023 with 3
+incorrectly predicted configurations (out of 22).
+"""
+
+from repro.core.evaluation import evaluate_question_predictions, optimal_configurations
+from repro.core.reporting import format_metrics, format_question_table
+from benchmarks.helpers import print_banner
+
+
+def test_table3_aurora_shortest_time(benchmark, aurora_dataset, aurora_estimator):
+    ds, est = aurora_dataset, aurora_estimator
+
+    def build_records():
+        y_pred = est.predict(ds.X_test)
+        return optimal_configurations(ds.X_test, ds.y_test, y_pred, objective="runtime")
+
+    records = benchmark.pedantic(build_records, rounds=1, iterations=1)
+    report = evaluate_question_predictions(records, objective="runtime")
+
+    print_banner("Table 3: Aurora shortest time results")
+    print(format_question_table(records, objective="runtime"))
+    print()
+    print(format_metrics(report, title="Aurora STQ metrics (paper: r2=0.999 mae=2.36 mape=0.023)"))
+
+    # All 22 Aurora problem sizes are represented in the test pool.
+    assert report["n_problems"] == 22
+    # The recommendation quality is high: most configurations correct, and the
+    # achieved runtimes are close to the true optima.
+    assert report["r2"] > 0.95
+    assert report["mape"] < 0.10
+    assert report["n_incorrect_configs"] <= 14

@@ -1,0 +1,40 @@
+"""Table 6 — Frontier shortest node-hours (Budget Question) results.
+
+Paper metrics: R2=0.892, MAE=0.59, MAPE=0.11 with 9 incorrect configurations
+(out of 20).  As on Aurora, the budget objective picks far fewer nodes than
+the shortest-time objective.
+"""
+
+import numpy as np
+
+from repro.core.evaluation import evaluate_question_predictions, optimal_configurations
+from repro.core.reporting import format_metrics, format_question_table
+from benchmarks.helpers import print_banner
+
+
+def test_table6_frontier_budget_question(benchmark, frontier_dataset, frontier_estimator):
+    ds, est = frontier_dataset, frontier_estimator
+
+    def build_records():
+        y_pred = est.predict(ds.X_test)
+        return optimal_configurations(ds.X_test, ds.y_test, y_pred, objective="node_hours")
+
+    records = benchmark.pedantic(build_records, rounds=1, iterations=1)
+    report = evaluate_question_predictions(records, objective="node_hours")
+
+    print_banner("Table 6: Frontier shortest node hours results")
+    print(format_question_table(records, objective="node_hours"))
+    print()
+    print(format_metrics(report, title="Frontier BQ metrics (paper: r2=0.892 mae=0.59 mape=0.11)"))
+
+    assert report["n_problems"] == 20
+    assert report["r2"] > 0.85
+    assert report["mape"] < 0.25
+
+    stq_records = optimal_configurations(
+        ds.X_test, ds.y_test, est.predict(ds.X_test), objective="runtime"
+    )
+    stq_nodes = np.mean([r.true_nodes for r in stq_records])
+    bq_nodes = np.mean([r.true_nodes for r in records])
+    print(f"\nMean optimal nodes: STQ={stq_nodes:.1f}  BQ={bq_nodes:.1f}")
+    assert bq_nodes < stq_nodes

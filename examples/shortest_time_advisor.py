@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Shortest-Time Question advisor across a batch of molecular systems.
+
+Reproduces the workflow behind Table 3/4 of the paper: for every problem size
+in a machine's catalogue, recommend the (nodes, tile size) configuration with
+the shortest predicted CCSD iteration time, and compare the recommendation
+against the true optimum found by exhaustive simulation of the sweep.
+
+Run with::
+
+    python examples/shortest_time_advisor.py [aurora|frontier]
+"""
+
+import sys
+
+from repro.core.advisor import ResourceAdvisor
+from repro.core.evaluation import evaluate_question_predictions, optimal_configurations
+from repro.core.reporting import format_metrics, format_question_table
+from repro.data.datasets import build_dataset
+
+
+def main(machine: str = "aurora") -> None:
+    print(f"Building the {machine} dataset and training the runtime model...")
+    dataset = build_dataset(machine, seed=0)
+    advisor = ResourceAdvisor.from_dataset(dataset, preset="fast")
+
+    # Per-problem recommendations for three representative systems.
+    print("\nPer-problem STQ recommendations:")
+    for o, v in dataset.problem_sizes()[:3]:
+        answer = advisor.shortest_time(o, v)
+        print(
+            f"  (O={o:3d}, V={v:4d}) -> {answer.n_nodes:4d} nodes, tile {answer.tile_size:3d}, "
+            f"predicted {answer.predicted_runtime_s:8.1f} s"
+        )
+        top = advisor.ranked_configurations(o, v, objective="runtime", top_k=3)
+        for rec in top.to_records():
+            print(
+                f"        runner-up: {int(rec['n_nodes']):4d} nodes, tile {int(rec['tile_size']):3d} "
+                f"-> {rec['predicted_runtime_s']:.1f} s"
+            )
+
+    # Paper-style evaluation on the held-out pool (Tables 3 and 4).
+    records = optimal_configurations(
+        dataset.X_test,
+        dataset.y_test,
+        advisor.estimator.predict(dataset.X_test),
+        objective="runtime",
+    )
+    report = evaluate_question_predictions(records, objective="runtime")
+    print(f"\nShortest-time table for {machine} (true optimum vs model recommendation):")
+    print(format_question_table(records, objective="runtime"))
+    print("\n" + format_metrics(report, title=f"{machine} STQ metrics"))
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "aurora")

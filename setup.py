@@ -1,0 +1,25 @@
+"""Setuptools entry point.
+
+A classic ``setup.py`` is kept alongside ``pyproject.toml`` so the package can
+be installed in editable mode on air-gapped systems whose setuptools/pip stack
+predates PEP 660 editable wheels (no ``wheel`` package available).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "ML-guided estimation of computational resources for massively parallel "
+        "CCSD chemistry computations (SC 2025 reproduction)"
+    ),
+    author="Reproduction Authors",
+    license="BSD-3-Clause",
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy>=1.24", "scipy>=1.10"],
+    extras_require={"dev": ["pytest", "pytest-benchmark", "hypothesis"]},
+    entry_points={"console_scripts": ["repro-chem = repro.cli:main"]},
+)

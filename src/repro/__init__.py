@@ -1,0 +1,56 @@
+"""repro — ML-guided estimation of computational resources for massively
+parallel chemistry (CCSD) computations.
+
+Reproduction of "Guiding Application Users via Estimation of Computational
+Resources for Massively Parallel Chemistry Computations" (SC 2025).
+
+Sub-packages
+------------
+``repro.ml``
+    From-scratch NumPy ML stack (the nine regressors, metrics, CV, searches).
+``repro.chem``
+    CCSD cost model and the paper's problem-size catalogue.
+``repro.machines``
+    Aurora and Frontier node/system models.
+``repro.tamm``
+    TAMM-like distributed tensor runtime simulator.
+``repro.simulator``
+    CCSD-experiment simulation and dataset sweeps (the stand-in for the
+    paper's measured Aurora/Frontier runs).
+``repro.data``
+    Lightweight tabular layer and paper-sized datasets.
+``repro.core``
+    The paper's framework: runtime estimator, STQ/BQ advisor, evaluation
+    protocol, model comparison and active learning.
+"""
+
+from repro._version import __version__
+from repro.chem import ProblemSize
+from repro.core import (
+    ActiveLearningConfig,
+    ResourceAdvisor,
+    ResourceEstimator,
+    run_active_learning,
+    run_model_comparison,
+)
+from repro.data import CCSDDataset, build_dataset
+from repro.machines import AURORA, FRONTIER, get_machine
+from repro.simulator import run_ccsd_iteration
+from repro.tamm import TammRuntimeSimulator
+
+__all__ = [
+    "__version__",
+    "ProblemSize",
+    "ResourceEstimator",
+    "ResourceAdvisor",
+    "ActiveLearningConfig",
+    "run_active_learning",
+    "run_model_comparison",
+    "CCSDDataset",
+    "build_dataset",
+    "AURORA",
+    "FRONTIER",
+    "get_machine",
+    "run_ccsd_iteration",
+    "TammRuntimeSimulator",
+]

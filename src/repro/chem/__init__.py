@@ -1,0 +1,36 @@
+"""Computational-chemistry cost models.
+
+The CCSD problem size is defined by the number of occupied (``O``) and virtual
+(``V``) molecular orbitals; one CCSD iteration is dominated by sextic-scaling
+tensor contractions (``O(O^2 V^4)``).  This sub-package provides the per-term
+flop/memory model of a closed-shell CCSD iteration and the catalogue of
+problem sizes used in the paper's evaluation.
+"""
+
+from repro.chem.orbitals import ProblemSize
+from repro.chem.ccsd_cost import (
+    CCSD_TERMS,
+    ContractionTerm,
+    ccsd_iteration_flops,
+    ccsd_memory_bytes,
+    term_flops,
+)
+from repro.chem.molecules import (
+    AURORA_PROBLEM_SIZES,
+    FRONTIER_PROBLEM_SIZES,
+    MoleculeSystem,
+    problem_catalogue,
+)
+
+__all__ = [
+    "ProblemSize",
+    "ContractionTerm",
+    "CCSD_TERMS",
+    "term_flops",
+    "ccsd_iteration_flops",
+    "ccsd_memory_bytes",
+    "MoleculeSystem",
+    "AURORA_PROBLEM_SIZES",
+    "FRONTIER_PROBLEM_SIZES",
+    "problem_catalogue",
+]

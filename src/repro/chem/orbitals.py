@@ -1,0 +1,67 @@
+"""Problem-size abstraction for correlated electronic-structure methods."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ProblemSize"]
+
+
+@dataclass(frozen=True)
+class ProblemSize:
+    """A CCSD problem size expressed in occupied/virtual orbital counts.
+
+    Attributes
+    ----------
+    n_occupied:
+        Number of occupied spatial orbitals ``O`` (doubly occupied in the
+        closed-shell reference wavefunction).
+    n_virtual:
+        Number of virtual (unoccupied) spatial orbitals ``V``.
+    """
+
+    n_occupied: int
+    n_virtual: int
+
+    def __post_init__(self) -> None:
+        if self.n_occupied <= 0:
+            raise ValueError(f"n_occupied must be positive, got {self.n_occupied}.")
+        if self.n_virtual <= 0:
+            raise ValueError(f"n_virtual must be positive, got {self.n_virtual}.")
+        if self.n_virtual < self.n_occupied:
+            # Physically possible but never the case for the correlated systems
+            # studied in the paper; flagging it catches transposed arguments.
+            raise ValueError(
+                f"Expected n_virtual >= n_occupied, got O={self.n_occupied}, V={self.n_virtual}. "
+                "Did you swap the arguments?"
+            )
+
+    @property
+    def n_orbitals(self) -> int:
+        """Total number of molecular orbitals ``N = O + V`` (basis functions)."""
+        return self.n_occupied + self.n_virtual
+
+    @property
+    def n_electrons(self) -> int:
+        """Number of correlated electrons (2 per occupied spatial orbital)."""
+        return 2 * self.n_occupied
+
+    @property
+    def t1_amplitudes(self) -> int:
+        """Number of singles amplitudes ``O * V``."""
+        return self.n_occupied * self.n_virtual
+
+    @property
+    def t2_amplitudes(self) -> int:
+        """Number of doubles amplitudes ``O^2 * V^2``."""
+        return self.n_occupied**2 * self.n_virtual**2
+
+    def scaling_estimate(self) -> float:
+        """The textbook leading-order iteration cost ``O^2 V^4`` (unitless)."""
+        return float(self.n_occupied**2) * float(self.n_virtual) ** 4
+
+    def as_tuple(self) -> tuple[int, int]:
+        return (self.n_occupied, self.n_virtual)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return f"(O={self.n_occupied}, V={self.n_virtual})"

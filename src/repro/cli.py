@@ -1,0 +1,205 @@
+"""Command-line interface: ``repro-chem``.
+
+Sub-commands
+------------
+``generate-data``
+    Simulate a paper-sized CCSD performance dataset and write it to CSV.
+``simulate``
+    Run a single CCSD-iteration experiment for one configuration.
+``ask``
+    Train a runtime model and answer the shortest-time or budget question
+    for a problem size.
+``compare-models``
+    Run the nine-model / three-search comparison (Figures 1–2).
+``active-learn``
+    Run an active-learning campaign (Figures 3–6).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-chem",
+        description="ML-guided estimation of computational resources for CCSD computations.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_gen = sub.add_parser("generate-data", help="Generate a CCSD performance dataset CSV.")
+    p_gen.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_gen.add_argument("--output", required=True, help="Output CSV path.")
+    p_gen.add_argument("--seed", type=int, default=0)
+    p_gen.add_argument("--rows", type=int, default=None, help="Dataset size (default: paper size).")
+
+    p_sim = sub.add_parser("simulate", help="Simulate one CCSD iteration.")
+    p_sim.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_sim.add_argument("-O", "--occupied", type=int, required=True)
+    p_sim.add_argument("-V", "--virtual", type=int, required=True)
+    p_sim.add_argument("--nodes", type=int, required=True)
+    p_sim.add_argument("--tile", type=int, required=True)
+    p_sim.add_argument("--seed", type=int, default=0)
+
+    p_ask = sub.add_parser("ask", help="Answer the shortest-time or budget question.")
+    p_ask.add_argument("question", choices=["stq", "bq"])
+    p_ask.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_ask.add_argument("-O", "--occupied", type=int, required=True)
+    p_ask.add_argument("-V", "--virtual", type=int, required=True)
+    p_ask.add_argument("--seed", type=int, default=0)
+    p_ask.add_argument("--preset", choices=["fast", "paper"], default="fast")
+    p_ask.add_argument("--top", type=int, default=5, help="Show the top-K configurations.")
+
+    p_cmp = sub.add_parser("compare-models", help="Nine-model / three-search comparison.")
+    p_cmp.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_cmp.add_argument("--models", nargs="*", default=None, help="Subset of model keys.")
+    p_cmp.add_argument("--scale", choices=["fast", "paper"], default="fast")
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.add_argument("--max-train", type=int, default=600)
+
+    p_al = sub.add_parser("active-learn", help="Run an active-learning campaign.")
+    p_al.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_al.add_argument("--strategy", choices=["rs", "us", "qc"], default="us")
+    p_al.add_argument("--goal", choices=["none", "stq", "bq"], default="none")
+    p_al.add_argument("--n-initial", type=int, default=50)
+    p_al.add_argument("--query-size", type=int, default=50)
+    p_al.add_argument("--n-queries", type=int, default=10)
+    p_al.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _cmd_generate_data(args: argparse.Namespace) -> int:
+    from repro.data.datasets import build_dataset
+    from repro.data.io import write_csv
+
+    dataset = build_dataset(args.machine, seed=args.seed, n_total=args.rows)
+    path = write_csv(dataset.table, args.output)
+    print(f"Wrote {dataset.n_rows} rows ({dataset.n_train} train / {dataset.n_test} test) to {path}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulator import run_ccsd_iteration
+    from repro.tamm.runtime import InfeasibleConfigurationError
+
+    try:
+        exp = run_ccsd_iteration(
+            args.machine, args.occupied, args.virtual, args.nodes, args.tile, rng=args.seed
+        )
+    except InfeasibleConfigurationError as exc:
+        print(f"Infeasible configuration: {exc}", file=sys.stderr)
+        return 1
+    b = exp.breakdown
+    print(
+        f"machine={exp.machine} O={exp.n_occupied} V={exp.n_virtual} "
+        f"nodes={exp.n_nodes} tile={exp.tile_size}"
+    )
+    print(f"runtime: {exp.runtime_s:.2f} s   node-hours: {exp.node_hours:.3f}")
+    print(
+        "breakdown: "
+        f"compute={b.compute_time:.2f}s comm={b.comm_time:.2f}s overhead={b.overhead_time:.2f}s "
+        f"imbalance={b.imbalance_time:.2f}s fixed={b.fixed_time:.2f}s tasks={b.n_tasks}"
+    )
+    return 0
+
+
+def _cmd_ask(args: argparse.Namespace) -> int:
+    from repro.core.advisor import ResourceAdvisor
+    from repro.data.datasets import build_dataset
+
+    print(f"Building {args.machine} dataset and training the runtime model...", flush=True)
+    dataset = build_dataset(args.machine, seed=args.seed)
+    advisor = ResourceAdvisor.from_dataset(dataset, preset=args.preset)
+    answer = advisor.answer(args.question, args.occupied, args.virtual)
+    objective = "runtime" if args.question == "stq" else "node_hours"
+    print(
+        f"{args.question.upper()} answer for (O={args.occupied}, V={args.virtual}) on {args.machine}: "
+        f"nodes={answer.n_nodes}, tile={answer.tile_size}, "
+        f"predicted runtime={answer.predicted_runtime_s:.2f} s, "
+        f"predicted node-hours={answer.predicted_node_hours:.3f}"
+    )
+    table = advisor.ranked_configurations(
+        args.occupied, args.virtual, objective=objective, top_k=args.top
+    )
+    print("Top configurations:")
+    for rec in table.to_records():
+        print(
+            f"  nodes={int(rec['n_nodes']):4d} tile={int(rec['tile_size']):4d} "
+            f"runtime={rec['predicted_runtime_s']:.2f}s node-hours={rec['predicted_node_hours']:.3f}"
+        )
+    return 0
+
+
+def _cmd_compare_models(args: argparse.Namespace) -> int:
+    from repro.core.hyperopt import run_model_comparison
+    from repro.core.reporting import format_model_comparison
+    from repro.data.datasets import build_dataset
+
+    dataset = build_dataset(args.machine, seed=args.seed)
+    results = run_model_comparison(
+        dataset,
+        models=args.models,
+        scale=args.scale,
+        seed=args.seed,
+        max_train_samples=args.max_train,
+    )
+    print(format_model_comparison(results))
+    best = max(results, key=lambda r: r.r2)
+    print(f"\nBest: {best.model} via {best.search} (R2={best.r2:.4f}, MAPE={best.mape:.4f})")
+    return 0
+
+
+def _cmd_active_learn(args: argparse.Namespace) -> int:
+    from repro.core.active_learning import ActiveLearningConfig, run_active_learning
+    from repro.core.reporting import format_active_learning_curves
+    from repro.data.datasets import build_dataset
+
+    dataset = build_dataset(args.machine, seed=args.seed)
+    goal = None if args.goal == "none" else args.goal
+    config = ActiveLearningConfig(
+        n_initial=args.n_initial,
+        query_size=args.query_size,
+        n_queries=args.n_queries,
+        random_state=args.seed,
+        goal=goal,
+    )
+    result = run_active_learning(
+        dataset.X_train,
+        dataset.y_train,
+        args.strategy,
+        config,
+        X_test=dataset.X_test,
+        y_test=dataset.y_test,
+    )
+    print(format_active_learning_curves([result], metric="mape", use_goal=goal is not None))
+    final = result.final_metrics()
+    print("\nFinal:", ", ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}" for k, v in final.items()))
+    return 0
+
+
+_DISPATCH = {
+    "generate-data": _cmd_generate_data,
+    "simulate": _cmd_simulate,
+    "ask": _cmd_ask,
+    "compare-models": _cmd_compare_models,
+    "active-learn": _cmd_active_learn,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    np.set_printoptions(precision=4, suppress=True)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return _DISPATCH[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

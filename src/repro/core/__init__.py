@@ -1,0 +1,69 @@
+"""Core framework: ML-guided estimation of CCSD computational resources.
+
+This package implements the paper's primary contribution — a framework that
+answers application users' resource questions before they submit expensive
+jobs:
+
+* :class:`~repro.core.estimator.ResourceEstimator` — regression model for the
+  wall time of a CCSD iteration given ⟨O, V, NumNodes, TileSize⟩.
+* :mod:`~repro.core.questions` / :class:`~repro.core.advisor.ResourceAdvisor`
+  — the Shortest-Time Question (STQ) and Budget Question (BQ) answered by
+  sweeping the trained model over candidate configurations.
+* :mod:`~repro.core.evaluation` — the paper's evaluation protocol (losses are
+  computed with the *true* runtime of the predicted-optimal configuration).
+* :mod:`~repro.core.model_zoo` / :mod:`~repro.core.hyperopt` — the nine-model
+  comparison under three hyper-parameter search strategies (Figures 1–2).
+* :mod:`~repro.core.active_learning` — random sampling, uncertainty sampling
+  and query-by-committee campaigns for the data-scarce scenario
+  (Figures 3–6).
+"""
+
+from repro.core.estimator import ResourceEstimator
+from repro.core.questions import (
+    ConfigurationSpace,
+    QuestionAnswer,
+    answer_budget_question,
+    answer_shortest_time_question,
+)
+from repro.core.advisor import ResourceAdvisor
+from repro.core.evaluation import (
+    OptimalConfigRecord,
+    evaluate_question_predictions,
+    optimal_configurations,
+    question_loss_report,
+)
+from repro.core.model_zoo import MODEL_ZOO, ModelSpec, build_model, model_names
+from repro.core.hyperopt import ModelComparisonResult, run_model_comparison
+from repro.core.active_learning import (
+    ActiveLearningConfig,
+    ActiveLearningResult,
+    QueryByCommittee,
+    RandomSampling,
+    UncertaintySampling,
+    run_active_learning,
+)
+
+__all__ = [
+    "ResourceEstimator",
+    "ConfigurationSpace",
+    "QuestionAnswer",
+    "answer_shortest_time_question",
+    "answer_budget_question",
+    "ResourceAdvisor",
+    "OptimalConfigRecord",
+    "optimal_configurations",
+    "evaluate_question_predictions",
+    "question_loss_report",
+    "MODEL_ZOO",
+    "ModelSpec",
+    "build_model",
+    "model_names",
+    "ModelComparisonResult",
+    "run_model_comparison",
+    "ActiveLearningConfig",
+    "ActiveLearningResult",
+    "RandomSampling",
+    "UncertaintySampling",
+    "QueryByCommittee",
+    "run_active_learning",
+]

@@ -1,0 +1,128 @@
+"""User-facing advisor combining the runtime model with the question solvers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional
+
+import numpy as np
+
+from repro.core.estimator import ResourceEstimator
+from repro.core.questions import (
+    ConfigurationSpace,
+    QuestionAnswer,
+    answer_budget_question,
+    answer_shortest_time_question,
+    sweep_predictions,
+)
+from repro.data.datasets import CCSDDataset
+from repro.data.table import Table
+
+__all__ = ["ResourceAdvisor"]
+
+
+@dataclass
+class ResourceAdvisor:
+    """Answer user resource questions for a target machine.
+
+    Typical usage::
+
+        dataset = build_dataset("aurora")
+        advisor = ResourceAdvisor.from_dataset(dataset)
+        answer = advisor.shortest_time(99, 718)
+        print(answer.n_nodes, answer.tile_size, answer.predicted_runtime_s)
+
+    The advisor keeps the trained :class:`ResourceEstimator` and the machine
+    name so configuration spaces can be derived per problem size.
+    """
+
+    estimator: ResourceEstimator
+    machine: Optional[str] = None
+    default_space: Optional[ConfigurationSpace] = None
+
+    # ------------------------------------------------------------------ construction
+    @classmethod
+    def from_dataset(
+        cls,
+        dataset: CCSDDataset,
+        *,
+        estimator: Optional[ResourceEstimator] = None,
+        preset: str = "fast",
+    ) -> "ResourceAdvisor":
+        """Train an advisor on a dataset's training split."""
+        est = estimator if estimator is not None else ResourceEstimator(preset=preset)
+        est.fit(dataset.X_train, dataset.y_train)
+        space = ConfigurationSpace.from_observations(
+            dataset.table["n_nodes"], dataset.table["tile_size"], machine=dataset.machine
+        )
+        return cls(estimator=est, machine=dataset.machine, default_space=space)
+
+    # ------------------------------------------------------------------ spaces
+    def space_for(self, n_occupied: int, n_virtual: int) -> ConfigurationSpace:
+        """Configuration space used for a problem size.
+
+        When a machine is known the space is restricted to feasible,
+        typically-sized allocations for that problem; otherwise the advisor
+        falls back to the node/tile values observed in its training data.
+        """
+        if self.machine is not None:
+            return ConfigurationSpace.for_machine(self.machine, n_occupied, n_virtual)
+        if self.default_space is not None:
+            return self.default_space
+        raise ValueError("Advisor has neither a machine nor a default configuration space.")
+
+    # ------------------------------------------------------------------ questions
+    def shortest_time(
+        self, n_occupied: int, n_virtual: int, space: Optional[ConfigurationSpace] = None
+    ) -> QuestionAnswer:
+        """Answer the Shortest-Time Question for a problem size."""
+        space = space if space is not None else self.space_for(n_occupied, n_virtual)
+        return answer_shortest_time_question(self.estimator, n_occupied, n_virtual, space)
+
+    def budget(
+        self, n_occupied: int, n_virtual: int, space: Optional[ConfigurationSpace] = None
+    ) -> QuestionAnswer:
+        """Answer the Budget Question for a problem size."""
+        space = space if space is not None else self.space_for(n_occupied, n_virtual)
+        return answer_budget_question(self.estimator, n_occupied, n_virtual, space)
+
+    def answer(self, question: str, n_occupied: int, n_virtual: int, **kwargs: Any) -> QuestionAnswer:
+        """Dispatch on a question name: ``"stq"``/``"shortest_time"`` or ``"bq"``/``"budget"``."""
+        key = question.lower()
+        if key in ("stq", "shortest_time", "shortest-time"):
+            return self.shortest_time(n_occupied, n_virtual, **kwargs)
+        if key in ("bq", "budget", "cheapest", "cheapest-run"):
+            return self.budget(n_occupied, n_virtual, **kwargs)
+        raise ValueError(f"Unknown question {question!r}; expected 'stq' or 'bq'.")
+
+    # ------------------------------------------------------------------ rankings
+    def ranked_configurations(
+        self,
+        n_occupied: int,
+        n_virtual: int,
+        *,
+        objective: str = "runtime",
+        top_k: Optional[int] = 10,
+        space: Optional[ConfigurationSpace] = None,
+    ) -> Table:
+        """Full sweep as a table sorted by the chosen objective (best first)."""
+        space = space if space is not None else self.space_for(n_occupied, n_virtual)
+        sweep = sweep_predictions(self.estimator, n_occupied, n_virtual, space)
+        objective_values = sweep["runtime_s"] if objective == "runtime" else sweep["node_hours"]
+        order = np.argsort(objective_values, kind="stable")
+        if top_k is not None:
+            order = order[:top_k]
+        return Table(
+            {
+                "n_nodes": sweep["nodes"][order],
+                "tile_size": sweep["tiles"][order],
+                "predicted_runtime_s": sweep["runtime_s"][order],
+                "predicted_node_hours": sweep["node_hours"][order],
+            }
+        )
+
+    def answers_for_problems(
+        self, problems: Iterable[tuple[int, int]], question: str = "stq"
+    ) -> list[QuestionAnswer]:
+        """Answer the same question for a batch of problem sizes (Tables 3–6)."""
+        return [self.answer(question, int(o), int(v)) for o, v in problems]

@@ -1,0 +1,172 @@
+"""Runtime-prediction model for CCSD iterations.
+
+The estimator maps the paper's feature vector ⟨O, V, NumNodes, TileSize⟩ to
+the wall time of one CCSD iteration.  By default it wraps the Gradient
+Boosting configuration the paper deploys (750 tree estimators, maximum depth
+10); a ``preset="fast"`` configuration is provided for tests and reduced-scale
+benchmarks.  Optional physics-informed derived features (the ``O^2 V^4``
+work estimate per node, total orbitals, ...) can be appended, which is the
+feature-set ablation discussed in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional, Sequence
+
+import numpy as np
+
+from repro.data.datasets import CCSDDataset, FEATURE_COLUMNS
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, clone
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.metrics import regression_report
+
+__all__ = ["ResourceEstimator", "PAPER_GB_PARAMS", "FAST_GB_PARAMS"]
+
+#: Hyper-parameters the paper settles on after optimisation (Section 4.2).
+PAPER_GB_PARAMS: dict[str, Any] = {"n_estimators": 750, "max_depth": 10}
+#: Reduced configuration for quick tests and laptop-scale benchmarks.
+FAST_GB_PARAMS: dict[str, Any] = {"n_estimators": 150, "max_depth": 8}
+
+_DERIVED_FEATURE_NAMES: tuple[str, ...] = (
+    "o2v4_per_node",
+    "total_orbitals",
+    "tiles_per_dimension",
+    "work_per_worker",
+)
+
+
+class ResourceEstimator(BaseEstimator, RegressorMixin):
+    """Predict CCSD iteration wall time from runtime parameters.
+
+    Parameters
+    ----------
+    model:
+        Any regressor following the :mod:`repro.ml` protocol; defaults to the
+        paper's Gradient Boosting configuration (or the fast preset).
+    preset:
+        ``"paper"`` or ``"fast"`` — selects the default GB hyper-parameters
+        when ``model`` is not given.
+    derived_features:
+        Append physics-informed features (O²V⁴/nodes, N, V/tile, ...) to the
+        raw ⟨O, V, nodes, tile⟩ vector before fitting.
+    log_target:
+        Fit the model on ``log(runtime)``; useful because runtimes span two
+        orders of magnitude.
+    """
+
+    def __init__(
+        self,
+        model: Any = None,
+        preset: str = "paper",
+        derived_features: bool = False,
+        log_target: bool = False,
+        random_state: Any = 0,
+    ) -> None:
+        self.model = model
+        self.preset = preset
+        self.derived_features = derived_features
+        self.log_target = log_target
+        self.random_state = random_state
+
+    # ------------------------------------------------------------------ features
+    def _build_model(self) -> Any:
+        if self.model is not None:
+            return clone(self.model)
+        if self.preset == "paper":
+            params = PAPER_GB_PARAMS
+        elif self.preset == "fast":
+            params = FAST_GB_PARAMS
+        else:
+            raise ValueError(f"Unknown preset {self.preset!r}; expected 'paper' or 'fast'.")
+        return GradientBoostingRegressor(random_state=self.random_state, **params)
+
+    def _augment(self, X: np.ndarray) -> np.ndarray:
+        if not self.derived_features:
+            return X
+        O, V, nodes, tile = X[:, 0], X[:, 1], X[:, 2], X[:, 3]
+        o2v4_per_node = (O**2) * (V**4) / np.maximum(nodes, 1.0)
+        total_orbitals = O + V
+        tiles_per_dimension = np.maximum(V, 1.0) / np.maximum(tile, 1.0)
+        work_per_worker = o2v4_per_node / np.maximum(tile, 1.0) ** 2
+        return np.column_stack(
+            [X, o2v4_per_node, total_orbitals, tiles_per_dimension, work_per_worker]
+        )
+
+    @property
+    def feature_names_(self) -> list[str]:
+        names = list(FEATURE_COLUMNS)
+        if self.derived_features:
+            names.extend(_DERIVED_FEATURE_NAMES)
+        return names
+
+    # ------------------------------------------------------------------ fitting
+    def fit(self, X: Any, y: Any = None) -> "ResourceEstimator":
+        """Fit from a feature matrix + target, or directly from a dataset.
+
+        ``fit(dataset)`` uses the dataset's training split.
+        """
+        if isinstance(X, CCSDDataset):
+            dataset = X
+            X, y = dataset.X_train, dataset.y_train
+        if y is None:
+            raise ValueError("y is required unless fitting from a CCSDDataset.")
+        X = check_array(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y, dtype=np.float64).ravel()
+        if np.any(y <= 0) and self.log_target:
+            raise ValueError("log_target requires strictly positive runtimes.")
+        target = np.log(y) if self.log_target else y
+        self.model_ = self._build_model()
+        self.model_.fit(self._augment(X), target)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Predict wall times (seconds) for rows of ⟨O, V, nodes, tile⟩."""
+        self._check_is_fitted()
+        X = check_array(np.asarray(X, dtype=np.float64))
+        pred = self.model_.predict(self._augment(X))
+        return np.exp(pred) if self.log_target else pred
+
+    # ------------------------------------------------------------------ helpers
+    def predict_runtime(
+        self,
+        n_occupied: int,
+        n_virtual: int,
+        n_nodes: int | Sequence[int] | np.ndarray,
+        tile_size: int | Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Predict runtimes for one problem size over (vectors of) configs."""
+        nodes = np.atleast_1d(np.asarray(n_nodes, dtype=np.float64))
+        tiles = np.atleast_1d(np.asarray(tile_size, dtype=np.float64))
+        if nodes.shape != tiles.shape:
+            nodes, tiles = np.broadcast_arrays(nodes, tiles)
+        X = np.column_stack(
+            [
+                np.full(nodes.size, float(n_occupied)),
+                np.full(nodes.size, float(n_virtual)),
+                nodes.ravel(),
+                tiles.ravel(),
+            ]
+        )
+        return self.predict(X)
+
+    def predict_node_hours(
+        self,
+        n_occupied: int,
+        n_virtual: int,
+        n_nodes: int | Sequence[int] | np.ndarray,
+        tile_size: int | Sequence[int] | np.ndarray,
+    ) -> np.ndarray:
+        """Predicted node-hours (the budget-question objective)."""
+        nodes = np.atleast_1d(np.asarray(n_nodes, dtype=np.float64))
+        runtimes = self.predict_runtime(n_occupied, n_virtual, n_nodes, tile_size)
+        nodes_b = np.broadcast_to(nodes, runtimes.shape) if nodes.size != runtimes.size else nodes
+        return runtimes * nodes_b / 3600.0
+
+    def evaluate(self, X: Any, y: Any) -> dict[str, float]:
+        """R²/MAE/MAPE/RMSE report on held-out data."""
+        return regression_report(np.asarray(y, dtype=float).ravel(), self.predict(X))
+
+    def evaluate_on(self, dataset: CCSDDataset) -> dict[str, float]:
+        """Evaluate on a dataset's test split."""
+        return self.evaluate(dataset.X_test, dataset.y_test)

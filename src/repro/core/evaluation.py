@@ -1,0 +1,170 @@
+"""The paper's evaluation protocol for STQ/BQ predictions (Tables 3–6).
+
+Section 3.4 stresses a subtle point: when evaluating a model's answer to the
+Shortest-Time or Budget question, the loss must be computed from the *true*
+runtime (or node-hours) of the configuration the model recommended, not from
+the model's own predicted value for it — the model could otherwise grade its
+own homework.  The helpers here implement exactly that protocol:
+
+1. group the test set by problem size ⟨O, V⟩;
+2. for every problem size, find the configuration with the best *true*
+   objective (the per-problem optimum the user would have found by exhaustive
+   experimentation) and the configuration with the best *predicted* objective
+   (the model's recommendation);
+3. score the recommendation with the *true* objective value of the
+   recommended configuration;
+4. aggregate R²/MAE/MAPE over problem sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.metrics import (
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    r2_score,
+)
+
+__all__ = [
+    "OptimalConfigRecord",
+    "optimal_configurations",
+    "evaluate_question_predictions",
+    "question_loss_report",
+]
+
+
+@dataclass(frozen=True)
+class OptimalConfigRecord:
+    """Per-problem-size optimum: true best vs model recommendation."""
+
+    n_occupied: int
+    n_virtual: int
+    true_nodes: int
+    true_tile: int
+    true_runtime_s: float
+    true_node_hours: float
+    predicted_nodes: int
+    predicted_tile: int
+    predicted_config_runtime_s: float
+    predicted_config_node_hours: float
+    model_predicted_objective: float
+
+    @property
+    def configuration_correct(self) -> bool:
+        """Did the model recommend exactly the true optimal configuration?"""
+        return self.true_nodes == self.predicted_nodes and self.true_tile == self.predicted_tile
+
+    def true_objective(self, objective: str) -> float:
+        return self.true_runtime_s if objective == "runtime" else self.true_node_hours
+
+    def achieved_objective(self, objective: str) -> float:
+        """True objective value of the configuration the model recommended."""
+        return (
+            self.predicted_config_runtime_s
+            if objective == "runtime"
+            else self.predicted_config_node_hours
+        )
+
+
+def _objective_values(runtimes: np.ndarray, nodes: np.ndarray, objective: str) -> np.ndarray:
+    if objective == "runtime":
+        return runtimes
+    if objective == "node_hours":
+        return runtimes * nodes / 3600.0
+    raise ValueError(f"Unknown objective {objective!r}; expected 'runtime' or 'node_hours'.")
+
+
+def optimal_configurations(
+    X: np.ndarray,
+    y_true: np.ndarray,
+    y_pred: Optional[np.ndarray] = None,
+    objective: str = "runtime",
+) -> list[OptimalConfigRecord]:
+    """Per-(O, V) true optima and (optionally) model-recommended configurations.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix with columns ⟨O, V, nodes, tile⟩ (the evaluation pool,
+        typically the test split).
+    y_true:
+        True runtimes of every row.
+    y_pred:
+        Model-predicted runtimes of every row; when omitted the "recommended"
+        configuration is simply the true optimum (useful for building the
+        ground-truth side of Tables 3–6).
+    objective:
+        ``"runtime"`` (STQ) or ``"node_hours"`` (BQ).
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    if y_pred is None:
+        y_pred = y_true
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if X.shape[0] != y_true.shape[0] or X.shape[0] != y_pred.shape[0]:
+        raise ValueError("X, y_true and y_pred must have the same number of rows.")
+
+    nodes = X[:, 2]
+    true_obj = _objective_values(y_true, nodes, objective)
+    pred_obj = _objective_values(y_pred, nodes, objective)
+
+    records: list[OptimalConfigRecord] = []
+    problems = np.unique(X[:, :2], axis=0)
+    for o, v in problems:
+        mask = (X[:, 0] == o) & (X[:, 1] == v)
+        idx = np.flatnonzero(mask)
+        best_true = idx[int(np.argmin(true_obj[idx]))]
+        best_pred = idx[int(np.argmin(pred_obj[idx]))]
+        records.append(
+            OptimalConfigRecord(
+                n_occupied=int(o),
+                n_virtual=int(v),
+                true_nodes=int(X[best_true, 2]),
+                true_tile=int(X[best_true, 3]),
+                true_runtime_s=float(y_true[best_true]),
+                true_node_hours=float(y_true[best_true] * X[best_true, 2] / 3600.0),
+                predicted_nodes=int(X[best_pred, 2]),
+                predicted_tile=int(X[best_pred, 3]),
+                predicted_config_runtime_s=float(y_true[best_pred]),
+                predicted_config_node_hours=float(y_true[best_pred] * X[best_pred, 2] / 3600.0),
+                model_predicted_objective=float(pred_obj[best_pred]),
+            )
+        )
+    return records
+
+
+def evaluate_question_predictions(
+    records: list[OptimalConfigRecord], objective: str = "runtime"
+) -> dict[str, float]:
+    """Aggregate the paper's metrics over per-problem optimum records.
+
+    The "prediction" scored here is the true objective value achieved by the
+    recommended configuration, compared against the true per-problem optimum.
+    """
+    if not records:
+        raise ValueError("No records to evaluate.")
+    y_true = np.asarray([r.true_objective(objective) for r in records])
+    y_achieved = np.asarray([r.achieved_objective(objective) for r in records])
+    n_wrong = sum(0 if r.configuration_correct else 1 for r in records)
+    return {
+        "r2": r2_score(y_true, y_achieved),
+        "mae": mean_absolute_error(y_true, y_achieved),
+        "mape": mean_absolute_percentage_error(y_true, y_achieved),
+        "n_problems": float(len(records)),
+        "n_incorrect_configs": float(n_wrong),
+    }
+
+
+def question_loss_report(
+    X: np.ndarray,
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    objective: str = "runtime",
+) -> dict[str, float]:
+    """One-call version: records + aggregation for a question objective."""
+    records = optimal_configurations(X, y_true, y_pred, objective=objective)
+    return evaluate_question_predictions(records, objective=objective)

@@ -1,0 +1,140 @@
+"""Model comparison under three hyper-parameter search strategies.
+
+Figures 1 and 2 of the paper report, for every model in the zoo and each of
+GridSearchCV / RandomizedSearchCV / BayesSearchCV, the test-set R², MAE and
+MAPE of the best found configuration and the wall time of the search itself.
+:func:`run_model_comparison` reproduces that sweep for one machine's dataset.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.core.model_zoo import MODEL_ZOO, get_model_spec
+from repro.data.datasets import CCSDDataset
+from repro.ml.bayes_search import BayesSearchCV
+from repro.ml.metrics import regression_report
+from repro.ml.search import GridSearchCV, ParameterGrid, RandomizedSearchCV
+
+__all__ = ["ModelComparisonResult", "run_model_comparison", "SEARCH_STRATEGIES"]
+
+#: Search strategy labels as used in the paper's figures.
+SEARCH_STRATEGIES: tuple[str, ...] = ("GridSearchCV", "RandomizedSearchCV", "BayesSearchCV")
+
+
+@dataclass(frozen=True)
+class ModelComparisonResult:
+    """One bar of Figures 1–2: a (model, search strategy) combination."""
+
+    machine: str
+    model: str
+    search: str
+    best_params: dict[str, Any]
+    r2: float
+    mae: float
+    mape: float
+    search_time_s: float
+    n_candidates: int
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "machine": self.machine,
+            "model": self.model,
+            "search": self.search,
+            "best_params": self.best_params,
+            "r2": self.r2,
+            "mae": self.mae,
+            "mape": self.mape,
+            "search_time_s": self.search_time_s,
+            "n_candidates": self.n_candidates,
+        }
+
+
+def _make_search(strategy: str, estimator: Any, grid: dict[str, list], *, cv: int, seed: int) -> Any:
+    if strategy == "GridSearchCV":
+        return GridSearchCV(estimator, grid, cv=cv, scoring="r2")
+    n_grid = len(ParameterGrid(grid))
+    if strategy == "RandomizedSearchCV":
+        return RandomizedSearchCV(
+            estimator, grid, n_iter=min(8, n_grid), cv=cv, scoring="r2", random_state=seed
+        )
+    if strategy == "BayesSearchCV":
+        return BayesSearchCV(
+            estimator,
+            grid,
+            n_iter=min(8, n_grid),
+            n_initial_points=min(4, n_grid),
+            cv=cv,
+            scoring="r2",
+            random_state=seed,
+        )
+    raise ValueError(f"Unknown search strategy {strategy!r}. Expected one of {SEARCH_STRATEGIES}.")
+
+
+def run_model_comparison(
+    dataset: CCSDDataset,
+    *,
+    models: Optional[Iterable[str]] = None,
+    strategies: Sequence[str] = SEARCH_STRATEGIES,
+    scale: str = "fast",
+    cv: int = 3,
+    seed: int = 0,
+    max_train_samples: Optional[int] = None,
+) -> list[ModelComparisonResult]:
+    """Tune every model with every search strategy and score it on the test set.
+
+    Parameters
+    ----------
+    dataset:
+        Machine dataset (train split used for the search, test split for the
+        reported metrics).
+    models:
+        Model keys to include; defaults to the full zoo.
+    strategies:
+        Search strategies to run (subset of :data:`SEARCH_STRATEGIES`).
+    scale:
+        ``"fast"`` or ``"paper"`` hyper-parameter grids.
+    cv:
+        Cross-validation folds inside the searches.
+    seed:
+        Seed for the randomized/Bayesian searches.
+    max_train_samples:
+        Optional subsample of the training split (keeps expensive kernel
+        models tractable at bench scale); ``None`` uses the full split.
+    """
+    model_keys = [m.upper() for m in (models if models is not None else MODEL_ZOO.keys())]
+    X_train, y_train = dataset.X_train, dataset.y_train
+    if max_train_samples is not None and max_train_samples < len(y_train):
+        rng = np.random.default_rng(seed)
+        idx = rng.choice(len(y_train), size=max_train_samples, replace=False)
+        X_train, y_train = X_train[idx], y_train[idx]
+    X_test, y_test = dataset.X_test, dataset.y_test
+
+    results: list[ModelComparisonResult] = []
+    for key in model_keys:
+        spec = get_model_spec(key)
+        grid = spec.grid(scale)
+        for strategy in strategies:
+            search = _make_search(strategy, spec.factory(), grid, cv=cv, seed=seed)
+            t0 = time.perf_counter()
+            search.fit(X_train, y_train)
+            elapsed = time.perf_counter() - t0
+            report = regression_report(y_test, search.predict(X_test))
+            results.append(
+                ModelComparisonResult(
+                    machine=dataset.machine,
+                    model=key,
+                    search=strategy,
+                    best_params=dict(search.best_params_),
+                    r2=report["r2"],
+                    mae=report["mae"],
+                    mape=report["mape"],
+                    search_time_s=elapsed,
+                    n_candidates=len(search.cv_results_["params"]),
+                )
+            )
+    return results

@@ -1,0 +1,156 @@
+"""Registry of the nine regression models the paper evaluates.
+
+Each entry bundles a factory for the estimator with the hyper-parameter grid
+used by the three search strategies of Figures 1–2.  Two grid scales are
+provided: ``"paper"`` (larger grids, paper-sized ensembles) and ``"fast"``
+(reduced grids so the full nine-model × three-search comparison finishes in
+minutes on a laptop while preserving the ordering of the results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.kernel_ridge import KernelRidge
+from repro.ml.linear import BayesianRidge, PolynomialRegression
+from repro.ml.svr import SVR
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["ModelSpec", "MODEL_ZOO", "model_names", "build_model", "get_model_spec"]
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """A model family: abbreviation, display name, factory and search grids."""
+
+    key: str
+    display_name: str
+    factory: Callable[[], Any]
+    paper_grid: dict[str, list] = field(default_factory=dict)
+    fast_grid: dict[str, list] = field(default_factory=dict)
+
+    def grid(self, scale: str = "fast") -> dict[str, list]:
+        if scale == "paper":
+            return dict(self.paper_grid)
+        if scale == "fast":
+            return dict(self.fast_grid)
+        raise ValueError(f"Unknown scale {scale!r}; expected 'paper' or 'fast'.")
+
+    def build(self, **params: Any) -> Any:
+        model = self.factory()
+        if params:
+            model.set_params(**params)
+        return model
+
+
+#: The paper's model abbreviations: PR, KR, DT, RF, GB, AB, GP, BR, SVR.
+MODEL_ZOO: dict[str, ModelSpec] = {
+    "PR": ModelSpec(
+        key="PR",
+        display_name="Polynomial Regression",
+        factory=lambda: PolynomialRegression(),
+        paper_grid={"degree": [2, 3, 4, 5], "alpha": [1e-8, 1e-6, 1e-4, 1e-2, 1.0]},
+        fast_grid={"degree": [2, 3, 4], "alpha": [1e-6, 1e-2]},
+    ),
+    "KR": ModelSpec(
+        key="KR",
+        display_name="Kernel Ridge",
+        factory=lambda: KernelRidge(),
+        paper_grid={
+            "alpha": [1e-4, 1e-3, 1e-2, 1e-1, 1.0],
+            "gamma": [0.01, 0.05, 0.1, 0.5, 1.0],
+            "kernel": ["rbf", "laplacian"],
+        },
+        fast_grid={"alpha": [1e-3, 1e-1], "gamma": [0.1, 0.5], "kernel": ["rbf"]},
+    ),
+    "DT": ModelSpec(
+        key="DT",
+        display_name="Decision Tree",
+        factory=lambda: DecisionTreeRegressor(random_state=0),
+        paper_grid={
+            "max_depth": [6, 8, 10, 12, 16, None],
+            "min_samples_leaf": [1, 2, 4, 8],
+        },
+        fast_grid={"max_depth": [8, 12, None], "min_samples_leaf": [1, 4]},
+    ),
+    "RF": ModelSpec(
+        key="RF",
+        display_name="Random Forest",
+        factory=lambda: RandomForestRegressor(random_state=0),
+        paper_grid={
+            "n_estimators": [100, 250, 500],
+            "max_depth": [10, 16, None],
+            "max_features": [0.5, 0.75, 1.0],
+        },
+        fast_grid={"n_estimators": [30, 60], "max_depth": [12, None], "max_features": [1.0]},
+    ),
+    "GB": ModelSpec(
+        key="GB",
+        display_name="Gradient Boosting",
+        factory=lambda: GradientBoostingRegressor(random_state=0),
+        paper_grid={
+            "n_estimators": [250, 500, 750],
+            "max_depth": [6, 8, 10],
+            "learning_rate": [0.05, 0.1, 0.2],
+        },
+        fast_grid={"n_estimators": [60, 120], "max_depth": [6, 8], "learning_rate": [0.1]},
+    ),
+    "AB": ModelSpec(
+        key="AB",
+        display_name="AdaBoost",
+        factory=lambda: AdaBoostRegressor(random_state=0),
+        paper_grid={
+            "n_estimators": [50, 100, 200],
+            "learning_rate": [0.5, 1.0],
+            "loss": ["linear", "square"],
+        },
+        fast_grid={"n_estimators": [30, 60], "learning_rate": [1.0], "loss": ["linear"]},
+    ),
+    "GP": ModelSpec(
+        key="GP",
+        display_name="Gaussian Process",
+        factory=lambda: GaussianProcessRegressor(random_state=0, n_restarts_optimizer=1),
+        paper_grid={"alpha": [1e-8, 1e-6, 1e-4, 1e-2], "n_restarts_optimizer": [1, 2]},
+        fast_grid={"alpha": [1e-6, 1e-2], "n_restarts_optimizer": [0]},
+    ),
+    "BR": ModelSpec(
+        key="BR",
+        display_name="Bayesian Ridge",
+        factory=lambda: BayesianRidge(),
+        paper_grid={"max_iter": [300], "tol": [1e-3, 1e-4, 1e-6]},
+        fast_grid={"max_iter": [300], "tol": [1e-4]},
+    ),
+    "SVR": ModelSpec(
+        key="SVR",
+        display_name="Support Vector Regression",
+        factory=lambda: SVR(),
+        paper_grid={
+            "C": [1.0, 10.0, 100.0, 1000.0],
+            "epsilon": [0.01, 0.1, 1.0],
+            "gamma": [0.05, 0.1, 0.5],
+        },
+        fast_grid={"C": [10.0, 100.0], "epsilon": [0.1], "gamma": [0.1, 0.5]},
+    ),
+}
+
+
+def model_names() -> list[str]:
+    """Keys of the nine evaluated models, in the paper's order."""
+    return list(MODEL_ZOO)
+
+
+def get_model_spec(key: str) -> ModelSpec:
+    k = key.upper()
+    if k not in MODEL_ZOO:
+        raise KeyError(f"Unknown model {key!r}. Available: {model_names()}")
+    return MODEL_ZOO[k]
+
+
+def build_model(key: str, **params: Any) -> Any:
+    """Instantiate a model from the zoo with optional hyper-parameter overrides."""
+    return get_model_spec(key).build(**params)

@@ -1,0 +1,192 @@
+"""The two user questions of the paper: Shortest-Time and Budget.
+
+Both are answered the same way (Section 3.3): for a fixed problem size
+⟨O, V⟩ the trained runtime model is queried over a sweep of candidate
+⟨NumNodes, TileSize⟩ pairs, and the configuration minimising the objective is
+returned — wall time for the Shortest-Time Question (STQ), node-hours for the
+Budget Question (BQ).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+import numpy as np
+
+from repro.chem.orbitals import ProblemSize
+from repro.machines import get_machine
+from repro.simulator.dataset_gen import DEFAULT_TILE_GRID
+from repro.tamm.runtime import TammRuntimeSimulator
+
+__all__ = [
+    "ConfigurationSpace",
+    "QuestionAnswer",
+    "answer_shortest_time_question",
+    "answer_budget_question",
+    "sweep_predictions",
+]
+
+
+@dataclass
+class ConfigurationSpace:
+    """Candidate ⟨NumNodes, TileSize⟩ pairs swept when answering a question.
+
+    A space can be built directly from explicit grids, or from a machine
+    model (:meth:`for_machine`) which restricts node counts to the
+    memory-feasible, sensibly-sized allocations for each problem — the same
+    "range of typical interest" the paper sweeps.
+    """
+
+    node_grid: Sequence[int]
+    tile_grid: Sequence[int] = field(default_factory=lambda: list(DEFAULT_TILE_GRID))
+    machine: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if len(self.node_grid) == 0:
+            raise ValueError("node_grid must not be empty.")
+        if len(self.tile_grid) == 0:
+            raise ValueError("tile_grid must not be empty.")
+
+    @classmethod
+    def for_machine(
+        cls,
+        machine: str,
+        n_occupied: int,
+        n_virtual: int,
+        *,
+        tile_grid: Iterable[int] = DEFAULT_TILE_GRID,
+        node_grid: Optional[Iterable[int]] = None,
+    ) -> "ConfigurationSpace":
+        """Build the feasible configuration space of a problem on a machine."""
+        spec = get_machine(machine)
+        simulator = TammRuntimeSimulator(spec)
+        problem = ProblemSize(n_occupied, n_virtual)
+        nodes = simulator.node_range(problem, candidate_nodes=node_grid)
+        tiles = [t for t in tile_grid if simulator.is_feasible(problem, nodes[0], int(t))]
+        if not tiles:
+            tiles = [min(tile_grid)]
+        return cls(node_grid=nodes, tile_grid=list(tiles), machine=spec.name)
+
+    @classmethod
+    def from_observations(
+        cls, nodes: Iterable[int], tiles: Iterable[int], machine: Optional[str] = None
+    ) -> "ConfigurationSpace":
+        """Build a space from node/tile values observed in a dataset."""
+        return cls(
+            node_grid=sorted({int(n) for n in nodes}),
+            tile_grid=sorted({int(t) for t in tiles}),
+            machine=machine,
+        )
+
+    def grid(self) -> np.ndarray:
+        """All (nodes, tile) combinations, shape ``(n_configs, 2)``."""
+        nodes, tiles = np.meshgrid(
+            np.asarray(self.node_grid, dtype=np.int64),
+            np.asarray(self.tile_grid, dtype=np.int64),
+            indexing="ij",
+        )
+        return np.column_stack([nodes.ravel(), tiles.ravel()])
+
+    @property
+    def n_configurations(self) -> int:
+        return len(self.node_grid) * len(self.tile_grid)
+
+
+@dataclass(frozen=True)
+class QuestionAnswer:
+    """Recommended configuration for a user question."""
+
+    question: str
+    n_occupied: int
+    n_virtual: int
+    n_nodes: int
+    tile_size: int
+    predicted_runtime_s: float
+    predicted_node_hours: float
+    objective_value: float
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "question": self.question,
+            "n_occupied": self.n_occupied,
+            "n_virtual": self.n_virtual,
+            "n_nodes": self.n_nodes,
+            "tile_size": self.tile_size,
+            "predicted_runtime_s": self.predicted_runtime_s,
+            "predicted_node_hours": self.predicted_node_hours,
+            "objective_value": self.objective_value,
+        }
+
+
+def sweep_predictions(
+    estimator: Any,
+    n_occupied: int,
+    n_virtual: int,
+    space: ConfigurationSpace,
+) -> dict[str, np.ndarray]:
+    """Query the runtime model over every configuration in ``space``.
+
+    Returns arrays ``nodes``, ``tiles``, ``runtime_s`` and ``node_hours`` of
+    length ``space.n_configurations``.
+    """
+    grid = space.grid()
+    X = np.column_stack(
+        [
+            np.full(grid.shape[0], float(n_occupied)),
+            np.full(grid.shape[0], float(n_virtual)),
+            grid[:, 0].astype(np.float64),
+            grid[:, 1].astype(np.float64),
+        ]
+    )
+    runtimes = np.asarray(estimator.predict(X), dtype=np.float64)
+    node_hours = runtimes * grid[:, 0] / 3600.0
+    return {
+        "nodes": grid[:, 0],
+        "tiles": grid[:, 1],
+        "runtime_s": runtimes,
+        "node_hours": node_hours,
+    }
+
+
+def _answer(
+    estimator: Any,
+    n_occupied: int,
+    n_virtual: int,
+    space: ConfigurationSpace,
+    objective: str,
+) -> QuestionAnswer:
+    sweep = sweep_predictions(estimator, n_occupied, n_virtual, space)
+    if objective == "runtime":
+        values = sweep["runtime_s"]
+        question = "shortest_time"
+    elif objective == "node_hours":
+        values = sweep["node_hours"]
+        question = "budget"
+    else:  # pragma: no cover - guarded by public wrappers
+        raise ValueError(f"Unknown objective {objective!r}.")
+    best = int(np.argmin(values))
+    return QuestionAnswer(
+        question=question,
+        n_occupied=int(n_occupied),
+        n_virtual=int(n_virtual),
+        n_nodes=int(sweep["nodes"][best]),
+        tile_size=int(sweep["tiles"][best]),
+        predicted_runtime_s=float(sweep["runtime_s"][best]),
+        predicted_node_hours=float(sweep["node_hours"][best]),
+        objective_value=float(values[best]),
+    )
+
+
+def answer_shortest_time_question(
+    estimator: Any, n_occupied: int, n_virtual: int, space: ConfigurationSpace
+) -> QuestionAnswer:
+    """STQ: which ⟨nodes, tile⟩ minimises predicted wall time for ⟨O, V⟩?"""
+    return _answer(estimator, n_occupied, n_virtual, space, "runtime")
+
+
+def answer_budget_question(
+    estimator: Any, n_occupied: int, n_virtual: int, space: ConfigurationSpace
+) -> QuestionAnswer:
+    """BQ: which ⟨nodes, tile⟩ minimises predicted node-hours for ⟨O, V⟩?"""
+    return _answer(estimator, n_occupied, n_virtual, space, "node_hours")

@@ -1,0 +1,126 @@
+"""Plain-text rendering of the paper's tables and figures.
+
+Matplotlib is not assumed to be available, so "figures" are rendered as
+aligned text tables / simple learning-curve listings that the benchmark
+harness prints and EXPERIMENTS.md records.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.active_learning import ActiveLearningResult
+from repro.core.evaluation import OptimalConfigRecord
+from repro.core.hyperopt import ModelComparisonResult
+
+__all__ = [
+    "format_table",
+    "format_model_comparison",
+    "format_question_table",
+    "format_active_learning_curves",
+    "format_metrics",
+]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: Optional[str] = None
+) -> str:
+    """Render an aligned plain-text table."""
+    rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row in rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_metrics(metrics: Mapping[str, float], title: Optional[str] = None) -> str:
+    """One-line metric summary, e.g. ``r2=0.999 mae=2.36 mape=0.023``."""
+    body = " ".join(f"{k}={_fmt(float(v))}" for k, v in metrics.items())
+    return f"{title}: {body}" if title else body
+
+
+def format_model_comparison(results: Sequence[ModelComparisonResult]) -> str:
+    """Render Figure 1/2-style results as a table (one row per model × search)."""
+    headers = ["Model", "Search", "R2", "MAE", "MAPE", "Search time (s)"]
+    rows = [
+        [r.model, r.search, r.r2, r.mae, r.mape, r.search_time_s]
+        for r in results
+    ]
+    return format_table(headers, rows)
+
+
+def format_question_table(
+    records: Sequence[OptimalConfigRecord], objective: str = "runtime"
+) -> str:
+    """Render Table 3/4 (STQ) or Table 5/6 (BQ).
+
+    Mirrors the paper's convention: when the model's recommendation differs
+    from the true optimum, the recommended value is shown in parentheses next
+    to the true one.
+    """
+    if objective == "runtime":
+        headers = ["O", "V", "Nodes", "Tile size", "Runtime (s)"]
+    else:
+        headers = ["O", "V", "Nodes", "Tile size", "Runtime (s)", "Node hours"]
+    rows = []
+    for r in records:
+        nodes = str(r.true_nodes)
+        tile = str(r.true_tile)
+        runtime = _fmt(r.true_runtime_s)
+        node_hours = _fmt(r.true_node_hours)
+        if not r.configuration_correct:
+            nodes = f"{r.true_nodes}({r.predicted_nodes})"
+            tile = f"{r.true_tile}({r.predicted_tile})"
+            runtime = f"{_fmt(r.true_runtime_s)}({_fmt(r.predicted_config_runtime_s)})"
+            node_hours = f"{_fmt(r.true_node_hours)}({_fmt(r.predicted_config_node_hours)})"
+        row = [r.n_occupied, r.n_virtual, nodes, tile, runtime]
+        if objective != "runtime":
+            row.append(node_hours)
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_active_learning_curves(
+    results: Sequence[ActiveLearningResult], metric: str = "mape", use_goal: bool = False
+) -> str:
+    """Render Figure 3–6-style learning curves as aligned columns.
+
+    One column per strategy; one row per known-data size.
+    """
+    if not results:
+        raise ValueError("No active-learning results to format.")
+    sizes = results[0].known_sizes
+    headers = ["Known data"] + [
+        f"{r.strategy}{'-' + r.goal.upper() if use_goal and r.goal else ''}" for r in results
+    ]
+    rows = []
+    for i, size in enumerate(sizes):
+        row: list[Any] = [size]
+        for r in results:
+            curve = getattr(r, f"goal_{metric}") if use_goal else getattr(r, metric)
+            row.append(curve[i] if i < len(curve) else float("nan"))
+        rows.append(row)
+    return format_table(headers, rows, title=f"Active learning ({'goal ' if use_goal else ''}{metric})")

@@ -1,0 +1,22 @@
+"""Lightweight tabular data layer (column-store table, CSV I/O, datasets)."""
+
+from repro.data.table import Table
+from repro.data.io import read_csv, write_csv
+from repro.data.datasets import (
+    CCSDDataset,
+    FEATURE_COLUMNS,
+    TARGET_COLUMN,
+    build_dataset,
+    load_or_build_dataset,
+)
+
+__all__ = [
+    "Table",
+    "read_csv",
+    "write_csv",
+    "CCSDDataset",
+    "FEATURE_COLUMNS",
+    "TARGET_COLUMN",
+    "build_dataset",
+    "load_or_build_dataset",
+]

@@ -1,0 +1,67 @@
+"""CSV persistence for :class:`~repro.data.table.Table`.
+
+Numeric columns round-trip as floats/ints; everything else is stored as
+strings.  The format is plain RFC-4180-ish CSV with a header row, so traces
+written here can also be opened with pandas or a spreadsheet elsewhere.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.data.table import Table
+
+__all__ = ["write_csv", "read_csv"]
+
+
+def write_csv(table: Table, path: str | Path) -> Path:
+    """Write a table to ``path`` (parent directories are created)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(table.column_names)
+        columns = [table[name] for name in table.column_names]
+        for i in range(table.n_rows):
+            writer.writerow([_format_value(col[i]) for col in columns])
+    return path
+
+
+def _format_value(value: Any) -> Any:
+    if isinstance(value, (np.floating, float)):
+        return repr(float(value))
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    return value
+
+
+def _convert_column(values: list[str]) -> np.ndarray:
+    """Infer the tightest dtype (int, float, str) for a column of strings."""
+    try:
+        as_int = np.asarray([int(v) for v in values], dtype=np.int64)
+        return as_int
+    except ValueError:
+        pass
+    try:
+        return np.asarray([float(v) for v in values], dtype=np.float64)
+    except ValueError:
+        return np.asarray(values, dtype=object)
+
+
+def read_csv(path: str | Path) -> Table:
+    """Read a table previously written by :func:`write_csv`."""
+    path = Path(path)
+    with path.open("r", newline="") as fh:
+        reader = csv.reader(fh)
+        rows = list(reader)
+    if len(rows) < 2:
+        raise ValueError(f"CSV file {path} has no data rows.")
+    header, data = rows[0], rows[1:]
+    columns: dict[str, np.ndarray] = {}
+    for j, name in enumerate(header):
+        columns[name] = _convert_column([row[j] for row in data])
+    return Table(columns)

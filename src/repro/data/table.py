@@ -1,0 +1,194 @@
+"""A minimal column-store table.
+
+pandas is not available in the target environment; this class provides the
+small subset of functionality the framework needs: named columns backed by
+NumPy arrays, row filtering, column selection, sorting, summary statistics
+and conversion to/from records.  It is deliberately simple — no indexes, no
+missing-value semantics beyond NaN.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["Table"]
+
+
+class Table:
+    """An ordered mapping of column name → 1-D NumPy array, all equal length."""
+
+    def __init__(self, columns: Mapping[str, Any]) -> None:
+        if not columns:
+            raise ValueError("A table needs at least one column.")
+        self._columns: dict[str, np.ndarray] = {}
+        length: int | None = None
+        for name, values in columns.items():
+            arr = np.asarray(values)
+            if arr.ndim != 1:
+                raise ValueError(f"Column {name!r} must be 1-D, got shape {arr.shape}.")
+            if length is None:
+                length = arr.shape[0]
+            elif arr.shape[0] != length:
+                raise ValueError(
+                    f"Column {name!r} has length {arr.shape[0]}, expected {length}."
+                )
+            self._columns[str(name)] = arr
+        self._length = int(length or 0)
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    @property
+    def n_rows(self) -> int:
+        return self._length
+
+    @property
+    def n_columns(self) -> int:
+        return len(self._columns)
+
+    @property
+    def shape(self) -> tuple[int, int]:
+        return (self.n_rows, self.n_columns)
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._columns
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        if name not in self._columns:
+            raise KeyError(f"No column named {name!r}. Available: {self.column_names}")
+        return self._columns[name]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Table):
+            return NotImplemented
+        if self.column_names != other.column_names:
+            return False
+        return all(np.array_equal(self[c], other[c]) for c in self.column_names)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Table({self.n_rows} rows x {self.n_columns} columns: {self.column_names})"
+
+    # ------------------------------------------------------------------ constructors
+    @classmethod
+    def from_records(cls, records: Sequence[Mapping[str, Any]]) -> "Table":
+        """Build a table from a list of dictionaries (all with the same keys)."""
+        if len(records) == 0:
+            raise ValueError("Cannot build a table from zero records.")
+        keys = list(records[0].keys())
+        columns: dict[str, list] = {k: [] for k in keys}
+        for rec in records:
+            if set(rec.keys()) != set(keys):
+                raise ValueError("All records must have the same keys.")
+            for k in keys:
+                columns[k].append(rec[k])
+        return cls({k: np.asarray(v) for k, v in columns.items()})
+
+    def to_records(self) -> list[dict[str, Any]]:
+        """Convert back to a list of per-row dictionaries (Python scalars)."""
+        out = []
+        for i in range(self.n_rows):
+            out.append({name: self._columns[name][i].item() if hasattr(self._columns[name][i], "item") else self._columns[name][i] for name in self._columns})
+        return out
+
+    # ------------------------------------------------------------------ transforms
+    def select(self, names: Iterable[str]) -> "Table":
+        """Keep only the given columns (in the given order)."""
+        names = list(names)
+        return Table({name: self[name] for name in names})
+
+    def with_column(self, name: str, values: Any) -> "Table":
+        """Return a new table with ``name`` added or replaced."""
+        arr = np.asarray(values)
+        if arr.shape[0] != self.n_rows:
+            raise ValueError(f"Column {name!r} has length {arr.shape[0]}, expected {self.n_rows}.")
+        columns = dict(self._columns)
+        columns[name] = arr
+        return Table(columns)
+
+    def drop(self, names: Iterable[str]) -> "Table":
+        """Return a new table without the given columns."""
+        to_drop = set(names)
+        remaining = {k: v for k, v in self._columns.items() if k not in to_drop}
+        return Table(remaining)
+
+    def filter(self, mask: Any) -> "Table":
+        """Row subset by boolean mask or integer indices."""
+        mask = np.asarray(mask)
+        return Table({name: col[mask] for name, col in self._columns.items()})
+
+    def filter_by(self, predicate: Callable[[dict[str, Any]], bool]) -> "Table":
+        """Row subset by a per-row predicate over a row dictionary (slow path)."""
+        mask = np.array([predicate(row) for row in self.to_records()], dtype=bool)
+        return self.filter(mask)
+
+    def sort_by(self, name: str, descending: bool = False) -> "Table":
+        """Sort rows by a column."""
+        order = np.argsort(self[name], kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.filter(order)
+
+    def head(self, n: int = 5) -> "Table":
+        return self.filter(np.arange(min(n, self.n_rows)))
+
+    def unique(self, name: str) -> np.ndarray:
+        return np.unique(self[name])
+
+    def groupby_agg(
+        self, by: str | Sequence[str], column: str, agg: Callable[[np.ndarray], float]
+    ) -> "Table":
+        """Group rows by one or more key columns and aggregate ``column``."""
+        keys = [by] if isinstance(by, str) else list(by)
+        key_arrays = [self[k] for k in keys]
+        stacked = np.rec.fromarrays(key_arrays, names=[f"k{i}" for i in range(len(keys))])
+        uniques, inverse = np.unique(stacked, return_inverse=True)
+        out_keys: dict[str, list] = {k: [] for k in keys}
+        agg_values = []
+        for gi in range(len(uniques)):
+            mask = inverse == gi
+            for ki, k in enumerate(keys):
+                out_keys[k].append(key_arrays[ki][mask][0])
+            agg_values.append(agg(self[column][mask]))
+        columns = {k: np.asarray(v) for k, v in out_keys.items()}
+        columns[column] = np.asarray(agg_values)
+        return Table(columns)
+
+    # ------------------------------------------------------------------ numerics
+    def to_numpy(self, names: Iterable[str] | None = None, dtype: type = np.float64) -> np.ndarray:
+        """Stack the selected (numeric) columns into a 2-D array."""
+        names = list(names) if names is not None else self.column_names
+        return np.column_stack([np.asarray(self[name], dtype=dtype) for name in names])
+
+    def describe(self, names: Iterable[str] | None = None) -> dict[str, dict[str, float]]:
+        """Per-column summary statistics for numeric columns."""
+        names = list(names) if names is not None else self.column_names
+        out: dict[str, dict[str, float]] = {}
+        for name in names:
+            col = self[name]
+            if not np.issubdtype(col.dtype, np.number):
+                continue
+            colf = col.astype(float)
+            out[name] = {
+                "count": float(colf.size),
+                "mean": float(np.mean(colf)),
+                "std": float(np.std(colf)),
+                "min": float(np.min(colf)),
+                "median": float(np.median(colf)),
+                "max": float(np.max(colf)),
+            }
+        return out
+
+    def concat(self, other: "Table") -> "Table":
+        """Stack two tables with identical column sets row-wise."""
+        if set(self.column_names) != set(other.column_names):
+            raise ValueError("Tables must have the same columns to concatenate.")
+        return Table(
+            {name: np.concatenate([self[name], other[name]]) for name in self.column_names}
+        )

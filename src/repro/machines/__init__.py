@@ -1,0 +1,18 @@
+"""Machine models of the two DOE leadership-class systems used in the paper."""
+
+from repro.machines.spec import GPUSpec, MachineSpec
+from repro.machines.aurora import AURORA
+from repro.machines.frontier import FRONTIER
+
+
+def get_machine(name: str) -> MachineSpec:
+    """Look up a machine spec by name (case-insensitive)."""
+    key = name.lower()
+    if key == "aurora":
+        return AURORA
+    if key == "frontier":
+        return FRONTIER
+    raise ValueError(f"Unknown machine {name!r}; expected 'aurora' or 'frontier'.")
+
+
+__all__ = ["GPUSpec", "MachineSpec", "AURORA", "FRONTIER", "get_machine"]

@@ -1,0 +1,36 @@
+"""ALCF Aurora node model.
+
+Aurora nodes pair two Intel Xeon Max CPUs with six Intel Data Center GPU Max
+1550 accelerators (each with 128 GB HBM) and eight HPE Slingshot-11 NICs.
+Numbers below are public peak figures; the sustained fraction and overheads
+are calibrated so simulated CCSD iteration times land in the same range as
+the paper's Aurora measurements (tens to hundreds of seconds).
+"""
+
+from repro.machines.spec import GPUSpec, MachineSpec
+
+__all__ = ["AURORA"]
+
+AURORA = MachineSpec(
+    name="aurora",
+    gpu=GPUSpec(
+        name="Intel Data Center GPU Max 1550",
+        peak_fp64_tflops=52.0,
+        memory_gb=128.0,
+        memory_bandwidth_gbs=3276.0,
+    ),
+    gpus_per_node=6,
+    cpu_memory_gb=1024.0,
+    injection_bandwidth_gbs=200.0,
+    network_latency_us=2.0,
+    sustained_fraction=0.055,
+    gemm_halfpoint_tile=42.0,
+    task_overhead_us=900.0,
+    iteration_base_s=8.0,
+    sync_cost_per_node_s=0.18,
+    noise_sigma=0.015,
+    straggler_probability=0.01,
+    straggler_slowdown=1.10,
+    max_nodes=1024,
+    description="ALCF Aurora: 2x Xeon Max + 6x Intel GPU Max 1550, Slingshot-11",
+)

@@ -1,0 +1,35 @@
+"""OLCF Frontier node model.
+
+Frontier nodes combine one AMD EPYC 7A53 CPU with four AMD Instinct MI250X
+accelerators (eight GCDs, 128 GB HBM2e per MI250X) and four Slingshot-11
+NICs.  The higher noise/straggler settings reflect the paper's observation
+that Frontier runtimes are harder to predict than Aurora's.
+"""
+
+from repro.machines.spec import GPUSpec, MachineSpec
+
+__all__ = ["FRONTIER"]
+
+FRONTIER = MachineSpec(
+    name="frontier",
+    gpu=GPUSpec(
+        name="AMD Instinct MI250X",
+        peak_fp64_tflops=53.0,
+        memory_gb=128.0,
+        memory_bandwidth_gbs=3276.0,
+    ),
+    gpus_per_node=4,
+    cpu_memory_gb=512.0,
+    injection_bandwidth_gbs=100.0,
+    network_latency_us=2.5,
+    sustained_fraction=0.065,
+    gemm_halfpoint_tile=46.0,
+    task_overhead_us=1200.0,
+    iteration_base_s=12.0,
+    sync_cost_per_node_s=0.12,
+    noise_sigma=0.06,
+    straggler_probability=0.06,
+    straggler_slowdown=1.25,
+    max_nodes=1024,
+    description="OLCF Frontier: 1x EPYC 7A53 + 4x MI250X, Slingshot-11",
+)

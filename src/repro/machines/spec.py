@@ -1,0 +1,125 @@
+"""Hardware descriptions used by the performance simulator.
+
+The specs capture only what the runtime model needs: per-GPU double-precision
+throughput and memory, per-node injection bandwidth, messaging latency, how
+efficiently GEMMs of a given tile size run, and how noisy measured runtimes
+are on the machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["GPUSpec", "MachineSpec"]
+
+
+@dataclass(frozen=True)
+class GPUSpec:
+    """A single accelerator device (or GCD/tile treated as one device)."""
+
+    name: str
+    peak_fp64_tflops: float
+    memory_gb: float
+    memory_bandwidth_gbs: float
+
+    @property
+    def peak_fp64_flops(self) -> float:
+        return self.peak_fp64_tflops * 1e12
+
+    @property
+    def memory_bytes(self) -> float:
+        return self.memory_gb * 1e9
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A supercomputer node architecture plus system-level parameters.
+
+    Attributes
+    ----------
+    name:
+        Machine name ("aurora", "frontier").
+    gpu:
+        Per-device spec.
+    gpus_per_node:
+        Number of devices the runtime schedules work onto per node.
+    cpu_memory_gb:
+        Host DRAM per node (used as spill space for distributed tensors).
+    injection_bandwidth_gbs:
+        Effective per-node network injection bandwidth.
+    network_latency_us:
+        One-sided get/put latency.
+    sustained_fraction:
+        Application-level sustained fraction of peak flops for tensor
+        contraction workloads (covers kernel inefficiency beyond tile-size
+        effects, data movement on the node, CPU work, ...).
+    gemm_halfpoint_tile:
+        Tile size at which GEMM efficiency reaches 50 % of its asymptote —
+        controls how badly small tiles underutilise the accelerators.
+    task_overhead_us:
+        Per-task scheduling/launch/one-sided-get overhead of the task runtime.
+    iteration_base_s:
+        Fixed serial cost of one CCSD iteration (amplitude updates, DIIS,
+        residual norms, intermediate construction with poor parallelism).
+        This is the wall-time floor visible in the measured data.
+    sync_cost_per_node_s:
+        Runtime synchronisation / one-sided completion cost that grows with
+        the allocation size (GA_Sync-style flushes over every remote
+        endpoint); this is what eventually makes adding nodes counter-
+        productive and creates the interior shortest-time optimum.
+    noise_sigma:
+        Log-normal run-to-run variability of measured wall times.
+    straggler_probability, straggler_slowdown:
+        Probability and magnitude of occasional slow nodes (more common on
+        Frontier, which the paper observes to be harder to predict).
+    max_nodes:
+        Largest allocation size present in the training data sweeps.
+    """
+
+    name: str
+    gpu: GPUSpec
+    gpus_per_node: int
+    cpu_memory_gb: float
+    injection_bandwidth_gbs: float
+    network_latency_us: float
+    sustained_fraction: float
+    gemm_halfpoint_tile: float
+    task_overhead_us: float
+    iteration_base_s: float
+    sync_cost_per_node_s: float
+    noise_sigma: float
+    straggler_probability: float
+    straggler_slowdown: float
+    max_nodes: int
+    description: str = field(default="", compare=False)
+
+    # ------------------------------------------------------------------ derived
+    @property
+    def node_peak_flops(self) -> float:
+        """Aggregate peak FP64 flops of one node."""
+        return self.gpus_per_node * self.gpu.peak_fp64_flops
+
+    @property
+    def node_memory_bytes(self) -> float:
+        """GPU memory available to distributed tensors on one node."""
+        return self.gpus_per_node * self.gpu.memory_bytes
+
+    @property
+    def node_injection_bytes_per_s(self) -> float:
+        return self.injection_bandwidth_gbs * 1e9
+
+    def gemm_efficiency(self, tile_size: float) -> float:
+        """Fraction of peak a tiled contraction kernel achieves at ``tile_size``.
+
+        Uses a cubic saturation curve in the tile edge length: tiny tiles are
+        launch/latency bound, large tiles approach the sustained asymptote.
+        """
+        if tile_size <= 0:
+            raise ValueError("tile_size must be positive.")
+        t3 = float(tile_size) ** 3
+        h3 = float(self.gemm_halfpoint_tile) ** 3
+        return t3 / (t3 + h3)
+
+    def effective_node_flops(self, tile_size: float) -> float:
+        """Sustained per-node flop rate for a given tile size."""
+        return self.node_peak_flops * self.sustained_fraction * self.gemm_efficiency(tile_size)

@@ -1,0 +1,85 @@
+"""From-scratch NumPy machine-learning stack used by the resource-estimation
+framework.
+
+The paper evaluates nine classical regressors (Polynomial Regression, Kernel
+Ridge, Decision Trees, Random Forests, Gradient Boosting, AdaBoost, Gaussian
+Processes, Bayesian Ridge and Support Vector Regression) tuned with three
+hyper-parameter search strategies (grid, randomized, Bayesian).  This
+sub-package provides all of them with a scikit-learn-compatible
+``fit``/``predict``/``get_params``/``set_params`` protocol so the rest of the
+framework (cross-validation, searches, committees, active learning) can treat
+them uniformly.
+"""
+
+from repro.ml.base import BaseEstimator, RegressorMixin, clone
+from repro.ml.metrics import (
+    explained_variance_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_error,
+    r2_score,
+    root_mean_squared_error,
+)
+from repro.ml.preprocessing import MinMaxScaler, PolynomialFeatures, StandardScaler
+from repro.ml.model_selection import (
+    KFold,
+    cross_val_predict,
+    cross_val_score,
+    cross_validate,
+    train_test_split,
+)
+from repro.ml.linear import (
+    BayesianRidge,
+    LinearRegression,
+    PolynomialRegression,
+    Ridge,
+)
+from repro.ml.kernel_ridge import KernelRidge
+from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.svr import SVR
+from repro.ml.search import GridSearchCV, ParameterGrid, ParameterSampler, RandomizedSearchCV
+from repro.ml.bayes_search import BayesSearchCV
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "clone",
+    "r2_score",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "median_absolute_error",
+    "max_error",
+    "explained_variance_score",
+    "StandardScaler",
+    "MinMaxScaler",
+    "PolynomialFeatures",
+    "KFold",
+    "train_test_split",
+    "cross_val_score",
+    "cross_validate",
+    "cross_val_predict",
+    "LinearRegression",
+    "Ridge",
+    "BayesianRidge",
+    "PolynomialRegression",
+    "KernelRidge",
+    "DecisionTreeRegressor",
+    "RandomForestRegressor",
+    "GradientBoostingRegressor",
+    "AdaBoostRegressor",
+    "GaussianProcessRegressor",
+    "SVR",
+    "ParameterGrid",
+    "ParameterSampler",
+    "GridSearchCV",
+    "RandomizedSearchCV",
+    "BayesSearchCV",
+]

@@ -1,0 +1,122 @@
+"""AdaBoost.R2 regression (the paper's "AB" model).
+
+Implements Drucker's AdaBoost.R2: each boosting round fits a base tree on a
+weighted bootstrap of the data, computes a loss-dependent confidence, updates
+the sample weights so poorly predicted points receive more attention, and the
+final prediction is the weighted *median* of the base predictions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_random_state,
+    check_X_y,
+    clone,
+)
+from repro.ml.tree import DecisionTreeRegressor
+
+__all__ = ["AdaBoostRegressor"]
+
+
+class AdaBoostRegressor(BaseEstimator, RegressorMixin):
+    """AdaBoost.R2 with configurable base estimator (default: depth-3 CART)."""
+
+    def __init__(
+        self,
+        estimator: Any = None,
+        n_estimators: int = 50,
+        learning_rate: float = 1.0,
+        loss: str = "linear",
+        random_state: Any = None,
+    ) -> None:
+        self.estimator = estimator
+        self.n_estimators = n_estimators
+        self.learning_rate = learning_rate
+        self.loss = loss
+        self.random_state = random_state
+
+    def _loss(self, error: np.ndarray) -> np.ndarray:
+        max_err = error.max()
+        if max_err <= 0:
+            return np.zeros_like(error)
+        normalized = error / max_err
+        if self.loss == "linear":
+            return normalized
+        if self.loss == "square":
+            return normalized**2
+        if self.loss == "exponential":
+            return 1.0 - np.exp(-normalized)
+        raise ValueError(f"Unknown loss {self.loss!r}.")
+
+    def fit(self, X: Any, y: Any) -> "AdaBoostRegressor":
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be at least 1.")
+        X, y = check_X_y(X, y)
+        rng = check_random_state(self.random_state)
+        n_samples = X.shape[0]
+        base = self.estimator if self.estimator is not None else DecisionTreeRegressor(max_depth=3)
+
+        weights = np.full(n_samples, 1.0 / n_samples)
+        self.estimators_: list[Any] = []
+        self.estimator_weights_: list[float] = []
+        self.estimator_errors_: list[float] = []
+
+        for _ in range(self.n_estimators):
+            model = clone(base)
+            if hasattr(model, "random_state"):
+                model.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
+            # Weighted bootstrap keeps the base-estimator interface simple
+            # (no sample_weight requirement) and matches Drucker's formulation.
+            idx = rng.choice(n_samples, size=n_samples, replace=True, p=weights)
+            model.fit(X[idx], y[idx])
+            pred = model.predict(X)
+            error = np.abs(y - pred)
+            loss = self._loss(error)
+            avg_loss = float(np.sum(weights * loss))
+            if avg_loss >= 0.5:
+                # Worse than chance: stop (keep at least one estimator).
+                if not self.estimators_:
+                    self.estimators_.append(model)
+                    self.estimator_weights_.append(1.0)
+                    self.estimator_errors_.append(avg_loss)
+                break
+            beta = avg_loss / (1.0 - avg_loss)
+            self.estimators_.append(model)
+            weight = self.learning_rate * np.log(1.0 / max(beta, 1e-12))
+            self.estimator_weights_.append(float(weight))
+            self.estimator_errors_.append(avg_loss)
+            if avg_loss <= 0:
+                break
+            weights *= np.power(beta, self.learning_rate * (1.0 - loss))
+            total = weights.sum()
+            if total <= 0:  # pragma: no cover - numerical safety
+                weights = np.full(n_samples, 1.0 / n_samples)
+            else:
+                weights /= total
+
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        """Weighted median of the base predictions (AdaBoost.R2 aggregation)."""
+        self._check_is_fitted()
+        X = check_array(X)
+        preds = np.column_stack([m.predict(X) for m in self.estimators_])
+        weights = np.asarray(self.estimator_weights_)
+        if np.all(weights <= 0):
+            return preds.mean(axis=1)
+
+        order = np.argsort(preds, axis=1)
+        sorted_preds = np.take_along_axis(preds, order, axis=1)
+        sorted_weights = weights[order]
+        cum = np.cumsum(sorted_weights, axis=1)
+        threshold = 0.5 * cum[:, -1][:, None]
+        median_idx = np.argmax(cum >= threshold, axis=1)
+        return sorted_preds[np.arange(X.shape[0]), median_idx]

@@ -1,0 +1,193 @@
+"""Estimator protocol shared by every model in :mod:`repro.ml`.
+
+The protocol intentionally mirrors scikit-learn's: constructor arguments are
+hyper-parameters, ``get_params``/``set_params`` expose them, :func:`clone`
+produces an unfitted copy, and fitted attributes end with an underscore.  The
+hyper-parameter searches, committees and active-learning loops in
+:mod:`repro.core` rely only on this protocol, so any estimator implementing it
+can be plugged in.
+"""
+
+from __future__ import annotations
+
+import copy
+import inspect
+from typing import Any, Dict, Iterable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "BaseEstimator",
+    "RegressorMixin",
+    "clone",
+    "check_X_y",
+    "check_array",
+    "check_random_state",
+]
+
+
+def check_array(X: Any, *, ensure_2d: bool = True, dtype: type = np.float64) -> np.ndarray:
+    """Validate an input array and return it as a contiguous float ndarray.
+
+    Parameters
+    ----------
+    X:
+        Array-like input.
+    ensure_2d:
+        When true (default), a 1-D input is rejected so that callers never
+        silently treat a feature vector as a column of samples.
+    dtype:
+        Target dtype of the returned array.
+    """
+    arr = np.asarray(X, dtype=dtype)
+    if arr.size == 0:
+        raise ValueError("Empty input array.")
+    if ensure_2d:
+        if arr.ndim == 1:
+            raise ValueError(
+                "Expected a 2D array, got a 1D array. Reshape your data with "
+                ".reshape(-1, 1) for a single feature or .reshape(1, -1) for a "
+                "single sample."
+            )
+        if arr.ndim != 2:
+            raise ValueError(f"Expected a 2D array, got {arr.ndim}D.")
+    if not np.all(np.isfinite(arr)):
+        raise ValueError("Input contains NaN or infinity.")
+    return np.ascontiguousarray(arr)
+
+
+def check_X_y(X: Any, y: Any) -> tuple[np.ndarray, np.ndarray]:
+    """Validate a feature matrix and target vector of consistent length."""
+    X = check_array(X, ensure_2d=True)
+    y = np.asarray(y, dtype=np.float64)
+    if y.ndim != 1:
+        y = y.ravel()
+    if y.shape[0] != X.shape[0]:
+        raise ValueError(
+            f"X and y have inconsistent numbers of samples: {X.shape[0]} != {y.shape[0]}"
+        )
+    if not np.all(np.isfinite(y)):
+        raise ValueError("Target contains NaN or infinity.")
+    return X, y
+
+
+def check_random_state(seed: Any) -> np.random.Generator:
+    """Turn ``seed`` into a :class:`numpy.random.Generator` instance."""
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None or isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(seed)
+    if isinstance(seed, np.random.RandomState):  # pragma: no cover - legacy path
+        return np.random.default_rng(seed.randint(0, 2**31 - 1))
+    raise ValueError(f"Cannot use {seed!r} to seed a Generator.")
+
+
+class BaseEstimator:
+    """Base class providing hyper-parameter introspection.
+
+    Subclasses must list every hyper-parameter as an explicit keyword argument
+    of ``__init__`` and store it under the same attribute name; that convention
+    is what makes :meth:`get_params`, :meth:`set_params` and :func:`clone`
+    work without per-class boilerplate.
+    """
+
+    @classmethod
+    def _param_names(cls) -> list[str]:
+        init = cls.__init__
+        if init is object.__init__:
+            return []
+        sig = inspect.signature(init)
+        names = [
+            name
+            for name, p in sig.parameters.items()
+            if name != "self" and p.kind not in (p.VAR_POSITIONAL, p.VAR_KEYWORD)
+        ]
+        return sorted(names)
+
+    def get_params(self, deep: bool = True) -> Dict[str, Any]:
+        """Return hyper-parameters as a dictionary.
+
+        When ``deep`` is true, parameters of nested estimators are included
+        using the ``nested__param`` convention.
+        """
+        params: Dict[str, Any] = {}
+        for name in self._param_names():
+            value = getattr(self, name)
+            params[name] = value
+            if deep and hasattr(value, "get_params") and not isinstance(value, type):
+                for sub_name, sub_value in value.get_params(deep=True).items():
+                    params[f"{name}__{sub_name}"] = sub_value
+        return params
+
+    def set_params(self, **params: Any) -> "BaseEstimator":
+        """Set hyper-parameters, supporting the ``nested__param`` convention."""
+        if not params:
+            return self
+        valid = set(self._param_names())
+        nested: Dict[str, Dict[str, Any]] = {}
+        for key, value in params.items():
+            if "__" in key:
+                outer, inner = key.split("__", 1)
+                if outer not in valid:
+                    raise ValueError(f"Invalid parameter {outer!r} for {type(self).__name__}")
+                nested.setdefault(outer, {})[inner] = value
+            else:
+                if key not in valid:
+                    raise ValueError(f"Invalid parameter {key!r} for {type(self).__name__}")
+                setattr(self, key, value)
+        for outer, sub_params in nested.items():
+            getattr(self, outer).set_params(**sub_params)
+        return self
+
+    def _is_fitted(self) -> bool:
+        return any(
+            attr.endswith("_") and not attr.startswith("_") for attr in vars(self)
+        )
+
+    def _check_is_fitted(self) -> None:
+        if not self._is_fitted():
+            raise RuntimeError(
+                f"This {type(self).__name__} instance is not fitted yet. "
+                "Call 'fit' before using this estimator."
+            )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        params = ", ".join(f"{k}={v!r}" for k, v in self.get_params(deep=False).items())
+        return f"{type(self).__name__}({params})"
+
+
+class RegressorMixin:
+    """Mixin adding the default :meth:`score` (R²) to regressors."""
+
+    def score(self, X: Any, y: Any) -> float:
+        """Return the coefficient of determination R² of the prediction."""
+        from repro.ml.metrics import r2_score
+
+        return float(r2_score(y, self.predict(X)))
+
+
+def clone(estimator: Any) -> Any:
+    """Return an unfitted copy of ``estimator`` with identical hyper-parameters."""
+    if isinstance(estimator, (list, tuple)):
+        return type(estimator)(clone(e) for e in estimator)
+    if not hasattr(estimator, "get_params"):
+        raise TypeError(f"Cannot clone object {estimator!r}: it does not implement get_params.")
+    params = estimator.get_params(deep=False)
+    cloned_params = {
+        key: clone(value) if hasattr(value, "get_params") and not isinstance(value, type) else copy.deepcopy(value)
+        for key, value in params.items()
+    }
+    return type(estimator)(**cloned_params)
+
+
+def _as_param_mapping(params: Mapping[str, Iterable[Any]]) -> Dict[str, list]:
+    """Normalise a parameter-grid mapping to concrete lists."""
+    out: Dict[str, list] = {}
+    for key, values in params.items():
+        if isinstance(values, (str, bytes)) or not isinstance(values, Iterable):
+            out[key] = [values]
+        else:
+            out[key] = list(values)
+        if len(out[key]) == 0:
+            raise ValueError(f"Parameter grid for {key!r} is empty.")
+    return out

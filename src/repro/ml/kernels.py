@@ -1,0 +1,303 @@
+"""Kernel functions shared by kernel ridge regression, Gaussian processes and
+support vector regression.
+
+Kernels support a small algebra (sum, product, scaling) and expose their
+hyper-parameters in log-space through ``theta`` so the Gaussian-process
+marginal-likelihood optimiser can tune them generically.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+from scipy.spatial.distance import cdist
+
+__all__ = [
+    "Kernel",
+    "RBF",
+    "ConstantKernel",
+    "WhiteKernel",
+    "PolynomialKernel",
+    "LinearKernel",
+    "RationalQuadratic",
+    "Sum",
+    "Product",
+    "pairwise_kernel",
+]
+
+
+class Kernel:
+    """Base class for covariance functions."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.diag(self(X, X))
+
+    # --- hyper-parameter plumbing (log-space) -------------------------------
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        if len(value) != 0:
+            raise ValueError("This kernel has no tunable hyper-parameters.")
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.empty((0, 2))
+
+    def clone_with_theta(self, theta: np.ndarray) -> "Kernel":
+        import copy
+
+        new = copy.deepcopy(self)
+        new.theta = np.asarray(theta, dtype=float)
+        return new
+
+    # --- algebra -------------------------------------------------------------
+    def __add__(self, other: Any) -> "Kernel":
+        if not isinstance(other, Kernel):
+            other = ConstantKernel(float(other))
+        return Sum(self, other)
+
+    def __radd__(self, other: Any) -> "Kernel":
+        return self.__add__(other)
+
+    def __mul__(self, other: Any) -> "Kernel":
+        if not isinstance(other, Kernel):
+            other = ConstantKernel(float(other))
+        return Product(self, other)
+
+    def __rmul__(self, other: Any) -> "Kernel":
+        return self.__mul__(other)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}()"
+
+
+class ConstantKernel(Kernel):
+    """Constant covariance ``k(x, y) = constant_value``."""
+
+    def __init__(self, constant_value: float = 1.0, bounds: tuple[float, float] = (1e-5, 1e5)) -> None:
+        if constant_value <= 0:
+            raise ValueError("constant_value must be positive.")
+        self.constant_value = float(constant_value)
+        self._bounds = bounds
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        return np.full((X.shape[0], Y.shape[0]), self.constant_value)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(X.shape[0], self.constant_value)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([np.log(self.constant_value)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.constant_value = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+
+class WhiteKernel(Kernel):
+    """White noise: adds ``noise_level`` on the diagonal of K(X, X)."""
+
+    def __init__(self, noise_level: float = 1.0, bounds: tuple[float, float] = (1e-10, 1e3)) -> None:
+        if noise_level <= 0:
+            raise ValueError("noise_level must be positive.")
+        self.noise_level = float(noise_level)
+        self._bounds = bounds
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        if Y is None or Y is X:
+            return self.noise_level * np.eye(X.shape[0])
+        return np.zeros((X.shape[0], Y.shape[0]))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(X.shape[0], self.noise_level)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.array([np.log(self.noise_level)])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.noise_level = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.array([self._bounds]))
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel with (optionally anisotropic) length scale."""
+
+    def __init__(self, length_scale: float | np.ndarray = 1.0, bounds: tuple[float, float] = (1e-3, 1e4)) -> None:
+        self.length_scale = np.atleast_1d(np.asarray(length_scale, dtype=float))
+        if np.any(self.length_scale <= 0):
+            raise ValueError("length_scale must be positive.")
+        self._bounds = bounds
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        Xs = X / self.length_scale
+        Ys = Y / self.length_scale
+        d2 = cdist(Xs, Ys, metric="sqeuclidean")
+        return np.exp(-0.5 * d2)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(X.shape[0])
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log(self.length_scale)
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.length_scale = np.exp(np.asarray(value, dtype=float))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.tile(np.array([self._bounds]), (len(self.length_scale), 1)))
+
+
+class RationalQuadratic(Kernel):
+    """Rational quadratic kernel — a scale mixture of RBF kernels."""
+
+    def __init__(self, length_scale: float = 1.0, alpha: float = 1.0,
+                 bounds: tuple[float, float] = (1e-3, 1e4)) -> None:
+        if length_scale <= 0 or alpha <= 0:
+            raise ValueError("length_scale and alpha must be positive.")
+        self.length_scale = float(length_scale)
+        self.alpha = float(alpha)
+        self._bounds = bounds
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        d2 = cdist(X, Y, metric="sqeuclidean")
+        return (1.0 + d2 / (2.0 * self.alpha * self.length_scale**2)) ** (-self.alpha)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.ones(X.shape[0])
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log(np.array([self.length_scale, self.alpha]))
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.length_scale = float(np.exp(value[0]))
+        self.alpha = float(np.exp(value[1]))
+
+    @property
+    def bounds(self) -> np.ndarray:
+        return np.log(np.tile(np.array([self._bounds]), (2, 1)))
+
+
+class PolynomialKernel(Kernel):
+    """Polynomial kernel ``(gamma <x, y> + coef0)^degree`` (no tunable theta)."""
+
+    def __init__(self, degree: int = 3, gamma: float = 1.0, coef0: float = 1.0) -> None:
+        self.degree = int(degree)
+        self.gamma = float(gamma)
+        self.coef0 = float(coef0)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        return (self.gamma * (X @ Y.T) + self.coef0) ** self.degree
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return (self.gamma * np.sum(X * X, axis=1) + self.coef0) ** self.degree
+
+
+class LinearKernel(Kernel):
+    """Linear (dot-product) kernel."""
+
+    def __init__(self, coef0: float = 0.0) -> None:
+        self.coef0 = float(coef0)
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        Y = X if Y is None else Y
+        return X @ Y.T + self.coef0
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.sum(X * X, axis=1) + self.coef0
+
+
+class _Binary(Kernel):
+    def __init__(self, k1: Kernel, k2: Kernel) -> None:
+        self.k1 = k1
+        self.k2 = k2
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.k1.theta, self.k2.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        n1 = len(self.k1.theta)
+        self.k1.theta = value[:n1]
+        self.k2.theta = value[n1:]
+
+    @property
+    def bounds(self) -> np.ndarray:
+        b1, b2 = self.k1.bounds, self.k2.bounds
+        if b1.size == 0:
+            return b2
+        if b2.size == 0:
+            return b1
+        return np.vstack([b1, b2])
+
+
+class Sum(_Binary):
+    """Pointwise sum of two kernels."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        return self.k1(X, Y) + self.k2(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.k1.diag(X) + self.k2.diag(X)
+
+
+class Product(_Binary):
+    """Pointwise product of two kernels."""
+
+    def __call__(self, X: np.ndarray, Y: np.ndarray | None = None) -> np.ndarray:
+        return self.k1(X, Y) * self.k2(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.k1.diag(X) * self.k2.diag(X)
+
+
+def pairwise_kernel(
+    X: np.ndarray,
+    Y: np.ndarray | None,
+    kernel: str,
+    *,
+    gamma: float | None = None,
+    degree: int = 3,
+    coef0: float = 1.0,
+) -> np.ndarray:
+    """Compute a named kernel matrix (used by :class:`~repro.ml.kernel_ridge.KernelRidge`
+    and :class:`~repro.ml.svr.SVR`)."""
+    X = np.asarray(X, dtype=float)
+    Y = X if Y is None else np.asarray(Y, dtype=float)
+    if gamma is None:
+        gamma = 1.0 / X.shape[1]
+    if kernel == "rbf":
+        return np.exp(-gamma * cdist(X, Y, metric="sqeuclidean"))
+    if kernel == "linear":
+        return X @ Y.T
+    if kernel == "poly":
+        return (gamma * (X @ Y.T) + coef0) ** degree
+    if kernel == "laplacian":
+        return np.exp(-gamma * cdist(X, Y, metric="cityblock"))
+    raise ValueError(f"Unknown kernel {kernel!r}. Expected 'rbf', 'linear', 'poly' or 'laplacian'.")

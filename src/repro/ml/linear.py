@@ -1,0 +1,183 @@
+"""Linear models: ordinary least squares, ridge, Bayesian ridge and the
+polynomial-regression pipeline used as the "PR" model in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, RegressorMixin, check_array, check_X_y
+from repro.ml.preprocessing import PolynomialFeatures, StandardScaler
+
+__all__ = ["LinearRegression", "Ridge", "BayesianRidge", "PolynomialRegression"]
+
+
+def _add_intercept_stats(X: np.ndarray, y: np.ndarray, fit_intercept: bool):
+    """Centre X and y when fitting an intercept; return offsets."""
+    if fit_intercept:
+        X_mean = X.mean(axis=0)
+        y_mean = float(y.mean())
+        return X - X_mean, y - y_mean, X_mean, y_mean
+    return X, y, np.zeros(X.shape[1]), 0.0
+
+
+class LinearRegression(BaseEstimator, RegressorMixin):
+    """Ordinary least squares via :func:`numpy.linalg.lstsq`."""
+
+    def __init__(self, fit_intercept: bool = True) -> None:
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: Any, y: Any) -> "LinearRegression":
+        X, y = check_X_y(X, y)
+        Xc, yc, X_mean, y_mean = _add_intercept_stats(X, y, self.fit_intercept)
+        coef, _, _, _ = np.linalg.lstsq(Xc, yc, rcond=None)
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(X_mean @ coef)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_is_fitted()
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class Ridge(BaseEstimator, RegressorMixin):
+    """Linear least squares with L2 regularisation (closed form)."""
+
+    def __init__(self, alpha: float = 1.0, fit_intercept: bool = True) -> None:
+        self.alpha = alpha
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: Any, y: Any) -> "Ridge":
+        if self.alpha < 0:
+            raise ValueError("alpha must be non-negative.")
+        X, y = check_X_y(X, y)
+        Xc, yc, X_mean, y_mean = _add_intercept_stats(X, y, self.fit_intercept)
+        n_features = X.shape[1]
+        A = Xc.T @ Xc + self.alpha * np.eye(n_features)
+        b = Xc.T @ yc
+        self.coef_ = np.linalg.solve(A, b)
+        self.intercept_ = y_mean - float(X_mean @ self.coef_)
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_is_fitted()
+        X = check_array(X)
+        return X @ self.coef_ + self.intercept_
+
+
+class BayesianRidge(BaseEstimator, RegressorMixin):
+    """Bayesian ridge regression with evidence-maximisation hyper-parameter
+    updates (MacKay's iterative re-estimation, as in Bishop PRML §3.5).
+
+    ``alpha_`` is the estimated noise precision and ``lambda_`` the weight
+    precision; both are re-estimated from the data rather than user-supplied.
+    """
+
+    def __init__(
+        self,
+        max_iter: int = 300,
+        tol: float = 1e-4,
+        alpha_init: float | None = None,
+        lambda_init: float | None = None,
+        fit_intercept: bool = True,
+    ) -> None:
+        self.max_iter = max_iter
+        self.tol = tol
+        self.alpha_init = alpha_init
+        self.lambda_init = lambda_init
+        self.fit_intercept = fit_intercept
+
+    def fit(self, X: Any, y: Any) -> "BayesianRidge":
+        X, y = check_X_y(X, y)
+        Xc, yc, X_mean, y_mean = _add_intercept_stats(X, y, self.fit_intercept)
+        n_samples, n_features = Xc.shape
+
+        # Eigen-decomposition of X^T X lets every EM iteration reuse the same
+        # spectrum instead of re-solving a linear system.
+        XtX = Xc.T @ Xc
+        Xty = Xc.T @ yc
+        eigvals, eigvecs = np.linalg.eigh(XtX)
+        eigvals = np.clip(eigvals, 0.0, None)
+
+        alpha = self.alpha_init if self.alpha_init is not None else 1.0 / (np.var(yc) + 1e-12)
+        lam = self.lambda_init if self.lambda_init is not None else 1.0
+
+        coef = np.zeros(n_features)
+        for _ in range(self.max_iter):
+            coef_old = coef
+            # Posterior mean in the eigenbasis.
+            denom = lam + alpha * eigvals
+            proj = eigvecs.T @ Xty
+            coef = eigvecs @ (alpha * proj / denom)
+            # Effective number of well-determined parameters.
+            gamma = float(np.sum(alpha * eigvals / denom))
+            resid = yc - Xc @ coef
+            sse = float(resid @ resid)
+            lam = gamma / (float(coef @ coef) + 1e-12)
+            alpha = (n_samples - gamma) / (sse + 1e-12)
+            if np.max(np.abs(coef - coef_old)) < self.tol:
+                break
+
+        self.coef_ = coef
+        self.intercept_ = y_mean - float(X_mean @ coef)
+        self.alpha_ = float(alpha)
+        self.lambda_ = float(lam)
+        denom = lam + alpha * eigvals
+        self.sigma_ = eigvecs @ np.diag(1.0 / denom) @ eigvecs.T
+        self.n_features_in_ = n_features
+        return self
+
+    def predict(self, X: Any, return_std: bool = False):
+        self._check_is_fitted()
+        X = check_array(X)
+        mean = X @ self.coef_ + self.intercept_
+        if not return_std:
+            return mean
+        var = 1.0 / self.alpha_ + np.einsum("ij,jk,ik->i", X, self.sigma_, X)
+        return mean, np.sqrt(np.maximum(var, 0.0))
+
+
+class PolynomialRegression(BaseEstimator, RegressorMixin):
+    """Polynomial feature expansion followed by a ridge fit.
+
+    This is the "PR" model of the paper: linear in the coefficients but
+    non-linear in the original features (O, V, nodes, tile size).  Features
+    are standardised before expansion so high-degree terms stay conditioned.
+    """
+
+    def __init__(
+        self,
+        degree: int = 3,
+        alpha: float = 1e-6,
+        include_bias: bool = False,
+        interaction_only: bool = False,
+    ) -> None:
+        self.degree = degree
+        self.alpha = alpha
+        self.include_bias = include_bias
+        self.interaction_only = interaction_only
+
+    def fit(self, X: Any, y: Any) -> "PolynomialRegression":
+        X, y = check_X_y(X, y)
+        self.scaler_ = StandardScaler().fit(X)
+        Xs = self.scaler_.transform(X)
+        self.poly_ = PolynomialFeatures(
+            degree=self.degree,
+            include_bias=self.include_bias,
+            interaction_only=self.interaction_only,
+        ).fit(Xs)
+        Xp = self.poly_.transform(Xs)
+        self.regressor_ = Ridge(alpha=self.alpha).fit(Xp, y)
+        self.n_features_in_ = X.shape[1]
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_is_fitted()
+        X = check_array(X)
+        Xp = self.poly_.transform(self.scaler_.transform(X))
+        return self.regressor_.predict(Xp)

@@ -1,0 +1,114 @@
+"""Regression metrics used throughout the paper's evaluation.
+
+The paper reports the coefficient of determination (R²), the mean absolute
+error (MAE) and the mean absolute percentage error (MAPE).  MAPE is reported
+as a *fraction* (e.g. 0.023), matching the paper's tables, not as a
+percentage.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "r2_score",
+    "mean_absolute_error",
+    "mean_absolute_percentage_error",
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "median_absolute_error",
+    "max_error",
+    "explained_variance_score",
+    "regression_report",
+]
+
+
+def _validate(y_true: Any, y_pred: Any) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.float64).ravel()
+    y_pred = np.asarray(y_pred, dtype=np.float64).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred have different shapes: {y_true.shape} vs {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise ValueError("Cannot compute a metric on empty arrays.")
+    return y_true, y_pred
+
+
+def r2_score(y_true: Any, y_pred: Any) -> float:
+    """Coefficient of determination.
+
+    ``R² = 1 - SS_res / SS_tot``.  A constant ``y_true`` with a perfect
+    prediction returns 1.0; a constant ``y_true`` with any error returns 0.0
+    (degenerate case, consistent with scikit-learn).
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 1.0 if ss_res == 0.0 else 0.0
+    return 1.0 - ss_res / ss_tot
+
+
+def mean_absolute_error(y_true: Any, y_pred: Any) -> float:
+    """Average absolute deviation between predictions and observations."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def mean_absolute_percentage_error(y_true: Any, y_pred: Any) -> float:
+    """Mean absolute percentage error expressed as a fraction.
+
+    Observations with magnitude below ``eps`` are clipped to ``eps`` to avoid
+    division by zero, mirroring scikit-learn's behaviour.
+    """
+    y_true, y_pred = _validate(y_true, y_pred)
+    eps = np.finfo(np.float64).eps
+    denom = np.maximum(np.abs(y_true), eps)
+    return float(np.mean(np.abs(y_true - y_pred) / denom))
+
+
+def mean_squared_error(y_true: Any, y_pred: Any) -> float:
+    """Mean squared error."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: Any, y_pred: Any) -> float:
+    """Root mean squared error."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def median_absolute_error(y_true: Any, y_pred: Any) -> float:
+    """Median absolute deviation; robust to outliers."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.median(np.abs(y_true - y_pred)))
+
+
+def max_error(y_true: Any, y_pred: Any) -> float:
+    """Largest absolute deviation over the evaluation set."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    return float(np.max(np.abs(y_true - y_pred)))
+
+
+def explained_variance_score(y_true: Any, y_pred: Any) -> float:
+    """Fraction of target variance explained by the predictions."""
+    y_true, y_pred = _validate(y_true, y_pred)
+    var_res = float(np.var(y_true - y_pred))
+    var_true = float(np.var(y_true))
+    if var_true == 0.0:
+        return 1.0 if var_res == 0.0 else 0.0
+    return 1.0 - var_res / var_true
+
+
+def regression_report(y_true: Any, y_pred: Any) -> dict[str, float]:
+    """Bundle of the paper's three headline metrics plus a few extras."""
+    return {
+        "r2": r2_score(y_true, y_pred),
+        "mae": mean_absolute_error(y_true, y_pred),
+        "mape": mean_absolute_percentage_error(y_true, y_pred),
+        "rmse": root_mean_squared_error(y_true, y_pred),
+        "max_error": max_error(y_true, y_pred),
+    }

@@ -1,0 +1,227 @@
+"""Hyper-parameter search: parameter grids, grid search and randomized search.
+
+Figures 1 and 2 of the paper compare every model under three search
+strategies: ``GridSearchCV``, ``RandomizedSearchCV`` and ``BayesSearchCV``
+(the latter lives in :mod:`repro.ml.bayes_search`).  All searches share the
+same cross-validated scoring loop implemented here.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import product
+from typing import Any, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from repro.ml.base import BaseEstimator, _as_param_mapping, check_random_state, clone
+from repro.ml.model_selection import KFold, _resolve_cv, get_scorer
+
+__all__ = ["ParameterGrid", "ParameterSampler", "GridSearchCV", "RandomizedSearchCV", "BaseSearchCV"]
+
+
+class ParameterGrid:
+    """Exhaustive Cartesian product over a parameter grid (or list of grids)."""
+
+    def __init__(self, param_grid: Mapping[str, Sequence] | Sequence[Mapping[str, Sequence]]) -> None:
+        if isinstance(param_grid, Mapping):
+            param_grid = [param_grid]
+        self.param_grid = [_as_param_mapping(grid) for grid in param_grid]
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        for grid in self.param_grid:
+            keys = sorted(grid)
+            if not keys:
+                yield {}
+                continue
+            for values in product(*(grid[k] for k in keys)):
+                yield dict(zip(keys, values))
+
+    def __len__(self) -> int:
+        total = 0
+        for grid in self.param_grid:
+            n = 1
+            for values in grid.values():
+                n *= len(values)
+            total += n
+        return total
+
+
+class ParameterSampler:
+    """Random samples from a parameter grid or from distributions.
+
+    Values may be lists (sampled uniformly) or objects exposing an
+    ``rvs(random_state=...)`` method (e.g. ``scipy.stats`` distributions).
+    """
+
+    def __init__(
+        self,
+        param_distributions: Mapping[str, Any],
+        n_iter: int,
+        random_state: Any = None,
+    ) -> None:
+        self.param_distributions = dict(param_distributions)
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def __iter__(self) -> Iterator[dict[str, Any]]:
+        rng = check_random_state(self.random_state)
+        keys = sorted(self.param_distributions)
+        all_lists = all(
+            not hasattr(self.param_distributions[k], "rvs") for k in keys
+        )
+        if all_lists:
+            grid = ParameterGrid({k: self.param_distributions[k] for k in keys})
+            candidates = list(grid)
+            n = min(self.n_iter, len(candidates))
+            idx = rng.choice(len(candidates), size=n, replace=False)
+            for i in idx:
+                yield candidates[int(i)]
+            return
+        for _ in range(self.n_iter):
+            params = {}
+            for k in keys:
+                dist = self.param_distributions[k]
+                if hasattr(dist, "rvs"):
+                    params[k] = dist.rvs(random_state=int(rng.integers(0, 2**31 - 1)))
+                else:
+                    values = list(dist)
+                    params[k] = values[int(rng.integers(0, len(values)))]
+            yield params
+
+    def __len__(self) -> int:
+        return self.n_iter
+
+
+class BaseSearchCV(BaseEstimator):
+    """Shared machinery: evaluate candidates with K-fold CV and refit the best."""
+
+    def __init__(
+        self,
+        estimator: Any,
+        *,
+        scoring: Any = "r2",
+        cv: Any = 3,
+        refit: bool = True,
+    ) -> None:
+        self.estimator = estimator
+        self.scoring = scoring
+        self.cv = cv
+        self.refit = refit
+
+    def _candidates(self) -> list[dict[str, Any]]:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _evaluate_candidate(
+        self,
+        params: dict[str, Any],
+        X: np.ndarray,
+        y: np.ndarray,
+        splits: list[tuple[np.ndarray, np.ndarray]],
+        scorer: Any,
+    ) -> tuple[float, float, float]:
+        scores = []
+        t0 = time.perf_counter()
+        for train_idx, test_idx in splits:
+            model = clone(self.estimator).set_params(**params)
+            model.fit(X[train_idx], y[train_idx])
+            scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
+        elapsed = time.perf_counter() - t0
+        return float(np.mean(scores)), float(np.std(scores)), elapsed
+
+    def fit(self, X: Any, y: Any) -> "BaseSearchCV":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64).ravel()
+        scorer = get_scorer(self.scoring)
+        splitter = _resolve_cv(self.cv)
+        splits = list(splitter.split(X, y))
+
+        candidates = self._candidates()
+        if not candidates:
+            raise ValueError("No hyper-parameter candidates to evaluate.")
+
+        results: dict[str, list] = {
+            "params": [],
+            "mean_test_score": [],
+            "std_test_score": [],
+            "eval_time": [],
+        }
+        t_start = time.perf_counter()
+        for params in candidates:
+            mean, std, elapsed = self._evaluate_candidate(params, X, y, splits, scorer)
+            results["params"].append(params)
+            results["mean_test_score"].append(mean)
+            results["std_test_score"].append(std)
+            results["eval_time"].append(elapsed)
+        self.search_time_ = time.perf_counter() - t_start
+
+        self.cv_results_ = {
+            "params": results["params"],
+            "mean_test_score": np.asarray(results["mean_test_score"]),
+            "std_test_score": np.asarray(results["std_test_score"]),
+            "eval_time": np.asarray(results["eval_time"]),
+        }
+        best_idx = int(np.argmax(self.cv_results_["mean_test_score"]))
+        self.best_index_ = best_idx
+        self.best_params_ = self.cv_results_["params"][best_idx]
+        self.best_score_ = float(self.cv_results_["mean_test_score"][best_idx])
+
+        if self.refit:
+            self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+            self.best_estimator_.fit(X, y)
+        return self
+
+    def predict(self, X: Any) -> np.ndarray:
+        self._check_is_fitted()
+        if not self.refit:
+            raise RuntimeError("predict is only available when refit=True.")
+        return self.best_estimator_.predict(X)
+
+    def score(self, X: Any, y: Any) -> float:
+        scorer = get_scorer(self.scoring)
+        return float(scorer(np.asarray(y, dtype=float).ravel(), self.predict(X)))
+
+
+class GridSearchCV(BaseSearchCV):
+    """Exhaustive cross-validated search over a parameter grid."""
+
+    def __init__(
+        self,
+        estimator: Any,
+        param_grid: Mapping[str, Sequence] | Sequence[Mapping[str, Sequence]],
+        *,
+        scoring: Any = "r2",
+        cv: Any = 3,
+        refit: bool = True,
+    ) -> None:
+        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit)
+        self.param_grid = param_grid
+
+    def _candidates(self) -> list[dict[str, Any]]:
+        return list(ParameterGrid(self.param_grid))
+
+
+class RandomizedSearchCV(BaseSearchCV):
+    """Cross-validated search over randomly sampled parameter settings."""
+
+    def __init__(
+        self,
+        estimator: Any,
+        param_distributions: Mapping[str, Any],
+        *,
+        n_iter: int = 10,
+        scoring: Any = "r2",
+        cv: Any = 3,
+        refit: bool = True,
+        random_state: Any = None,
+    ) -> None:
+        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit)
+        self.param_distributions = param_distributions
+        self.n_iter = n_iter
+        self.random_state = random_state
+
+    def _candidates(self) -> list[dict[str, Any]]:
+        sampler = ParameterSampler(
+            self.param_distributions, n_iter=self.n_iter, random_state=self.random_state
+        )
+        return list(sampler)

@@ -1,0 +1,303 @@
+"""CART regression trees with a vectorised, weighted split search.
+
+The split criterion is weighted sum-of-squared-errors reduction.  The best
+split per feature is found with prefix sums over the sorted feature values
+(no Python loop over candidate thresholds), which keeps single-tree fits fast
+enough to build the 750-tree Gradient Boosting ensembles the paper uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.base import (
+    BaseEstimator,
+    RegressorMixin,
+    check_array,
+    check_random_state,
+    check_X_y,
+)
+
+__all__ = ["DecisionTreeRegressor"]
+
+_TREE_UNDEFINED = -2
+_TREE_LEAF = -1
+
+
+@dataclass
+class _Split:
+    feature: int
+    threshold: float
+    gain: float
+    left_mask: np.ndarray
+
+
+class _TreeBuilder:
+    """Grows a tree depth-first, storing nodes in parallel arrays."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int],
+        min_samples_split: int,
+        min_samples_leaf: int,
+        min_impurity_decrease: float,
+        max_features: Optional[int],
+        rng: np.random.Generator,
+    ) -> None:
+        self.max_depth = max_depth if max_depth is not None else np.inf
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.min_impurity_decrease = min_impurity_decrease
+        self.max_features = max_features
+        self.rng = rng
+        self.feature: list[int] = []
+        self.threshold: list[float] = []
+        self.children_left: list[int] = []
+        self.children_right: list[int] = []
+        self.value: list[float] = []
+        self.n_node_samples: list[int] = []
+
+    def _new_node(self, value: float, n_samples: int) -> int:
+        idx = len(self.feature)
+        self.feature.append(_TREE_UNDEFINED)
+        self.threshold.append(np.nan)
+        self.children_left.append(_TREE_LEAF)
+        self.children_right.append(_TREE_LEAF)
+        self.value.append(value)
+        self.n_node_samples.append(n_samples)
+        return idx
+
+    def _best_split(self, X: np.ndarray, y: np.ndarray, w: np.ndarray) -> Optional[_Split]:
+        n_samples, n_features = X.shape
+        if n_samples < self.min_samples_split or n_samples < 2 * self.min_samples_leaf:
+            return None
+
+        w_total = w.sum()
+        wy_total = float(w @ y)
+        node_sse = float(w @ (y * y)) - wy_total**2 / w_total
+
+        if self.max_features is not None and self.max_features < n_features:
+            features = self.rng.choice(n_features, size=self.max_features, replace=False)
+        else:
+            features = np.arange(n_features)
+
+        best: Optional[_Split] = None
+        best_gain = 0.0
+        for f in features:
+            order = np.argsort(X[:, f], kind="stable")
+            xs = X[order, f]
+            ys = y[order]
+            ws = w[order]
+
+            # Cumulative weighted statistics of the left partition for a split
+            # placed after position i (0-based, i+1 samples go left).
+            cw = np.cumsum(ws)[:-1]
+            cwy = np.cumsum(ws * ys)[:-1]
+            rw = w_total - cw
+            rwy = wy_total - cwy
+
+            # Splits are only valid where the feature value actually changes
+            # and both children keep at least min_samples_leaf samples.
+            positions = np.arange(1, n_samples)
+            valid = xs[1:] > xs[:-1]
+            valid &= positions >= self.min_samples_leaf
+            valid &= (n_samples - positions) >= self.min_samples_leaf
+            if not np.any(valid):
+                continue
+
+            with np.errstate(divide="ignore", invalid="ignore"):
+                gain = cwy**2 / cw + rwy**2 / rw - wy_total**2 / w_total
+            gain = np.where(valid, gain, -np.inf)
+            best_pos = int(np.argmax(gain))
+            g = float(gain[best_pos])
+            if g > best_gain + 1e-12:
+                threshold = 0.5 * (xs[best_pos] + xs[best_pos + 1])
+                left_mask = X[:, f] <= threshold
+                # Guard against degenerate thresholds produced by ties.
+                n_left = int(left_mask.sum())
+                if n_left < self.min_samples_leaf or n_samples - n_left < self.min_samples_leaf:
+                    continue
+                best_gain = g
+                best = _Split(feature=int(f), threshold=float(threshold), gain=g, left_mask=left_mask)
+
+        if best is None or node_sse <= 0:
+            return best if (best is not None and best.gain > 0) else None
+        if best.gain <= 0 or best.gain < self.min_impurity_decrease:
+            return None
+        return best
+
+    def build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray) -> None:
+        stack: list[tuple[np.ndarray, int, int]] = []
+        root_value = float(np.average(y, weights=w))
+        root = self._new_node(root_value, len(y))
+        stack.append((np.arange(len(y)), root, 0))
+
+        while stack:
+            idx, node, depth = stack.pop()
+            yi = y[idx]
+            if depth >= self.max_depth or len(idx) < self.min_samples_split or np.all(yi == yi[0]):
+                continue
+            split = self._best_split(X[idx], yi, w[idx])
+            if split is None:
+                continue
+            left_idx = idx[split.left_mask]
+            right_idx = idx[~split.left_mask]
+            wl, wr = w[left_idx], w[right_idx]
+            left = self._new_node(float(np.average(y[left_idx], weights=wl)), len(left_idx))
+            right = self._new_node(float(np.average(y[right_idx], weights=wr)), len(right_idx))
+            self.feature[node] = split.feature
+            self.threshold[node] = split.threshold
+            self.children_left[node] = left
+            self.children_right[node] = right
+            stack.append((left_idx, left, depth + 1))
+            stack.append((right_idx, right, depth + 1))
+
+
+class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
+    """CART regression tree (the paper's "DT" model and the base learner of
+    RF, GB and AB ensembles).
+
+    Parameters
+    ----------
+    max_depth:
+        Maximum tree depth; ``None`` grows until leaves are pure or contain
+        fewer than ``min_samples_split`` samples.
+    min_samples_split, min_samples_leaf:
+        Pre-pruning controls.
+    max_features:
+        ``None`` (all), an int, a float fraction, or ``"sqrt"``/``"log2"`` —
+        the number of features examined per split (used by random forests).
+    min_impurity_decrease:
+        Minimum weighted SSE reduction required to accept a split.
+    random_state:
+        Seed controlling the feature subsampling.
+    """
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Any = None,
+        min_impurity_decrease: float = 0.0,
+        random_state: Any = None,
+    ) -> None:
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.min_impurity_decrease = min_impurity_decrease
+        self.random_state = random_state
+
+    def _resolve_max_features(self, n_features: int) -> Optional[int]:
+        mf = self.max_features
+        if mf is None:
+            return None
+        if isinstance(mf, str):
+            if mf == "sqrt":
+                return max(1, int(np.sqrt(n_features)))
+            if mf == "log2":
+                return max(1, int(np.log2(n_features)))
+            raise ValueError(f"Unknown max_features string {mf!r}.")
+        if isinstance(mf, float):
+            if not 0.0 < mf <= 1.0:
+                raise ValueError("max_features as a float must be in (0, 1].")
+            return max(1, int(round(mf * n_features)))
+        mf = int(mf)
+        if mf < 1:
+            raise ValueError("max_features must be at least 1.")
+        return min(mf, n_features)
+
+    def fit(self, X: Any, y: Any, sample_weight: Any = None) -> "DecisionTreeRegressor":
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be at least 2.")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be at least 1.")
+        if self.max_depth is not None and self.max_depth < 1:
+            raise ValueError("max_depth must be at least 1 (or None).")
+        X, y = check_X_y(X, y)
+        if sample_weight is None:
+            w = np.ones(len(y))
+        else:
+            w = np.asarray(sample_weight, dtype=np.float64).ravel()
+            if w.shape[0] != len(y):
+                raise ValueError("sample_weight has wrong length.")
+            if np.any(w < 0) or w.sum() <= 0:
+                raise ValueError("sample_weight must be non-negative and not all zero.")
+
+        rng = check_random_state(self.random_state)
+        builder = _TreeBuilder(
+            max_depth=self.max_depth,
+            min_samples_split=self.min_samples_split,
+            min_samples_leaf=self.min_samples_leaf,
+            min_impurity_decrease=self.min_impurity_decrease,
+            max_features=self._resolve_max_features(X.shape[1]),
+            rng=rng,
+        )
+        builder.build(X, y, w)
+        self.feature_ = np.asarray(builder.feature, dtype=np.int64)
+        self.threshold_ = np.asarray(builder.threshold, dtype=np.float64)
+        self.children_left_ = np.asarray(builder.children_left, dtype=np.int64)
+        self.children_right_ = np.asarray(builder.children_right, dtype=np.int64)
+        self.value_ = np.asarray(builder.value, dtype=np.float64)
+        self.n_node_samples_ = np.asarray(builder.n_node_samples, dtype=np.int64)
+        self.n_features_in_ = X.shape[1]
+        self.n_nodes_ = len(self.value_)
+        return self
+
+    def apply(self, X: Any) -> np.ndarray:
+        """Return the leaf index reached by every sample (vectorised traversal)."""
+        self._check_is_fitted()
+        X = check_array(X)
+        if X.shape[1] != self.n_features_in_:
+            raise ValueError(
+                f"X has {X.shape[1]} features, but the tree was fitted with {self.n_features_in_}."
+            )
+        nodes = np.zeros(X.shape[0], dtype=np.int64)
+        active = self.feature_[nodes] != _TREE_UNDEFINED
+        while np.any(active):
+            idx = np.flatnonzero(active)
+            cur = nodes[idx]
+            feat = self.feature_[cur]
+            go_left = X[idx, feat] <= self.threshold_[cur]
+            nodes[idx] = np.where(go_left, self.children_left_[cur], self.children_right_[cur])
+            active[idx] = self.feature_[nodes[idx]] != _TREE_UNDEFINED
+        return nodes
+
+    def predict(self, X: Any) -> np.ndarray:
+        return self.value_[self.apply(X)]
+
+    def get_depth(self) -> int:
+        """Depth of the fitted tree (root-only trees have depth 0)."""
+        self._check_is_fitted()
+        depth = np.zeros(self.n_nodes_, dtype=np.int64)
+        max_depth = 0
+        for node in range(self.n_nodes_):
+            left, right = self.children_left_[node], self.children_right_[node]
+            if left != _TREE_LEAF:
+                depth[left] = depth[node] + 1
+                depth[right] = depth[node] + 1
+                max_depth = max(max_depth, depth[node] + 1)
+        return int(max_depth)
+
+    def get_n_leaves(self) -> int:
+        self._check_is_fitted()
+        return int(np.sum(self.feature_ == _TREE_UNDEFINED))
+
+    @property
+    def feature_importances_(self) -> np.ndarray:
+        """Number-of-samples-weighted usage frequency of each feature.
+
+        A simple surrogate for impurity-based importance: each internal node
+        contributes its sample count to the feature it splits on, normalised
+        to sum to one.
+        """
+        self._check_is_fitted()
+        importances = np.zeros(self.n_features_in_)
+        internal = self.feature_ != _TREE_UNDEFINED
+        np.add.at(importances, self.feature_[internal], self.n_node_samples_[internal])
+        total = importances.sum()
+        return importances / total if total > 0 else importances

@@ -1,0 +1,29 @@
+"""High-level CCSD experiment simulator.
+
+This package stands in for the paper's measured ExaChem/TAMM CCSD runs on
+Aurora and Frontier: it exposes a one-call API to "run" a CCSD iteration for
+a given configuration and a sweep generator that produces datasets with the
+same schema, size and qualitative structure as the paper's training data.
+"""
+
+from repro.simulator.ccsd_iteration import CCSDExperiment, run_ccsd_iteration
+from repro.simulator.dataset_gen import (
+    DEFAULT_TILE_GRID,
+    PAPER_DATASET_SIZES,
+    SweepConfig,
+    generate_dataset,
+    generate_sweep,
+)
+from repro.simulator.traces import Trace, traces_to_table
+
+__all__ = [
+    "CCSDExperiment",
+    "run_ccsd_iteration",
+    "SweepConfig",
+    "generate_sweep",
+    "generate_dataset",
+    "DEFAULT_TILE_GRID",
+    "PAPER_DATASET_SIZES",
+    "Trace",
+    "traces_to_table",
+]

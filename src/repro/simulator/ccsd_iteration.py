@@ -1,0 +1,91 @@
+"""Single-configuration CCSD "experiment" API.
+
+:func:`run_ccsd_iteration` is the synthetic equivalent of submitting one CCSD
+job to Aurora or Frontier and timing a single iteration: it returns the same
+observables the paper's data collection recorded — the runtime parameters
+``(O, V, nodes, tile size)`` and the measured wall time — plus the simulator's
+internal breakdown for analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.chem.orbitals import ProblemSize
+from repro.machines import get_machine
+from repro.machines.spec import MachineSpec
+from repro.tamm.runtime import IterationBreakdown, TammRuntimeSimulator
+
+__all__ = ["CCSDExperiment", "run_ccsd_iteration"]
+
+
+@dataclass(frozen=True)
+class CCSDExperiment:
+    """Result of one simulated CCSD-iteration experiment."""
+
+    machine: str
+    n_occupied: int
+    n_virtual: int
+    n_nodes: int
+    tile_size: int
+    runtime_s: float
+    node_hours: float
+    breakdown: IterationBreakdown
+
+    @property
+    def features(self) -> tuple[int, int, int, int]:
+        """The ⟨O, V, NumNodes, TileSize⟩ feature vector the paper's models use."""
+        return (self.n_occupied, self.n_virtual, self.n_nodes, self.tile_size)
+
+
+def run_ccsd_iteration(
+    machine: str | MachineSpec,
+    n_occupied: int,
+    n_virtual: int,
+    n_nodes: int,
+    tile_size: int,
+    *,
+    rng: Any = None,
+    apply_noise: bool = True,
+    simulator: TammRuntimeSimulator | None = None,
+) -> CCSDExperiment:
+    """Simulate one CCSD iteration and return the measured experiment record.
+
+    Parameters
+    ----------
+    machine:
+        Machine name (``"aurora"``/``"frontier"``) or a :class:`MachineSpec`.
+    n_occupied, n_virtual:
+        Problem size (occupied and virtual orbital counts).
+    n_nodes, tile_size:
+        Runtime parameters being evaluated.
+    rng:
+        Seed or generator controlling measurement noise.
+    apply_noise:
+        Disable to obtain the deterministic model time.
+    simulator:
+        Reuse an existing :class:`TammRuntimeSimulator` (avoids re-building
+        the machine model in tight sweep loops).
+
+    Raises
+    ------
+    repro.tamm.runtime.InfeasibleConfigurationError
+        If the configuration would not fit in memory on the machine.
+    """
+    spec = get_machine(machine) if isinstance(machine, str) else machine
+    sim = simulator if simulator is not None else TammRuntimeSimulator(spec)
+    problem = ProblemSize(n_occupied, n_virtual)
+    breakdown = sim.simulate_iteration(
+        problem, n_nodes, tile_size, rng=rng, apply_noise=apply_noise
+    )
+    return CCSDExperiment(
+        machine=spec.name,
+        n_occupied=n_occupied,
+        n_virtual=n_virtual,
+        n_nodes=int(n_nodes),
+        tile_size=int(tile_size),
+        runtime_s=breakdown.noisy_time,
+        node_hours=breakdown.node_hours,
+        breakdown=breakdown,
+    )

@@ -1,0 +1,69 @@
+"""Trace records of simulated CCSD experiments and conversion to tables."""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.data.table import Table
+from repro.simulator.ccsd_iteration import CCSDExperiment
+
+__all__ = ["Trace", "traces_to_table", "experiments_to_traces"]
+
+
+@dataclass(frozen=True)
+class Trace:
+    """One row of the performance dataset: runtime parameters plus wall time.
+
+    This is exactly the schema of the paper's collected data: problem size
+    (``O``, ``V``), node count, tile size, and the measured wall time of one
+    CCSD iteration, with the derived node-hours cost used by the budget
+    question.
+    """
+
+    machine: str
+    n_occupied: int
+    n_virtual: int
+    n_nodes: int
+    tile_size: int
+    runtime_s: float
+
+    @property
+    def node_seconds(self) -> float:
+        return self.runtime_s * self.n_nodes
+
+    @property
+    def node_hours(self) -> float:
+        return self.node_seconds / 3600.0
+
+    def features(self) -> tuple[int, int, int, int]:
+        return (self.n_occupied, self.n_virtual, self.n_nodes, self.tile_size)
+
+
+def experiments_to_traces(experiments: Iterable[CCSDExperiment]) -> list[Trace]:
+    """Convert full experiment records (with breakdowns) to slim trace rows."""
+    return [
+        Trace(
+            machine=e.machine,
+            n_occupied=e.n_occupied,
+            n_virtual=e.n_virtual,
+            n_nodes=e.n_nodes,
+            tile_size=e.tile_size,
+            runtime_s=e.runtime_s,
+        )
+        for e in experiments
+    ]
+
+
+def traces_to_table(traces: Sequence[Trace]) -> Table:
+    """Build a column table with the dataset schema used throughout the repo."""
+    if len(traces) == 0:
+        raise ValueError("Cannot build a table from zero traces.")
+    records = [asdict(t) for t in traces]
+    table = Table.from_records(records)
+    table = table.with_column(
+        "node_hours", np.asarray([t.node_hours for t in traces], dtype=np.float64)
+    )
+    return table

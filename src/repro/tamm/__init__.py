@@ -1,0 +1,33 @@
+"""TAMM-like distributed tensor-algebra runtime model.
+
+The paper's training data comes from ExaChem CCSD runs built on TAMM (Tensor
+Algebra for Many-body Methods), a task-based distributed tensor framework.
+This sub-package models the parts of that stack that determine a CCSD
+iteration's wall time: index-space tiling, block-sparse tensor layout, task
+generation for tiled contractions, task scheduling/load balance across GPUs,
+communication of remote blocks, and run-to-run noise.
+"""
+
+from repro.tamm.tiling import TiledIndexSpace
+from repro.tamm.tensor import TiledTensor
+from repro.tamm.contraction import ContractionPlan, plan_contraction
+from repro.tamm.scheduler import SampledScheduler, analytic_makespan
+from repro.tamm.noise import NoiseModel
+from repro.tamm.runtime import (
+    InfeasibleConfigurationError,
+    IterationBreakdown,
+    TammRuntimeSimulator,
+)
+
+__all__ = [
+    "TiledIndexSpace",
+    "TiledTensor",
+    "ContractionPlan",
+    "plan_contraction",
+    "analytic_makespan",
+    "SampledScheduler",
+    "NoiseModel",
+    "TammRuntimeSimulator",
+    "IterationBreakdown",
+    "InfeasibleConfigurationError",
+]

@@ -1,0 +1,119 @@
+"""Task-level plan of a tiled tensor contraction.
+
+For one CCSD contraction term, the plan works out how many block-level GEMM
+tasks the runtime generates for a given tile size, and the flops, bytes moved
+and scheduling overhead of each task.  These quantities feed the scheduler
+model to produce the term's makespan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.chem.ccsd_cost import ContractionTerm
+from repro.chem.orbitals import ProblemSize
+from repro.machines.spec import MachineSpec
+from repro.tamm.tiling import TiledIndexSpace
+
+__all__ = ["ContractionPlan", "plan_contraction"]
+
+_BYTES_PER_WORD = 8
+#: Blocks touched per task: two input blocks plus the accumulated output block.
+_BLOCKS_PER_TASK = 3
+
+
+@dataclass(frozen=True)
+class ContractionPlan:
+    """Execution plan of one contraction term at a fixed tile size."""
+
+    term: ContractionTerm
+    problem: ProblemSize
+    tile_size: int
+    n_tasks: int
+    flops_per_task: float
+    bytes_per_task: float
+
+    @property
+    def total_flops(self) -> float:
+        return self.flops_per_task * self.n_tasks
+
+    @property
+    def total_bytes(self) -> float:
+        return self.bytes_per_task * self.n_tasks
+
+    def task_compute_time(self, machine: MachineSpec) -> float:
+        """Seconds one GPU spends computing a single task."""
+        per_gpu_flops = (
+            machine.gpu.peak_fp64_flops
+            * machine.sustained_fraction
+            * machine.gemm_efficiency(self.tile_size)
+        )
+        return self.flops_per_task / per_gpu_flops
+
+    def task_comm_time(self, machine: MachineSpec, n_nodes: int) -> float:
+        """Seconds one task spends fetching remote blocks.
+
+        Each GPU shares the node's injection bandwidth; only the remote
+        fraction of the traffic (blocks living on other nodes) crosses the
+        network.
+        """
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive.")
+        remote_fraction = 1.0 - 1.0 / n_nodes
+        per_gpu_bandwidth = machine.node_injection_bytes_per_s / machine.gpus_per_node
+        transfer = self.bytes_per_task * remote_fraction / per_gpu_bandwidth
+        latency = _BLOCKS_PER_TASK * machine.network_latency_us * 1e-6
+        return transfer + latency
+
+    def task_overhead_time(self, machine: MachineSpec) -> float:
+        """Task management overhead (scheduling, one-sided get setup, launch)."""
+        return machine.task_overhead_us * 1e-6
+
+    def task_time(self, machine: MachineSpec, n_nodes: int, comm_overlap: float = 0.5) -> float:
+        """End-to-end time of one task.
+
+        ``comm_overlap`` is the fraction of communication hidden behind
+        computation (TAMM prefetches blocks for the next task while the
+        current GEMM runs); the remainder is exposed.
+        """
+        compute = self.task_compute_time(machine)
+        comm = self.task_comm_time(machine, n_nodes)
+        exposed_comm = max(comm - comm_overlap * compute, 0.0)
+        return compute + exposed_comm + self.task_overhead_time(machine)
+
+
+def plan_contraction(
+    term: ContractionTerm, problem: ProblemSize, tile_size: int
+) -> ContractionPlan:
+    """Build the task-level plan of ``term`` for ``problem`` at ``tile_size``.
+
+    The number of tasks is the product of tile counts over every index of the
+    contraction (``o_power`` occupied indices and ``v_power`` virtual ones);
+    each task moves two input blocks and one output block whose volume is
+    ``tile^rank`` words.
+    """
+    if tile_size <= 0:
+        raise ValueError("tile_size must be positive.")
+    occ_space = TiledIndexSpace(problem.n_occupied, min(tile_size, problem.n_occupied))
+    vir_space = TiledIndexSpace(problem.n_virtual, min(tile_size, problem.n_virtual))
+
+    n_tasks = occ_space.n_tiles**term.o_power * vir_space.n_tiles**term.v_power
+    total_flops = term.flops(problem)
+    flops_per_task = total_flops / n_tasks
+
+    effective_occ_tile = min(tile_size, problem.n_occupied)
+    effective_vir_tile = min(tile_size, problem.n_virtual)
+    # Blocks mix occupied and virtual indices; use the geometric mean of the
+    # two effective tile lengths as the representative block edge.
+    block_edge = (effective_occ_tile * effective_vir_tile) ** 0.5
+    block_words = block_edge**term.tensor_rank
+    bytes_per_task = _BLOCKS_PER_TASK * block_words * _BYTES_PER_WORD
+
+    return ContractionPlan(
+        term=term,
+        problem=problem,
+        tile_size=int(tile_size),
+        n_tasks=int(n_tasks),
+        flops_per_task=float(flops_per_task),
+        bytes_per_task=float(bytes_per_task),
+    )

@@ -1,0 +1,63 @@
+"""Run-to-run variability of measured wall times.
+
+Leadership-class systems never give perfectly reproducible timings: network
+contention from other jobs, OS jitter, GPU clock throttling and occasional
+slow nodes perturb every measurement.  The paper observes that Frontier
+timings are noticeably harder to predict than Aurora's; the machine specs
+encode that through a larger ``noise_sigma`` and straggler probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+import numpy as np
+
+from repro.machines.spec import MachineSpec
+from repro.ml.base import check_random_state
+
+__all__ = ["NoiseModel"]
+
+
+@dataclass
+class NoiseModel:
+    """Multiplicative log-normal noise plus occasional straggler slowdowns."""
+
+    sigma: float
+    straggler_probability: float = 0.0
+    straggler_slowdown: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative.")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler_probability must be in [0, 1].")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("straggler_slowdown must be >= 1.")
+
+    @classmethod
+    def for_machine(cls, machine: MachineSpec) -> "NoiseModel":
+        return cls(
+            sigma=machine.noise_sigma,
+            straggler_probability=machine.straggler_probability,
+            straggler_slowdown=machine.straggler_slowdown,
+        )
+
+    def sample_factor(self, rng: Any = None, size: int | None = None) -> np.ndarray | float:
+        """Multiplicative noise factor(s) to apply to a clean runtime."""
+        rng = check_random_state(rng)
+        n = 1 if size is None else size
+        # Log-normal centred so the *median* equals the clean value.
+        factors = np.exp(rng.normal(0.0, self.sigma, size=n))
+        stragglers = rng.random(n) < self.straggler_probability
+        factors = np.where(stragglers, factors * self.straggler_slowdown, factors)
+        if size is None:
+            return float(factors[0])
+        return factors
+
+    def apply(self, runtime: float, rng: Any = None) -> float:
+        """Perturb a single clean runtime."""
+        if runtime < 0:
+            raise ValueError("runtime must be non-negative.")
+        return float(runtime * self.sample_factor(rng))

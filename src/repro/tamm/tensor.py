@@ -1,0 +1,100 @@
+"""Block-distributed tensor layout model.
+
+Only layout metadata is modelled (block counts, block sizes, bytes per node),
+not actual numerical data: the simulator needs memory footprints and block
+volumes, never the tensor values themselves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import reduce
+from operator import mul
+from typing import Sequence
+
+import numpy as np
+
+from repro.tamm.tiling import TiledIndexSpace
+
+__all__ = ["TiledTensor"]
+
+_BYTES_PER_WORD = 8
+
+
+@dataclass(frozen=True)
+class TiledTensor:
+    """A dense tensor over a tuple of tiled index spaces, block-distributed
+    round-robin over nodes (TAMM's default global-array style distribution)."""
+
+    spaces: tuple[TiledIndexSpace, ...]
+    name: str = "tensor"
+
+    def __post_init__(self) -> None:
+        if len(self.spaces) == 0:
+            raise ValueError("A tensor needs at least one index space.")
+
+    @property
+    def rank(self) -> int:
+        return len(self.spaces)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return tuple(s.dimension for s in self.spaces)
+
+    @property
+    def n_elements(self) -> int:
+        return int(reduce(mul, self.shape, 1))
+
+    @property
+    def n_blocks(self) -> int:
+        return int(reduce(mul, (s.n_tiles for s in self.spaces), 1))
+
+    @property
+    def total_bytes(self) -> float:
+        return float(self.n_elements) * _BYTES_PER_WORD
+
+    @property
+    def max_block_elements(self) -> int:
+        """Elements of the largest (full-tile) block."""
+        return int(reduce(mul, (min(s.tile_size, s.dimension) for s in self.spaces), 1))
+
+    @property
+    def max_block_bytes(self) -> float:
+        return float(self.max_block_elements) * _BYTES_PER_WORD
+
+    @property
+    def mean_block_bytes(self) -> float:
+        return self.total_bytes / self.n_blocks
+
+    def bytes_per_node(self, n_nodes: int) -> float:
+        """Storage required on each node under a balanced block distribution.
+
+        The imbalance of distributing ``n_blocks`` blocks over ``n_nodes``
+        nodes is accounted for by the ceiling on blocks-per-node.
+        """
+        if n_nodes <= 0:
+            raise ValueError("n_nodes must be positive.")
+        blocks_per_node = -(-self.n_blocks // n_nodes)
+        return blocks_per_node * self.mean_block_bytes
+
+    def block_shape(self, block_index: Sequence[int]) -> tuple[int, ...]:
+        """Shape of a specific block identified by per-dimension tile ids."""
+        if len(block_index) != self.rank:
+            raise ValueError(f"block_index must have {self.rank} entries.")
+        shape = []
+        for space, tile in zip(self.spaces, block_index):
+            start, stop = space.tile_bounds(int(tile))
+            shape.append(stop - start)
+        return tuple(shape)
+
+    def block_sizes_summary(self) -> dict[str, float]:
+        """Summary statistics of block byte sizes (useful for diagnostics)."""
+        per_dim = [s.tile_sizes for s in self.spaces]
+        # Outer product of per-dimension tile lengths gives every block volume.
+        volumes = reduce(np.multiply.outer, per_dim).astype(float).ravel() * _BYTES_PER_WORD
+        return {
+            "min": float(volumes.min()),
+            "max": float(volumes.max()),
+            "mean": float(volumes.mean()),
+            "total": float(volumes.sum()),
+        }

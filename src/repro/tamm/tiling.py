@@ -1,0 +1,74 @@
+"""Tiled index spaces.
+
+TAMM partitions every tensor dimension (occupied range ``O``, virtual range
+``V``) into tiles of a user-chosen tile size; the tile size is the key
+blocking parameter the paper's models must learn, because it simultaneously
+controls GEMM efficiency, task granularity, communication volume and memory
+pressure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["TiledIndexSpace"]
+
+
+@dataclass(frozen=True)
+class TiledIndexSpace:
+    """A contiguous index range ``[0, dimension)`` split into tiles.
+
+    The last tile may be smaller than ``tile_size`` when the dimension is not
+    an exact multiple of the tile size (exactly as in TAMM).
+    """
+
+    dimension: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.dimension <= 0:
+            raise ValueError(f"dimension must be positive, got {self.dimension}.")
+        if self.tile_size <= 0:
+            raise ValueError(f"tile_size must be positive, got {self.tile_size}.")
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles covering the dimension."""
+        return -(-self.dimension // self.tile_size)
+
+    @property
+    def tile_sizes(self) -> np.ndarray:
+        """Length of every tile; all ``tile_size`` except possibly the last."""
+        sizes = np.full(self.n_tiles, self.tile_size, dtype=np.int64)
+        remainder = self.dimension - (self.n_tiles - 1) * self.tile_size
+        sizes[-1] = remainder
+        return sizes
+
+    @property
+    def tile_offsets(self) -> np.ndarray:
+        """Start offset of every tile."""
+        return np.concatenate(([0], np.cumsum(self.tile_sizes)[:-1]))
+
+    @property
+    def mean_tile_size(self) -> float:
+        """Average tile length (accounts for the ragged last tile)."""
+        return self.dimension / self.n_tiles
+
+    def tile_of(self, index: int) -> int:
+        """Tile id containing a flat index."""
+        if not 0 <= index < self.dimension:
+            raise IndexError(f"index {index} out of range [0, {self.dimension}).")
+        return index // self.tile_size
+
+    def tile_bounds(self, tile: int) -> tuple[int, int]:
+        """Half-open ``[start, stop)`` bounds of a tile."""
+        if not 0 <= tile < self.n_tiles:
+            raise IndexError(f"tile {tile} out of range [0, {self.n_tiles}).")
+        start = tile * self.tile_size
+        stop = min(start + self.tile_size, self.dimension)
+        return start, stop
+
+    def __len__(self) -> int:
+        return self.n_tiles

@@ -1,0 +1,67 @@
+"""Tests for the CCSD flop/memory cost model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.ccsd_cost import (
+    CCSD_TERMS,
+    ContractionTerm,
+    ccsd_iteration_flops,
+    ccsd_memory_bytes,
+    term_flops,
+)
+from repro.chem.orbitals import ProblemSize
+
+
+class TestTerms:
+    def test_pp_ladder_dominates_for_large_v(self):
+        problem = ProblemSize(100, 1000)
+        flops = {t.name: t.flops(problem) for t in CCSD_TERMS}
+        assert max(flops, key=flops.get) == "pp_ladder"
+
+    def test_term_flops_formula(self):
+        term = ContractionTerm("test", o_power=2, v_power=3, coefficient=4.0)
+        assert term_flops(term, ProblemSize(10, 100)) == pytest.approx(4.0 * 100 * 1e6)
+
+    def test_total_is_sum_of_terms(self):
+        problem = ProblemSize(50, 500)
+        assert ccsd_iteration_flops(problem) == pytest.approx(
+            sum(t.flops(problem) for t in CCSD_TERMS)
+        )
+
+    def test_total_at_least_twice_o2v4(self):
+        # The coefficient of the pp ladder alone is 2, so the iteration must
+        # cost at least 2 * O^2 V^4.
+        problem = ProblemSize(100, 800)
+        assert ccsd_iteration_flops(problem) >= 2.0 * problem.scaling_estimate()
+
+    @given(st.integers(2, 300), st.integers(2, 300))
+    @settings(max_examples=40, deadline=None)
+    def test_flops_monotone_in_problem_size(self, o, dv):
+        small = ProblemSize(o, o + dv)
+        big = ProblemSize(o + 1, o + dv + 1)
+        assert ccsd_iteration_flops(big) > ccsd_iteration_flops(small)
+
+
+class TestMemory:
+    def test_memory_positive_and_monotone(self):
+        small = ccsd_memory_bytes(ProblemSize(40, 300))
+        big = ccsd_memory_bytes(ProblemSize(80, 600))
+        assert 0 < small < big
+
+    def test_vvvv_storage_dominates_large_basis(self):
+        problem = ProblemSize(100, 1500)
+        with_vvvv = ccsd_memory_bytes(problem, store_vvvv=True)
+        without = ccsd_memory_bytes(problem, store_vvvv=False)
+        assert with_vvvv > 2 * without
+
+    def test_t2_lower_bound(self):
+        problem = ProblemSize(100, 1000)
+        assert ccsd_memory_bytes(problem) >= 2 * 8 * problem.t2_amplitudes
+
+    def test_cholesky_factor_scales_three_index_storage(self):
+        problem = ProblemSize(50, 400)
+        assert ccsd_memory_bytes(problem, cholesky_factor=6.0) > ccsd_memory_bytes(
+            problem, cholesky_factor=3.0
+        )

@@ -1,0 +1,40 @@
+"""Tests for the problem-size catalogue used in the paper's evaluation."""
+
+import pytest
+
+from repro.chem.molecules import (
+    AURORA_PROBLEM_SIZES,
+    FRONTIER_PROBLEM_SIZES,
+    problem_catalogue,
+)
+
+
+class TestCatalogue:
+    def test_aurora_has_22_problem_sizes(self):
+        assert len(AURORA_PROBLEM_SIZES) == 22
+
+    def test_frontier_has_20_problem_sizes(self):
+        assert len(FRONTIER_PROBLEM_SIZES) == 20
+
+    def test_paper_examples_present(self):
+        aurora_pairs = {(m.n_occupied, m.n_virtual) for m in AURORA_PROBLEM_SIZES}
+        assert (44, 260) in aurora_pairs
+        assert (146, 1568) in aurora_pairs
+        assert (345, 791) in aurora_pairs
+        frontier_pairs = {(m.n_occupied, m.n_virtual) for m in FRONTIER_PROBLEM_SIZES}
+        assert (49, 663) in frontier_pairs
+        assert (146, 1568) not in frontier_pairs
+
+    def test_no_duplicates(self):
+        pairs = [(m.n_occupied, m.n_virtual) for m in AURORA_PROBLEM_SIZES]
+        assert len(pairs) == len(set(pairs))
+
+    def test_labels_carry_signature(self):
+        m = AURORA_PROBLEM_SIZES[0]
+        assert str(m.n_occupied) in m.label and str(m.n_virtual) in m.label
+
+    def test_catalogue_lookup(self):
+        assert problem_catalogue("Aurora") is AURORA_PROBLEM_SIZES
+        assert problem_catalogue("frontier") is FRONTIER_PROBLEM_SIZES
+        with pytest.raises(ValueError):
+            problem_catalogue("summit")

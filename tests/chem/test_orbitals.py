@@ -1,0 +1,44 @@
+"""Tests for the CCSD problem-size abstraction."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.chem.orbitals import ProblemSize
+
+
+class TestProblemSize:
+    def test_basic_properties(self):
+        p = ProblemSize(44, 260)
+        assert p.n_orbitals == 304
+        assert p.n_electrons == 88
+        assert p.t1_amplitudes == 44 * 260
+        assert p.t2_amplitudes == 44**2 * 260**2
+
+    def test_scaling_estimate_is_o2v4(self):
+        p = ProblemSize(10, 100)
+        assert p.scaling_estimate() == pytest.approx(100 * 1e8)
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            ProblemSize(0, 100)
+        with pytest.raises(ValueError):
+            ProblemSize(10, 0)
+        with pytest.raises(ValueError, match="swap"):
+            ProblemSize(100, 10)
+
+    def test_frozen_and_hashable(self):
+        p = ProblemSize(10, 20)
+        assert {p: 1}[ProblemSize(10, 20)] == 1
+        with pytest.raises(Exception):
+            p.n_occupied = 5  # type: ignore[misc]
+
+    def test_as_tuple(self):
+        assert ProblemSize(5, 50).as_tuple() == (5, 50)
+
+    @given(st.integers(1, 400), st.integers(0, 2000))
+    @settings(max_examples=50, deadline=None)
+    def test_scaling_monotone_in_virtuals(self, o, dv):
+        p1 = ProblemSize(o, o)
+        p2 = ProblemSize(o, o + dv)
+        assert p2.scaling_estimate() >= p1.scaling_estimate()

@@ -1,0 +1,70 @@
+"""Shared fixtures: small synthetic regression problems and reduced-size
+CCSD datasets so the whole suite runs in a couple of minutes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import CCSDDataset, build_dataset
+from repro.simulator.dataset_gen import SweepConfig
+
+
+@pytest.fixture(scope="session")
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture(scope="session")
+def linear_data():
+    """Linear data with mild noise: easy for every model."""
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-2.0, 2.0, size=(200, 3))
+    coef = np.array([1.5, -2.0, 0.5])
+    y = X @ coef + 3.0 + rng.normal(0.0, 0.05, size=200)
+    return X, y, coef
+
+
+@pytest.fixture(scope="session")
+def nonlinear_data():
+    """Smooth non-linear data used to compare model families."""
+    rng = np.random.default_rng(1)
+    X = rng.uniform(0.0, 3.0, size=(300, 4))
+    y = (
+        2.0 * X[:, 0] ** 2
+        + np.sin(2.0 * X[:, 1])
+        + X[:, 2] * X[:, 3]
+        + rng.normal(0.0, 0.1, size=300)
+    )
+    return X, y
+
+
+@pytest.fixture(scope="session")
+def small_sweep_config() -> SweepConfig:
+    """A tiny sweep (3 problem sizes, coarse grids) for fast dataset tests."""
+    return SweepConfig(
+        machine="aurora",
+        problems=[(44, 260), (99, 718), (134, 951)],
+        tile_grid=[40, 50, 60, 80, 100, 120, 140],
+        node_grid=[5, 10, 20, 30, 40, 60, 80, 120, 160, 240, 320],
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def small_aurora_dataset(small_sweep_config) -> CCSDDataset:
+    """A reduced Aurora-like dataset (~100 rows) for model/advisor tests."""
+    return build_dataset("aurora", seed=7, config=small_sweep_config)
+
+
+@pytest.fixture(scope="session")
+def small_frontier_dataset() -> CCSDDataset:
+    config = SweepConfig(
+        machine="frontier",
+        problems=[(49, 663), (116, 840), (134, 1200)],
+        tile_grid=[40, 50, 60, 80, 100, 120, 140],
+        node_grid=[10, 20, 30, 40, 60, 80, 120, 160, 240, 320],
+        seed=11,
+    )
+    return build_dataset("frontier", seed=11, config=config)

@@ -1,0 +1,132 @@
+"""Tests for the active-learning campaigns (Algorithms 1-2, Figures 3-6)."""
+
+import numpy as np
+import pytest
+
+from repro.core.active_learning import (
+    ActiveLearningConfig,
+    QueryByCommittee,
+    RandomSampling,
+    UncertaintySampling,
+    run_active_learning,
+)
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="module")
+def pool(small_aurora_dataset):
+    ds = small_aurora_dataset
+    return ds.X_train, ds.y_train, ds.X_test, ds.y_test
+
+
+_FAST_CFG = dict(n_initial=30, query_size=30, n_queries=3, random_state=0)
+
+
+def _fast_qc():
+    return QueryByCommittee(
+        n_committee=3,
+        base_model=GradientBoostingRegressor(n_estimators=20, max_depth=4, subsample=0.8, random_state=0),
+    )
+
+
+def _fast_rs():
+    return RandomSampling(model=GradientBoostingRegressor(n_estimators=20, max_depth=4, random_state=0))
+
+
+class TestConfig:
+    def test_defaults_follow_paper_algorithms(self):
+        cfg = ActiveLearningConfig()
+        assert cfg.n_initial == 50 and cfg.query_size == 50 and cfg.n_queries == 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(n_initial=0)
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(query_size=0)
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(n_queries=0)
+        with pytest.raises(ValueError):
+            ActiveLearningConfig(goal="speed")
+
+
+class TestCampaigns:
+    def test_random_sampling_curve_structure(self, pool):
+        X, y, _, _ = pool
+        result = run_active_learning(X, y, _fast_rs(), ActiveLearningConfig(**_FAST_CFG))
+        assert result.strategy == "RS"
+        assert result.known_sizes == [30, 60, 90]
+        assert len(result.mape) == 3
+        assert all(m >= 0 for m in result.mape)
+
+    def test_known_size_grows_by_query_size(self, pool):
+        X, y, _, _ = pool
+        result = run_active_learning(X, y, _fast_qc(), ActiveLearningConfig(**_FAST_CFG))
+        diffs = np.diff(result.known_sizes)
+        assert np.all(diffs == 30)
+
+    def test_uncertainty_sampling_improves_over_rounds(self, pool):
+        X, y, _, _ = pool
+        cfg = ActiveLearningConfig(n_initial=30, query_size=40, n_queries=4, random_state=1)
+        result = run_active_learning(X, y, UncertaintySampling(reoptimize_every=10), cfg)
+        assert result.strategy == "US"
+        assert result.mape[-1] <= result.mape[0] * 1.5  # never catastrophically worse
+        assert result.r2[-1] >= result.r2[0] - 0.05
+
+    def test_committee_strategy_beats_or_matches_initial_model(self, pool):
+        X, y, _, _ = pool
+        result = run_active_learning(X, y, _fast_qc(), ActiveLearningConfig(**_FAST_CFG))
+        assert result.mae[-1] <= result.mae[0]
+
+    def test_goal_requires_test_pool(self, pool):
+        X, y, _, _ = pool
+        cfg = ActiveLearningConfig(goal="stq", **_FAST_CFG)
+        with pytest.raises(ValueError):
+            run_active_learning(X, y, _fast_rs(), cfg)
+
+    def test_stq_goal_tracks_question_losses(self, pool):
+        X, y, X_test, y_test = pool
+        cfg = ActiveLearningConfig(goal="stq", **_FAST_CFG)
+        result = run_active_learning(X, y, _fast_qc(), cfg, X_test=X_test, y_test=y_test)
+        assert len(result.goal_mape) == len(result.known_sizes)
+        assert all(m >= 0 for m in result.goal_mape)
+        final = result.final_metrics()
+        assert "goal_mape" in final
+
+    def test_bq_goal_runs(self, pool):
+        X, y, X_test, y_test = pool
+        cfg = ActiveLearningConfig(goal="bq", **_FAST_CFG)
+        result = run_active_learning(X, y, _fast_rs(), cfg, X_test=X_test, y_test=y_test)
+        assert result.goal == "bq"
+        assert len(result.goal_r2) == 3
+
+    def test_strategy_resolution_by_name(self, pool):
+        X, y, _, _ = pool
+        result = run_active_learning(X, y, "rs", ActiveLearningConfig(**_FAST_CFG))
+        assert result.strategy == "RS"
+        with pytest.raises(ValueError):
+            run_active_learning(X, y, "oracle", ActiveLearningConfig(**_FAST_CFG))
+        with pytest.raises(TypeError):
+            run_active_learning(X, y, 123, ActiveLearningConfig(**_FAST_CFG))
+
+    def test_samples_to_reach_mape(self, pool):
+        X, y, _, _ = pool
+        result = run_active_learning(X, y, _fast_rs(), ActiveLearningConfig(**_FAST_CFG))
+        reached = result.samples_to_reach_mape(1.0)  # trivially reachable threshold
+        assert reached == result.known_sizes[0]
+        assert result.samples_to_reach_mape(-1.0) is None
+
+    def test_pool_exhaustion_stops_cleanly(self, pool):
+        X, y, _, _ = pool
+        tiny = ActiveLearningConfig(n_initial=40, query_size=50, n_queries=10, random_state=0)
+        result = run_active_learning(X[:80], y[:80], _fast_rs(), tiny)
+        assert result.known_sizes[-1] <= 80
+        assert len(result.known_sizes) < 10
+
+    def test_mismatched_pool_shapes_rejected(self, pool):
+        X, y, _, _ = pool
+        with pytest.raises(ValueError):
+            run_active_learning(X, y[:-1], _fast_rs(), ActiveLearningConfig(**_FAST_CFG))
+
+    def test_committee_needs_two_members(self):
+        with pytest.raises(ValueError):
+            QueryByCommittee(n_committee=1)

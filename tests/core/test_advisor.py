@@ -1,0 +1,75 @@
+"""Tests for the user-facing resource advisor."""
+
+import pytest
+
+from repro.core.advisor import ResourceAdvisor
+from repro.core.estimator import ResourceEstimator
+from repro.core.questions import ConfigurationSpace
+
+
+@pytest.fixture(scope="module")
+def advisor(small_aurora_dataset) -> ResourceAdvisor:
+    return ResourceAdvisor.from_dataset(small_aurora_dataset, preset="fast")
+
+
+class TestAdvisor:
+    def test_from_dataset_trains_estimator(self, advisor):
+        assert advisor.machine == "aurora"
+        assert advisor.estimator._is_fitted()
+
+    def test_shortest_time_answer_structure(self, advisor):
+        answer = advisor.shortest_time(99, 718)
+        assert answer.question == "shortest_time"
+        assert answer.n_nodes > 0 and answer.tile_size > 0
+        assert answer.predicted_runtime_s > 0
+
+    def test_budget_recommends_fewer_nodes_than_stq(self, advisor):
+        stq = advisor.shortest_time(99, 718)
+        bq = advisor.budget(99, 718)
+        assert bq.n_nodes <= stq.n_nodes
+        assert bq.predicted_node_hours <= stq.predicted_node_hours + 1e-9
+
+    def test_answer_dispatch_aliases(self, advisor):
+        assert advisor.answer("stq", 99, 718).question == "shortest_time"
+        assert advisor.answer("budget", 99, 718).question == "budget"
+        with pytest.raises(ValueError):
+            advisor.answer("fastest", 99, 718)
+
+    def test_explicit_space_overrides_machine_space(self, advisor):
+        space = ConfigurationSpace(node_grid=[10, 20], tile_grid=[80])
+        answer = advisor.shortest_time(99, 718, space=space)
+        assert answer.n_nodes in (10, 20)
+        assert answer.tile_size == 80
+
+    def test_ranked_configurations_sorted(self, advisor):
+        table = advisor.ranked_configurations(99, 718, objective="runtime", top_k=8)
+        runtimes = table["predicted_runtime_s"]
+        assert table.n_rows == 8
+        assert all(a <= b for a, b in zip(runtimes, runtimes[1:]))
+
+    def test_ranked_configurations_budget_objective(self, advisor):
+        table = advisor.ranked_configurations(99, 718, objective="node_hours", top_k=5)
+        nh = table["predicted_node_hours"]
+        assert all(a <= b for a, b in zip(nh, nh[1:]))
+
+    def test_answers_for_problem_batch(self, advisor):
+        answers = advisor.answers_for_problems([(44, 260), (99, 718)], question="stq")
+        assert len(answers) == 2
+        assert {a.n_occupied for a in answers} == {44, 99}
+
+    def test_advisor_without_machine_uses_default_space(self, small_aurora_dataset):
+        est = ResourceEstimator(preset="fast").fit(
+            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+        )
+        space = ConfigurationSpace(node_grid=[5, 20], tile_grid=[40, 80])
+        advisor = ResourceAdvisor(estimator=est, machine=None, default_space=space)
+        answer = advisor.shortest_time(99, 718)
+        assert answer.n_nodes in (5, 20)
+
+    def test_advisor_without_machine_or_space_raises(self, small_aurora_dataset):
+        est = ResourceEstimator(preset="fast").fit(
+            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+        )
+        advisor = ResourceAdvisor(estimator=est, machine=None, default_space=None)
+        with pytest.raises(ValueError):
+            advisor.shortest_time(99, 718)

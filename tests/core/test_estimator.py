@@ -1,0 +1,94 @@
+"""Tests for the ResourceEstimator runtime model."""
+
+import numpy as np
+import pytest
+
+from repro.core.estimator import FAST_GB_PARAMS, PAPER_GB_PARAMS, ResourceEstimator
+from repro.ml.linear import PolynomialRegression
+
+
+@pytest.fixture(scope="module")
+def fitted_estimator(small_aurora_dataset):
+    est = ResourceEstimator(preset="fast")
+    est.fit(small_aurora_dataset.X_train, small_aurora_dataset.y_train)
+    return est
+
+
+class TestFitting:
+    def test_presets_define_paper_hyperparameters(self):
+        assert PAPER_GB_PARAMS == {"n_estimators": 750, "max_depth": 10}
+        assert FAST_GB_PARAMS["n_estimators"] < PAPER_GB_PARAMS["n_estimators"]
+
+    def test_fit_from_dataset_object(self, small_aurora_dataset):
+        est = ResourceEstimator(preset="fast").fit(small_aurora_dataset)
+        report = est.evaluate_on(small_aurora_dataset)
+        assert report["r2"] > 0.9
+
+    def test_fit_quality_on_test_split(self, fitted_estimator, small_aurora_dataset):
+        report = fitted_estimator.evaluate(
+            small_aurora_dataset.X_test, small_aurora_dataset.y_test
+        )
+        assert report["r2"] > 0.9
+        assert report["mape"] < 0.2
+
+    def test_missing_target_rejected(self, small_aurora_dataset):
+        with pytest.raises(ValueError):
+            ResourceEstimator(preset="fast").fit(small_aurora_dataset.X_train)
+
+    def test_unknown_preset_rejected(self, small_aurora_dataset):
+        with pytest.raises(ValueError):
+            ResourceEstimator(preset="huge").fit(
+                small_aurora_dataset.X_train, small_aurora_dataset.y_train
+            )
+
+    def test_custom_model_is_cloned_and_used(self, small_aurora_dataset):
+        base = PolynomialRegression(degree=3)
+        est = ResourceEstimator(model=base).fit(
+            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+        )
+        assert isinstance(est.model_, PolynomialRegression)
+        assert est.model_ is not base
+
+    def test_log_target_roundtrip(self, small_aurora_dataset):
+        est = ResourceEstimator(preset="fast", log_target=True).fit(
+            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+        )
+        preds = est.predict(small_aurora_dataset.X_test)
+        assert np.all(preds > 0)
+        assert est.evaluate(small_aurora_dataset.X_test, small_aurora_dataset.y_test)["r2"] > 0.85
+
+
+class TestDerivedFeatures:
+    def test_feature_names_extended(self):
+        est = ResourceEstimator(derived_features=True)
+        assert "o2v4_per_node" in est.feature_names_
+        assert len(est.feature_names_) == 8
+
+    def test_derived_features_still_fit(self, small_aurora_dataset):
+        est = ResourceEstimator(preset="fast", derived_features=True).fit(
+            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+        )
+        assert est.evaluate_on(small_aurora_dataset)["r2"] > 0.85
+
+
+class TestQueries:
+    def test_predict_runtime_vectorised_over_configs(self, fitted_estimator):
+        nodes = np.array([5, 20, 80])
+        tiles = np.array([40, 80, 120])
+        runtimes = fitted_estimator.predict_runtime(99, 718, nodes, tiles)
+        assert runtimes.shape == (3,)
+        assert np.all(runtimes > 0)
+
+    def test_predict_runtime_broadcasts_scalar_tile(self, fitted_estimator):
+        runtimes = fitted_estimator.predict_runtime(99, 718, np.array([5, 20, 80]), 80)
+        assert runtimes.shape == (3,)
+
+    def test_predict_node_hours_consistent(self, fitted_estimator):
+        nodes = np.array([10, 40])
+        runtimes = fitted_estimator.predict_runtime(99, 718, nodes, 80)
+        node_hours = fitted_estimator.predict_node_hours(99, 718, nodes, 80)
+        np.testing.assert_allclose(node_hours, runtimes * nodes / 3600.0)
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            ResourceEstimator().predict(np.ones((2, 4)))

@@ -1,0 +1,102 @@
+"""Tests for the paper's STQ/BQ evaluation protocol."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluation import (
+    evaluate_question_predictions,
+    optimal_configurations,
+    question_loss_report,
+)
+
+
+def _toy_pool():
+    """Two problem sizes x three configs with known optima."""
+    X = np.array(
+        [
+            # O, V, nodes, tile
+            [10, 100, 5, 40],
+            [10, 100, 20, 40],
+            [10, 100, 80, 40],
+            [20, 200, 5, 80],
+            [20, 200, 20, 80],
+            [20, 200, 80, 80],
+        ],
+        dtype=float,
+    )
+    y_true = np.array([100.0, 40.0, 30.0, 400.0, 150.0, 100.0])
+    return X, y_true
+
+
+class TestOptimalConfigurations:
+    def test_true_optima_without_predictions(self):
+        X, y = _toy_pool()
+        records = optimal_configurations(X, y, objective="runtime")
+        assert len(records) == 2
+        by_problem = {(r.n_occupied, r.n_virtual): r for r in records}
+        assert by_problem[(10, 100)].true_nodes == 80
+        assert by_problem[(10, 100)].true_runtime_s == 30.0
+        assert all(r.configuration_correct for r in records)
+
+    def test_node_hours_objective_prefers_small_allocations(self):
+        X, y = _toy_pool()
+        records = optimal_configurations(X, y, objective="node_hours")
+        by_problem = {(r.n_occupied, r.n_virtual): r for r in records}
+        # node-seconds: 500, 800, 2400 -> 5 nodes wins.
+        assert by_problem[(10, 100)].true_nodes == 5
+
+    def test_wrong_prediction_scored_with_true_runtime(self):
+        X, y = _toy_pool()
+        # Model thinks the 20-node config is fastest for problem (10, 100).
+        y_pred = y.copy()
+        y_pred[1] = 5.0
+        records = optimal_configurations(X, y, y_pred, objective="runtime")
+        rec = {(r.n_occupied, r.n_virtual): r for r in records}[(10, 100)]
+        assert not rec.configuration_correct
+        assert rec.predicted_nodes == 20
+        # Crucially the achieved value is the TRUE runtime of the predicted
+        # config (40 s), not the model's optimistic 5 s.
+        assert rec.achieved_objective("runtime") == 40.0
+
+    def test_mismatched_shapes_rejected(self):
+        X, y = _toy_pool()
+        with pytest.raises(ValueError):
+            optimal_configurations(X, y[:-1])
+
+    def test_unknown_objective_rejected(self):
+        X, y = _toy_pool()
+        with pytest.raises(ValueError):
+            optimal_configurations(X, y, objective="energy")
+
+
+class TestAggregation:
+    def test_perfect_predictions_give_perfect_scores(self):
+        X, y = _toy_pool()
+        report = question_loss_report(X, y, y, objective="runtime")
+        assert report["r2"] == pytest.approx(1.0)
+        assert report["mae"] == 0.0
+        assert report["mape"] == 0.0
+        assert report["n_incorrect_configs"] == 0.0
+        assert report["n_problems"] == 2.0
+
+    def test_suboptimal_recommendation_penalised(self):
+        X, y = _toy_pool()
+        y_pred = y.copy()
+        y_pred[1] = 5.0  # lure the model to a config 10 s worse than optimal
+        report = question_loss_report(X, y, y_pred, objective="runtime")
+        assert report["n_incorrect_configs"] == 1.0
+        assert report["mae"] == pytest.approx(5.0)  # (40-30)/2 problems
+        assert report["mape"] > 0
+
+    def test_empty_records_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_question_predictions([])
+
+    def test_real_model_on_small_dataset(self, small_aurora_dataset):
+        from repro.core.estimator import ResourceEstimator
+
+        ds = small_aurora_dataset
+        est = ResourceEstimator(preset="fast").fit(ds.X_train, ds.y_train)
+        report = question_loss_report(ds.X_test, ds.y_test, est.predict(ds.X_test), "runtime")
+        assert report["r2"] > 0.8
+        assert report["mape"] < 0.3

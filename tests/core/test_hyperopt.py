@@ -1,0 +1,61 @@
+"""Tests for the model-comparison (Figures 1-2) driver."""
+
+import pytest
+
+from repro.core.hyperopt import SEARCH_STRATEGIES, run_model_comparison
+
+
+class TestModelComparison:
+    @pytest.fixture(scope="class")
+    def results(self, small_aurora_dataset):
+        return run_model_comparison(
+            small_aurora_dataset,
+            models=["PR", "DT", "GB"],
+            strategies=("GridSearchCV", "RandomizedSearchCV"),
+            scale="fast",
+            cv=3,
+            seed=0,
+            max_train_samples=80,
+        )
+
+    def test_one_result_per_model_and_strategy(self, results):
+        assert len(results) == 3 * 2
+        combos = {(r.model, r.search) for r in results}
+        assert ("GB", "GridSearchCV") in combos
+
+    def test_metrics_are_sensible(self, results):
+        for r in results:
+            assert r.r2 <= 1.0
+            assert r.mae >= 0.0
+            assert r.mape >= 0.0
+            assert r.search_time_s > 0.0
+            assert r.n_candidates >= 1
+
+    def test_tree_ensembles_beat_plain_tree_or_match(self, results):
+        best = {r.model: max(x.r2 for x in results if x.model == r.model) for r in results}
+        assert best["GB"] >= best["DT"] - 0.05
+
+    def test_result_as_dict_keys(self, results):
+        d = results[0].as_dict()
+        assert {"machine", "model", "search", "r2", "mae", "mape", "search_time_s"} <= set(d)
+
+    def test_bayes_strategy_runs(self, small_aurora_dataset):
+        results = run_model_comparison(
+            small_aurora_dataset,
+            models=["DT"],
+            strategies=("BayesSearchCV",),
+            scale="fast",
+            cv=3,
+            max_train_samples=80,
+        )
+        assert len(results) == 1
+        assert results[0].search == "BayesSearchCV"
+
+    def test_unknown_strategy_rejected(self, small_aurora_dataset):
+        with pytest.raises(ValueError):
+            run_model_comparison(
+                small_aurora_dataset, models=["DT"], strategies=("HalvingSearch",), cv=3
+            )
+
+    def test_strategy_constants_match_paper(self):
+        assert SEARCH_STRATEGIES == ("GridSearchCV", "RandomizedSearchCV", "BayesSearchCV")

@@ -1,0 +1,54 @@
+"""Tests for the model registry."""
+
+import pytest
+
+from repro.core.model_zoo import MODEL_ZOO, build_model, get_model_spec, model_names
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.search import ParameterGrid
+
+
+class TestModelZoo:
+    def test_contains_the_nine_paper_models(self):
+        assert set(model_names()) == {"PR", "KR", "DT", "RF", "GB", "AB", "GP", "BR", "SVR"}
+
+    def test_build_model_types(self):
+        gb = build_model("GB")
+        assert isinstance(gb, GradientBoostingRegressor)
+
+    def test_build_model_with_overrides(self):
+        gb = build_model("gb", n_estimators=5, max_depth=2)
+        assert gb.n_estimators == 5 and gb.max_depth == 2
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(KeyError):
+            get_model_spec("XGB")
+
+    def test_grids_are_valid_parameter_grids(self):
+        for spec in MODEL_ZOO.values():
+            for scale in ("fast", "paper"):
+                grid = spec.grid(scale)
+                assert len(ParameterGrid(grid)) >= 1
+                # Every grid key must be a real hyper-parameter of the model.
+                model = spec.factory()
+                valid = set(model.get_params(deep=False))
+                assert set(grid) <= valid, (spec.key, scale)
+
+    def test_fast_grids_not_larger_than_paper_grids(self):
+        for spec in MODEL_ZOO.values():
+            assert len(ParameterGrid(spec.grid("fast"))) <= len(ParameterGrid(spec.grid("paper")))
+
+    def test_unknown_scale_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL_ZOO["GB"].grid("huge")
+
+    def test_every_model_fits_small_data(self, small_aurora_dataset):
+        ds = small_aurora_dataset
+        X, y = ds.X_train[:60], ds.y_train[:60]
+        for key in model_names():
+            model = build_model(key)
+            # Shrink the expensive ensembles for this smoke check.
+            params = model.get_params(deep=False)
+            if "n_estimators" in params:
+                model.set_params(n_estimators=10)
+            model.fit(X, y)
+            assert model.predict(X[:5]).shape == (5,)

@@ -1,0 +1,94 @@
+"""Tests for configuration spaces and STQ/BQ question answering."""
+
+import numpy as np
+import pytest
+
+from repro.core.questions import (
+    ConfigurationSpace,
+    answer_budget_question,
+    answer_shortest_time_question,
+    sweep_predictions,
+)
+
+
+class _AnalyticModel:
+    """Stand-in runtime model with a known optimum: t = work/nodes + 0.2*nodes + (tile-80)^2/50."""
+
+    def predict(self, X):
+        X = np.asarray(X, dtype=float)
+        work = X[:, 0] * X[:, 1] / 50.0
+        return work / X[:, 2] + 0.2 * X[:, 2] + (X[:, 3] - 80.0) ** 2 / 50.0
+
+
+class TestConfigurationSpace:
+    def test_grid_enumeration(self):
+        space = ConfigurationSpace(node_grid=[5, 10], tile_grid=[40, 80, 120])
+        grid = space.grid()
+        assert grid.shape == (6, 2)
+        assert space.n_configurations == 6
+        assert {tuple(row) for row in grid} == {
+            (5, 40), (5, 80), (5, 120), (10, 40), (10, 80), (10, 120),
+        }
+
+    def test_empty_grids_rejected(self):
+        with pytest.raises(ValueError):
+            ConfigurationSpace(node_grid=[], tile_grid=[40])
+        with pytest.raises(ValueError):
+            ConfigurationSpace(node_grid=[5], tile_grid=[])
+
+    def test_from_observations_dedupes_and_sorts(self):
+        space = ConfigurationSpace.from_observations([20, 5, 20, 10], [80, 40, 80])
+        assert space.node_grid == [5, 10, 20]
+        assert space.tile_grid == [40, 80]
+
+    def test_for_machine_respects_memory_feasibility(self):
+        space = ConfigurationSpace.for_machine("aurora", 146, 1568)
+        from repro.machines import AURORA
+        from repro.tamm.runtime import TammRuntimeSimulator
+        from repro.chem.orbitals import ProblemSize
+
+        min_nodes = TammRuntimeSimulator(AURORA).min_nodes(ProblemSize(146, 1568))
+        assert min(space.node_grid) >= min_nodes
+        assert space.machine == "aurora"
+
+
+class TestQuestionAnswers:
+    def _space(self):
+        return ConfigurationSpace(node_grid=[5, 10, 20, 40, 80, 160], tile_grid=[40, 60, 80, 100, 120])
+
+    def test_sweep_predictions_shapes(self):
+        sweep = sweep_predictions(_AnalyticModel(), 100, 800, self._space())
+        n = self._space().n_configurations
+        assert all(len(sweep[k]) == n for k in ("nodes", "tiles", "runtime_s", "node_hours"))
+        np.testing.assert_allclose(
+            sweep["node_hours"], sweep["runtime_s"] * sweep["nodes"] / 3600.0
+        )
+
+    def test_stq_finds_analytic_optimum(self):
+        # work = 100*800/50 = 1600; t = 1600/n + 0.2n + ... minimised near n=sqrt(1600/0.2)≈89
+        answer = answer_shortest_time_question(_AnalyticModel(), 100, 800, self._space())
+        assert answer.n_nodes == 80
+        assert answer.tile_size == 80
+        assert answer.question == "shortest_time"
+
+    def test_bq_picks_fewest_nodes(self):
+        answer = answer_budget_question(_AnalyticModel(), 100, 800, self._space())
+        assert answer.n_nodes == 5
+        assert answer.tile_size == 80
+        assert answer.question == "budget"
+
+    def test_bq_uses_fewer_nodes_than_stq(self):
+        space = self._space()
+        stq = answer_shortest_time_question(_AnalyticModel(), 150, 900, space)
+        bq = answer_budget_question(_AnalyticModel(), 150, 900, space)
+        assert bq.n_nodes <= stq.n_nodes
+        assert bq.predicted_node_hours <= stq.predicted_node_hours + 1e-9
+        assert stq.predicted_runtime_s <= bq.predicted_runtime_s + 1e-9
+
+    def test_answer_values_consistent(self):
+        answer = answer_shortest_time_question(_AnalyticModel(), 100, 800, self._space())
+        assert answer.predicted_node_hours == pytest.approx(
+            answer.predicted_runtime_s * answer.n_nodes / 3600.0
+        )
+        assert answer.objective_value == pytest.approx(answer.predicted_runtime_s)
+        assert set(answer.as_dict()) >= {"question", "n_nodes", "tile_size"}

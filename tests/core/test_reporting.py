@@ -1,0 +1,100 @@
+"""Tests for plain-text table/figure rendering."""
+
+import numpy as np
+import pytest
+
+from repro.core.active_learning import ActiveLearningResult
+from repro.core.evaluation import OptimalConfigRecord
+from repro.core.hyperopt import ModelComparisonResult
+from repro.core.reporting import (
+    format_active_learning_curves,
+    format_metrics,
+    format_model_comparison,
+    format_question_table,
+    format_table,
+)
+
+
+def _record(correct: bool) -> OptimalConfigRecord:
+    return OptimalConfigRecord(
+        n_occupied=99,
+        n_virtual=718,
+        true_nodes=260,
+        true_tile=60,
+        true_runtime_s=53.83,
+        true_node_hours=3.89,
+        predicted_nodes=260 if correct else 220,
+        predicted_tile=60,
+        predicted_config_runtime_s=53.83 if correct else 55.1,
+        predicted_config_node_hours=3.89 if correct else 3.37,
+        model_predicted_objective=50.0,
+    )
+
+
+class TestFormatTable:
+    def test_alignment_and_header(self):
+        text = format_table(["a", "bb"], [[1, 2.5], [30, 4]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_metrics_line(self):
+        line = format_metrics({"r2": 0.999, "mape": 0.023}, title="Aurora")
+        assert line.startswith("Aurora:")
+        assert "r2=" in line and "mape=" in line
+
+
+class TestQuestionTable:
+    def test_correct_prediction_has_no_parentheses(self):
+        text = format_question_table([_record(True)], objective="runtime")
+        data_rows = text.splitlines()[2:]
+        assert all("(" not in row for row in data_rows)
+
+    def test_incorrect_prediction_shows_parentheses(self):
+        text = format_question_table([_record(False)], objective="runtime")
+        assert "260(220)" in text
+        assert "53.83(55.10)" in text
+
+    def test_budget_table_includes_node_hours_column(self):
+        text = format_question_table([_record(True)], objective="node_hours")
+        assert "Node hours" in text
+
+
+class TestModelComparisonTable:
+    def test_contains_all_rows(self):
+        results = [
+            ModelComparisonResult("aurora", "GB", "GridSearchCV", {}, 0.99, 2.0, 0.02, 10.0, 6),
+            ModelComparisonResult("aurora", "PR", "BayesSearchCV", {}, 0.95, 5.0, 0.08, 3.0, 8),
+        ]
+        text = format_model_comparison(results)
+        assert "GB" in text and "PR" in text and "BayesSearchCV" in text
+
+
+class TestActiveLearningCurves:
+    def _result(self, name: str) -> ActiveLearningResult:
+        return ActiveLearningResult(
+            strategy=name,
+            goal="stq",
+            known_sizes=[50, 100],
+            r2=[0.5, 0.8],
+            mae=[10.0, 5.0],
+            mape=[0.4, 0.2],
+            goal_r2=[0.4, 0.7],
+            goal_mae=[12.0, 6.0],
+            goal_mape=[0.5, 0.25],
+        )
+
+    def test_curves_table_lists_all_strategies(self):
+        text = format_active_learning_curves([self._result("RS"), self._result("US")], metric="mape")
+        assert "RS" in text and "US" in text
+        assert "50" in text and "100" in text
+
+    def test_goal_curves_use_goal_metric(self):
+        text = format_active_learning_curves([self._result("QC")], metric="mape", use_goal=True)
+        assert "QC-STQ" in text
+        assert "0.2500" in text
+
+    def test_empty_results_rejected(self):
+        with pytest.raises(ValueError):
+            format_active_learning_curves([])

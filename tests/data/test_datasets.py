@@ -1,0 +1,70 @@
+"""Tests for the paper-shaped CCSD datasets."""
+
+import numpy as np
+import pytest
+
+from repro.data.datasets import (
+    FEATURE_COLUMNS,
+    TARGET_COLUMN,
+    build_dataset,
+    load_or_build_dataset,
+)
+from repro.simulator.dataset_gen import PAPER_DATASET_SIZES
+
+
+class TestSmallDataset:
+    def test_split_is_partition(self, small_aurora_dataset):
+        ds = small_aurora_dataset
+        combined = np.sort(np.concatenate([ds.train_indices, ds.test_indices]))
+        np.testing.assert_array_equal(combined, np.arange(ds.n_rows))
+
+    def test_split_fraction_default(self, small_aurora_dataset):
+        ds = small_aurora_dataset
+        assert ds.n_test == pytest.approx(0.25 * ds.n_rows, abs=1)
+
+    def test_feature_matrix_shape_and_columns(self, small_aurora_dataset):
+        ds = small_aurora_dataset
+        assert ds.X.shape == (ds.n_rows, len(FEATURE_COLUMNS))
+        assert ds.y.shape == (ds.n_rows,)
+        assert np.all(ds.y > 0)
+
+    def test_train_test_views_consistent(self, small_aurora_dataset):
+        ds = small_aurora_dataset
+        np.testing.assert_array_equal(ds.X_train, ds.X[ds.train_indices])
+        np.testing.assert_array_equal(ds.y_test, ds.y[ds.test_indices])
+        assert ds.train_table.n_rows == ds.n_train
+
+    def test_problem_sizes_listing(self, small_aurora_dataset):
+        problems = small_aurora_dataset.problem_sizes()
+        assert (44, 260) in problems and (99, 718) in problems
+
+    def test_summary_keys(self, small_aurora_dataset):
+        summary = small_aurora_dataset.summary()
+        assert summary["machine"] == "aurora"
+        assert summary["total"] == small_aurora_dataset.n_rows
+        assert summary["runtime_min_s"] > 0
+
+    def test_target_column_name(self, small_aurora_dataset):
+        assert TARGET_COLUMN in small_aurora_dataset.table
+
+
+class TestPaperSizedDataset:
+    def test_frontier_paper_sizes(self):
+        ds = build_dataset("frontier", seed=0)
+        total, train, test = PAPER_DATASET_SIZES["frontier"]
+        assert ds.n_rows == total and ds.n_train == train and ds.n_test == test
+
+    def test_reproducible_given_seed(self, small_sweep_config):
+        a = build_dataset("aurora", seed=7, config=small_sweep_config)
+        b = build_dataset("aurora", seed=7, config=small_sweep_config)
+        np.testing.assert_allclose(a.y, b.y)
+        np.testing.assert_array_equal(a.train_indices, b.train_indices)
+
+
+class TestCaching:
+    def test_load_or_build_roundtrip(self, tmp_path):
+        fresh = load_or_build_dataset("aurora", seed=1, cache_dir=tmp_path)
+        cached = load_or_build_dataset("aurora", seed=1, cache_dir=tmp_path)
+        assert (tmp_path / "ccsd_dataset_aurora_seed1.csv").exists()
+        np.testing.assert_allclose(fresh.y, cached.y)
+        np.testing.assert_array_equal(fresh.train_indices, cached.train_indices)

@@ -1,0 +1,46 @@
+"""Tests for CSV round-tripping."""
+
+import numpy as np
+import pytest
+
+from repro.data.io import read_csv, write_csv
+from repro.data.table import Table
+
+
+class TestCSVRoundtrip:
+    def test_roundtrip_preserves_values_and_dtypes(self, tmp_path):
+        table = Table(
+            {
+                "ints": np.array([1, 2, 3]),
+                "floats": np.array([1.5, 2.25, 1e-7]),
+                "strings": np.array(["aurora", "frontier", "aurora"]),
+            }
+        )
+        path = write_csv(table, tmp_path / "out.csv")
+        loaded = read_csv(path)
+        np.testing.assert_array_equal(loaded["ints"], table["ints"])
+        assert loaded["ints"].dtype.kind == "i"
+        np.testing.assert_allclose(loaded["floats"], table["floats"])
+        assert list(loaded["strings"]) == ["aurora", "frontier", "aurora"]
+
+    def test_float_precision_preserved_exactly(self, tmp_path):
+        values = np.array([0.1, 1.0 / 3.0, 17.41])
+        table = Table({"x": values})
+        loaded = read_csv(write_csv(table, tmp_path / "precision.csv"))
+        np.testing.assert_array_equal(loaded["x"], values)
+
+    def test_creates_parent_directories(self, tmp_path):
+        table = Table({"x": [1.0]})
+        path = write_csv(table, tmp_path / "nested" / "dir" / "data.csv")
+        assert path.exists()
+
+    def test_read_empty_file_rejected(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("only_header\n")
+        with pytest.raises(ValueError):
+            read_csv(path)
+
+    def test_column_order_preserved(self, tmp_path):
+        table = Table({"z": [1], "a": [2], "m": [3]})
+        loaded = read_csv(write_csv(table, tmp_path / "order.csv"))
+        assert loaded.column_names == ["z", "a", "m"]

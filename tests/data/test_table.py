@@ -1,0 +1,121 @@
+"""Tests for the lightweight column-store table."""
+
+import numpy as np
+import pytest
+
+from repro.data.table import Table
+
+
+@pytest.fixture
+def table() -> Table:
+    return Table(
+        {
+            "a": np.array([3, 1, 2, 4]),
+            "b": np.array([30.0, 10.0, 20.0, 40.0]),
+            "name": np.array(["x", "y", "x", "z"]),
+        }
+    )
+
+
+class TestConstruction:
+    def test_shape_and_names(self, table):
+        assert table.shape == (4, 3)
+        assert table.column_names == ["a", "b", "name"]
+        assert len(table) == 4
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": [1, 2], "b": [1, 2, 3]})
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(ValueError):
+            Table({"a": np.ones((2, 2))})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Table({})
+
+    def test_from_records_roundtrip(self):
+        records = [{"a": 1, "b": 2.0}, {"a": 3, "b": 4.0}]
+        table = Table.from_records(records)
+        assert table.to_records() == records
+
+    def test_from_records_requires_same_keys(self):
+        with pytest.raises(ValueError):
+            Table.from_records([{"a": 1}, {"b": 2}])
+
+
+class TestAccess:
+    def test_getitem(self, table):
+        np.testing.assert_array_equal(table["a"], [3, 1, 2, 4])
+        with pytest.raises(KeyError):
+            table["missing"]
+
+    def test_contains(self, table):
+        assert "a" in table and "zzz" not in table
+
+    def test_select_and_drop(self, table):
+        assert table.select(["b", "a"]).column_names == ["b", "a"]
+        assert table.drop(["name"]).column_names == ["a", "b"]
+
+    def test_with_column_adds_and_replaces(self, table):
+        t2 = table.with_column("c", np.arange(4))
+        assert "c" in t2 and "c" not in table
+        t3 = table.with_column("a", np.zeros(4))
+        np.testing.assert_array_equal(t3["a"], 0)
+
+    def test_with_column_length_check(self, table):
+        with pytest.raises(ValueError):
+            table.with_column("c", np.arange(3))
+
+
+class TestTransforms:
+    def test_filter_by_mask_and_indices(self, table):
+        masked = table.filter(table["a"] > 2)
+        assert masked.n_rows == 2
+        indexed = table.filter(np.array([0, 3]))
+        np.testing.assert_array_equal(indexed["a"], [3, 4])
+
+    def test_filter_by_predicate(self, table):
+        out = table.filter_by(lambda row: row["name"] == "x")
+        assert out.n_rows == 2
+
+    def test_sort_by(self, table):
+        assert list(table.sort_by("a")["a"]) == [1, 2, 3, 4]
+        assert list(table.sort_by("a", descending=True)["a"]) == [4, 3, 2, 1]
+
+    def test_head(self, table):
+        assert table.head(2).n_rows == 2
+        assert table.head(100).n_rows == 4
+
+    def test_unique(self, table):
+        assert set(table.unique("name")) == {"x", "y", "z"}
+
+    def test_groupby_agg(self, table):
+        grouped = table.groupby_agg("name", "b", np.mean)
+        records = {r["name"]: r["b"] for r in grouped.to_records()}
+        assert records["x"] == pytest.approx(25.0)
+        assert records["y"] == pytest.approx(10.0)
+
+    def test_concat(self, table):
+        doubled = table.concat(table)
+        assert doubled.n_rows == 8
+        with pytest.raises(ValueError):
+            table.concat(table.drop(["name"]))
+
+
+class TestNumerics:
+    def test_to_numpy_selected_columns(self, table):
+        arr = table.to_numpy(["a", "b"])
+        assert arr.shape == (4, 2)
+        assert arr.dtype == np.float64
+
+    def test_describe_skips_non_numeric(self, table):
+        stats = table.describe()
+        assert "name" not in stats
+        assert stats["a"]["min"] == 1 and stats["a"]["max"] == 4
+
+    def test_equality(self, table):
+        same = Table({name: table[name].copy() for name in table.column_names})
+        assert table == same
+        assert table != same.drop(["name"])

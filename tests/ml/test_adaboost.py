@@ -1,0 +1,68 @@
+"""Tests for AdaBoost.R2."""
+
+import numpy as np
+import pytest
+
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.linear import LinearRegression
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestAdaBoost:
+    def test_fit_quality(self, nonlinear_data):
+        X, y = nonlinear_data
+        ab = AdaBoostRegressor(n_estimators=40, random_state=0).fit(X, y)
+        assert ab.score(X, y) > 0.85
+
+    def test_boosting_beats_single_stump(self, nonlinear_data):
+        X, y = nonlinear_data
+        stump = DecisionTreeRegressor(max_depth=3).fit(X, y)
+        ab = AdaBoostRegressor(
+            estimator=DecisionTreeRegressor(max_depth=3), n_estimators=40, random_state=0
+        ).fit(X, y)
+        assert ab.score(X, y) > stump.score(X, y)
+
+    def test_estimator_weights_positive(self, nonlinear_data):
+        X, y = nonlinear_data
+        ab = AdaBoostRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert len(ab.estimator_weights_) == len(ab.estimators_)
+        assert all(w > 0 for w in ab.estimator_weights_)
+
+    def test_errors_below_half(self, nonlinear_data):
+        X, y = nonlinear_data
+        ab = AdaBoostRegressor(n_estimators=20, random_state=0).fit(X, y)
+        assert all(e < 0.5 for e in ab.estimator_errors_[:-1])
+
+    def test_custom_base_estimator(self, linear_data):
+        X, y, _ = linear_data
+        ab = AdaBoostRegressor(estimator=LinearRegression(), n_estimators=5, random_state=0).fit(X, y)
+        assert ab.score(X, y) > 0.95
+
+    def test_loss_variants(self, nonlinear_data):
+        X, y = nonlinear_data
+        for loss in ("linear", "square", "exponential"):
+            ab = AdaBoostRegressor(n_estimators=10, loss=loss, random_state=0).fit(X, y)
+            assert ab.score(X, y) > 0.6
+
+    def test_unknown_loss(self, nonlinear_data):
+        X, y = nonlinear_data
+        with pytest.raises(ValueError):
+            AdaBoostRegressor(n_estimators=2, loss="cubic", random_state=0).fit(X, y)
+
+    def test_invalid_n_estimators(self):
+        with pytest.raises(ValueError):
+            AdaBoostRegressor(n_estimators=0).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_prediction_within_range_of_base_predictions(self, nonlinear_data):
+        X, y = nonlinear_data
+        ab = AdaBoostRegressor(n_estimators=15, random_state=0).fit(X, y)
+        all_preds = np.column_stack([m.predict(X[:40]) for m in ab.estimators_])
+        final = ab.predict(X[:40])
+        assert np.all(final >= all_preds.min(axis=1) - 1e-9)
+        assert np.all(final <= all_preds.max(axis=1) + 1e-9)
+
+    def test_reproducible(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = AdaBoostRegressor(n_estimators=10, random_state=7).fit(X, y).predict(X[:10])
+        p2 = AdaBoostRegressor(n_estimators=10, random_state=7).fit(X, y).predict(X[:10])
+        np.testing.assert_allclose(p1, p2)

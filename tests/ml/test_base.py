@@ -1,0 +1,107 @@
+"""Tests for the estimator protocol (params, clone, validation helpers)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.base import (
+    BaseEstimator,
+    check_array,
+    check_random_state,
+    check_X_y,
+    clone,
+)
+from repro.ml.linear import Ridge
+from repro.ml.adaboost import AdaBoostRegressor
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class _Toy(BaseEstimator):
+    def __init__(self, alpha=1.0, beta="x"):
+        self.alpha = alpha
+        self.beta = beta
+
+
+class TestParams:
+    def test_get_params_returns_constructor_args(self):
+        assert _Toy(alpha=2.0, beta="y").get_params() == {"alpha": 2.0, "beta": "y"}
+
+    def test_set_params_updates_attributes(self):
+        toy = _Toy()
+        toy.set_params(alpha=5.0)
+        assert toy.alpha == 5.0
+
+    def test_set_params_rejects_unknown(self):
+        with pytest.raises(ValueError, match="Invalid parameter"):
+            _Toy().set_params(gamma=1.0)
+
+    def test_nested_params_roundtrip(self):
+        ab = AdaBoostRegressor(estimator=DecisionTreeRegressor(max_depth=2))
+        params = ab.get_params(deep=True)
+        assert params["estimator__max_depth"] == 2
+        ab.set_params(estimator__max_depth=5)
+        assert ab.estimator.max_depth == 5
+
+    def test_set_params_returns_self(self):
+        toy = _Toy()
+        assert toy.set_params(alpha=3.0) is toy
+
+
+class TestClone:
+    def test_clone_copies_params_not_fit_state(self):
+        model = Ridge(alpha=0.5)
+        model.fit(np.array([[0.0], [1.0], [2.0]]), np.array([0.0, 1.0, 2.0]))
+        copy = clone(model)
+        assert copy.alpha == 0.5
+        assert not hasattr(copy, "coef_")
+
+    def test_clone_nested_estimator(self):
+        ab = AdaBoostRegressor(estimator=DecisionTreeRegressor(max_depth=3), n_estimators=7)
+        copy = clone(ab)
+        assert copy.n_estimators == 7
+        assert copy.estimator is not ab.estimator
+        assert copy.estimator.max_depth == 3
+
+    def test_clone_rejects_non_estimator(self):
+        with pytest.raises(TypeError):
+            clone(object())
+
+
+class TestValidation:
+    def test_check_array_rejects_1d(self):
+        with pytest.raises(ValueError, match="2D"):
+            check_array(np.arange(5.0))
+
+    def test_check_array_rejects_nan(self):
+        X = np.ones((3, 2))
+        X[0, 0] = np.nan
+        with pytest.raises(ValueError, match="NaN"):
+            check_array(X)
+
+    def test_check_array_rejects_empty(self):
+        with pytest.raises(ValueError):
+            check_array(np.empty((0, 3)))
+
+    def test_check_X_y_length_mismatch(self):
+        with pytest.raises(ValueError, match="inconsistent"):
+            check_X_y(np.ones((4, 2)), np.ones(3))
+
+    def test_check_X_y_flattens_column_target(self):
+        X, y = check_X_y(np.ones((3, 2)), np.ones((3, 1)))
+        assert y.shape == (3,)
+
+    def test_check_random_state_accepts_int_none_generator(self):
+        g1 = check_random_state(3)
+        g2 = check_random_state(None)
+        g3 = check_random_state(g1)
+        assert isinstance(g1, np.random.Generator)
+        assert isinstance(g2, np.random.Generator)
+        assert g3 is g1
+
+    def test_check_random_state_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            check_random_state("seed")
+
+    def test_check_is_fitted(self):
+        model = Ridge()
+        with pytest.raises(RuntimeError, match="not fitted"):
+            model.predict(np.ones((2, 2)))

@@ -1,0 +1,70 @@
+"""Tests for Bayesian hyper-parameter search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.bayes_search import BayesSearchCV, _SpaceEncoder
+from repro.ml.linear import Ridge
+from repro.ml.search import GridSearchCV
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestSpaceEncoder:
+    def test_numeric_encoding_in_unit_interval(self):
+        enc = _SpaceEncoder({"depth": [1, 5, 10]})
+        X = enc.encode([{"depth": 1}, {"depth": 10}, {"depth": 5}])
+        assert X.shape == (3, 1)
+        assert X[0, 0] == 0.0 and X[1, 0] == 1.0 and 0.0 < X[2, 0] < 1.0
+
+    def test_log_scaling_for_wide_ranges(self):
+        enc = _SpaceEncoder({"alpha": [1e-6, 1e-3, 1.0]})
+        X = enc.encode([{"alpha": 1e-6}, {"alpha": 1e-3}, {"alpha": 1.0}])
+        # Log scale: the middle point should land near the middle.
+        assert X[1, 0] == pytest.approx(0.5, abs=0.01)
+
+    def test_categorical_one_hot(self):
+        enc = _SpaceEncoder({"kernel": ["rbf", "poly"]})
+        X = enc.encode([{"kernel": "rbf"}, {"kernel": "poly"}])
+        assert X.shape == (2, 2)
+        np.testing.assert_allclose(X.sum(axis=1), 1.0)
+
+
+class TestBayesSearchCV:
+    def test_respects_n_iter_budget(self, nonlinear_data):
+        X, y = nonlinear_data
+        search = BayesSearchCV(
+            DecisionTreeRegressor(random_state=0),
+            {"max_depth": [1, 2, 4, 6, 8, 10], "min_samples_leaf": [1, 2, 4]},
+            n_iter=6,
+            n_initial_points=3,
+            cv=3,
+            random_state=0,
+        ).fit(X, y)
+        assert len(search.cv_results_["params"]) == 6
+
+    def test_finds_configuration_close_to_grid_optimum(self, nonlinear_data):
+        X, y = nonlinear_data
+        grid = {"max_depth": [1, 2, 4, 6, 8], "min_samples_leaf": [1, 4]}
+        gs = GridSearchCV(DecisionTreeRegressor(random_state=0), grid, cv=3).fit(X, y)
+        bs = BayesSearchCV(
+            DecisionTreeRegressor(random_state=0), grid, n_iter=7, cv=3, random_state=0
+        ).fit(X, y)
+        assert bs.best_score_ >= gs.best_score_ - 0.05
+
+    def test_small_space_fully_enumerated(self, linear_data):
+        X, y, _ = linear_data
+        search = BayesSearchCV(Ridge(), {"alpha": [0.1, 1.0]}, n_iter=10, cv=3, random_state=0).fit(X, y)
+        assert len(search.cv_results_["params"]) == 2
+
+    def test_refit_and_predict(self, linear_data):
+        X, y, _ = linear_data
+        search = BayesSearchCV(
+            Ridge(), {"alpha": [0.01, 0.1, 1.0, 10.0]}, n_iter=4, cv=3, random_state=0
+        ).fit(X, y)
+        assert search.predict(X[:7]).shape == (7,)
+        assert search.best_score_ > 0.9
+
+    def test_empty_space_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValueError):
+            BayesSearchCV(Ridge(), {"alpha": []}, n_iter=3).fit(X, y)

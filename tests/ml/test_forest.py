@@ -1,0 +1,74 @@
+"""Tests for the random forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestRandomForest:
+    def test_fit_quality(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=25, random_state=0).fit(X, y)
+        assert rf.score(X, y) > 0.9
+
+    def test_prediction_is_mean_of_trees(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        manual = np.mean([t.predict(X[:20]) for t in rf.estimators_], axis=0)
+        np.testing.assert_allclose(rf.predict(X[:20]), manual)
+
+    def test_reproducible_with_seed(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X[:10])
+        p2 = RandomForestRegressor(n_estimators=10, random_state=5).fit(X, y).predict(X[:10])
+        np.testing.assert_allclose(p1, p2)
+
+    def test_different_seeds_differ(self, nonlinear_data):
+        X, y = nonlinear_data
+        p1 = RandomForestRegressor(n_estimators=5, random_state=1).fit(X, y).predict(X[:10])
+        p2 = RandomForestRegressor(n_estimators=5, random_state=2).fit(X, y).predict(X[:10])
+        assert not np.allclose(p1, p2)
+
+    def test_no_bootstrap_with_all_features_reduces_variance_to_tree(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(
+            n_estimators=3, bootstrap=False, max_features=1.0, random_state=0
+        ).fit(X, y)
+        tree = DecisionTreeRegressor(random_state=0).fit(X, y)
+        np.testing.assert_allclose(rf.predict(X[:30]), tree.predict(X[:30]), rtol=1e-6)
+
+    def test_oob_score_reasonable(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=40, oob_score=True, random_state=0).fit(X, y)
+        assert 0.5 < rf.oob_score_ <= 1.0
+
+    def test_predict_std_nonnegative_and_shaped(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        std = rf.predict_std(X[:15])
+        assert std.shape == (15,)
+        assert np.all(std >= 0)
+
+    def test_predict_all_shape(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=7, random_state=0).fit(X, y)
+        assert rf.predict_all(X[:9]).shape == (9, 7)
+
+    def test_feature_importances_sum_to_one(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=10, random_state=0).fit(X, y)
+        assert rf.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0).fit(np.ones((4, 1)), np.ones(4))
+        with pytest.raises(ValueError):
+            RandomForestRegressor(max_samples=1.5).fit(np.ones((4, 1)), np.arange(4.0))
+
+    def test_max_samples_fraction(self, nonlinear_data):
+        X, y = nonlinear_data
+        rf = RandomForestRegressor(n_estimators=5, max_samples=0.3, random_state=0).fit(X, y)
+        assert r2_score(y, rf.predict(X)) > 0.5

@@ -1,0 +1,74 @@
+"""Tests for Gaussian process regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernels import RBF, ConstantKernel, WhiteKernel
+
+
+class TestGaussianProcess:
+    def test_interpolates_noise_free_data(self, rng):
+        X = np.linspace(0, 5, 25).reshape(-1, 1)
+        y = np.sin(X).ravel()
+        gp = GaussianProcessRegressor(
+            kernel=ConstantKernel(1.0) * RBF(1.0), alpha=1e-10, optimizer=None
+        ).fit(X, y)
+        np.testing.assert_allclose(gp.predict(X), y, atol=1e-4)
+
+    def test_predictive_std_small_at_training_points(self, rng):
+        X = rng.uniform(0, 5, size=(30, 1))
+        y = np.cos(X).ravel()
+        gp = GaussianProcessRegressor(alpha=1e-8, random_state=0).fit(X, y)
+        _, std_train = gp.predict(X, return_std=True)
+        _, std_far = gp.predict(np.array([[25.0]]), return_std=True)
+        assert std_train.mean() < std_far[0]
+
+    def test_std_nonnegative(self, nonlinear_data):
+        X, y = nonlinear_data
+        gp = GaussianProcessRegressor(random_state=0, n_restarts_optimizer=0).fit(X[:120], y[:120])
+        _, std = gp.predict(X[120:180], return_std=True)
+        assert np.all(std >= 0)
+
+    def test_fit_quality_on_smooth_function(self, nonlinear_data):
+        X, y = nonlinear_data
+        gp = GaussianProcessRegressor(random_state=0, n_restarts_optimizer=1).fit(X[:200], y[:200])
+        assert gp.score(X[200:], y[200:]) > 0.9
+
+    def test_hyperparameter_optimization_improves_lml(self, rng):
+        X = rng.uniform(0, 5, size=(40, 1))
+        y = np.sin(2 * X).ravel() + rng.normal(0, 0.05, 40)
+        kernel = ConstantKernel(1.0) * RBF(5.0) + WhiteKernel(1.0)
+        fixed = GaussianProcessRegressor(kernel=kernel, optimizer=None, random_state=0).fit(X, y)
+        tuned = GaussianProcessRegressor(kernel=kernel, n_restarts_optimizer=1, random_state=0).fit(X, y)
+        assert tuned.log_marginal_likelihood_ >= fixed.log_marginal_likelihood_ - 1e-6
+
+    def test_normalize_y_handles_large_offsets(self, rng):
+        X = rng.uniform(0, 1, size=(30, 2))
+        y = 1e4 + X[:, 0]
+        gp = GaussianProcessRegressor(random_state=0, n_restarts_optimizer=0).fit(X, y)
+        preds = gp.predict(X)
+        assert abs(preds.mean() - y.mean()) < 1.0
+
+    def test_sample_y_shape_and_spread(self, rng):
+        X = rng.uniform(0, 5, size=(15, 1))
+        y = np.sin(X).ravel()
+        gp = GaussianProcessRegressor(random_state=0, n_restarts_optimizer=0).fit(X, y)
+        samples = gp.sample_y(np.array([[1.0], [9.0]]), n_samples=50, random_state=1)
+        assert samples.shape == (2, 50)
+        # Far from the data the posterior is wider.
+        assert samples[1].std() > samples[0].std()
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            GaussianProcessRegressor(alpha=-1.0).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcessRegressor().predict(np.ones((2, 2)))
+
+    def test_duplicate_points_do_not_crash(self):
+        X = np.array([[1.0], [1.0], [2.0], [2.0]])
+        y = np.array([1.0, 1.1, 2.0, 2.1])
+        gp = GaussianProcessRegressor(alpha=1e-6, random_state=0, n_restarts_optimizer=0).fit(X, y)
+        assert np.all(np.isfinite(gp.predict(X)))

@@ -1,0 +1,93 @@
+"""Tests for gradient boosted trees (the paper's best-performing model)."""
+
+import numpy as np
+import pytest
+
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.metrics import r2_score
+
+
+class TestGradientBoosting:
+    def test_fit_quality_nonlinear(self, nonlinear_data):
+        X, y = nonlinear_data
+        gb = GradientBoostingRegressor(n_estimators=150, max_depth=3, random_state=0).fit(X, y)
+        assert gb.score(X, y) > 0.97
+
+    def test_training_loss_monotonically_decreases(self, nonlinear_data):
+        X, y = nonlinear_data
+        gb = GradientBoostingRegressor(n_estimators=50, max_depth=3, random_state=0).fit(X, y)
+        losses = np.asarray(gb.train_score_)
+        assert np.all(np.diff(losses) <= 1e-9)
+
+    def test_more_estimators_fit_training_data_better(self, nonlinear_data):
+        X, y = nonlinear_data
+        few = GradientBoostingRegressor(n_estimators=10, random_state=0).fit(X, y)
+        many = GradientBoostingRegressor(n_estimators=100, random_state=0).fit(X, y)
+        assert many.score(X, y) > few.score(X, y)
+
+    def test_staged_predict_final_stage_matches_predict(self, nonlinear_data):
+        X, y = nonlinear_data
+        gb = GradientBoostingRegressor(n_estimators=20, random_state=0).fit(X, y)
+        stages = list(gb.staged_predict(X[:30]))
+        assert len(stages) == 20
+        np.testing.assert_allclose(stages[-1], gb.predict(X[:30]))
+
+    def test_learning_rate_zero_estimators_rejected(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(n_estimators=0).fit(np.ones((4, 1)), np.ones(4))
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(learning_rate=0.0).fit(np.ones((4, 1)), np.arange(4.0))
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(subsample=0.0).fit(np.ones((4, 1)), np.arange(4.0))
+
+    def test_subsample_still_fits(self, nonlinear_data):
+        X, y = nonlinear_data
+        gb = GradientBoostingRegressor(
+            n_estimators=80, subsample=0.6, max_depth=3, random_state=0
+        ).fit(X, y)
+        assert gb.score(X, y) > 0.9
+
+    def test_absolute_error_loss(self, rng):
+        X = rng.uniform(-2, 2, size=(200, 2))
+        y = X[:, 0] - 2.0 * X[:, 1]
+        # Add a few gross outliers; MAE loss should stay robust.
+        y_noisy = y.copy()
+        y_noisy[:5] += 100.0
+        gb = GradientBoostingRegressor(
+            n_estimators=100, loss="absolute_error", max_depth=3, random_state=0
+        ).fit(X, y_noisy)
+        assert r2_score(y[5:], gb.predict(X[5:])) > 0.8
+
+    def test_unknown_loss(self):
+        with pytest.raises(ValueError):
+            GradientBoostingRegressor(loss="huber").fit(np.ones((4, 1)), np.arange(4.0))
+
+    def test_early_stopping_reduces_estimator_count(self, rng):
+        X = rng.uniform(-1, 1, size=(300, 2))
+        y = X[:, 0] + rng.normal(0, 0.5, 300)
+        gb = GradientBoostingRegressor(
+            n_estimators=300,
+            n_iter_no_change=5,
+            validation_fraction=0.2,
+            max_depth=2,
+            random_state=0,
+        ).fit(X, y)
+        assert gb.n_estimators_ < 300
+        assert len(gb.validation_score_) == gb.n_estimators_
+
+    def test_init_is_mean_for_squared_error(self, nonlinear_data):
+        X, y = nonlinear_data
+        gb = GradientBoostingRegressor(n_estimators=1, learning_rate=0.0001, random_state=0).fit(X, y)
+        assert gb.init_ == pytest.approx(float(np.mean(y)))
+
+    def test_reproducibility(self, nonlinear_data):
+        X, y = nonlinear_data
+        a = GradientBoostingRegressor(n_estimators=30, subsample=0.7, random_state=3).fit(X, y)
+        b = GradientBoostingRegressor(n_estimators=30, subsample=0.7, random_state=3).fit(X, y)
+        np.testing.assert_allclose(a.predict(X[:20]), b.predict(X[:20]))
+
+    def test_feature_importances(self, rng):
+        X = rng.normal(size=(250, 3))
+        y = 5.0 * X[:, 2] + 0.01 * rng.normal(size=250)
+        gb = GradientBoostingRegressor(n_estimators=30, max_depth=3, random_state=0).fit(X, y)
+        assert np.argmax(gb.feature_importances_) == 2

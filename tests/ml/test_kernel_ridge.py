@@ -1,0 +1,59 @@
+"""Tests for kernel ridge regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.kernel_ridge import KernelRidge
+from repro.ml.linear import LinearRegression
+
+
+class TestKernelRidge:
+    def test_rbf_fits_nonlinear_function(self, nonlinear_data):
+        X, y = nonlinear_data
+        kr = KernelRidge(alpha=1e-3, kernel="rbf", gamma=0.5).fit(X, y)
+        assert kr.score(X, y) > 0.97
+
+    def test_beats_linear_model_on_nonlinear_data(self, nonlinear_data):
+        X, y = nonlinear_data
+        lin = LinearRegression().fit(X, y)
+        kr = KernelRidge(alpha=1e-2, gamma=0.5).fit(X, y)
+        assert kr.score(X, y) > lin.score(X, y)
+
+    def test_large_alpha_shrinks_towards_constant(self, nonlinear_data):
+        X, y = nonlinear_data
+        kr = KernelRidge(alpha=1e7).fit(X, y)
+        preds = kr.predict(X)
+        assert np.std(preds) < 0.1 * np.std(y)
+
+    def test_interpolates_with_tiny_alpha(self, rng):
+        X = rng.uniform(-1, 1, size=(40, 2))
+        y = np.sin(3 * X[:, 0]) + X[:, 1]
+        kr = KernelRidge(alpha=1e-10, gamma=2.0).fit(X, y)
+        np.testing.assert_allclose(kr.predict(X), y, atol=1e-3)
+
+    def test_linear_kernel_close_to_linear_regression(self, linear_data):
+        # A linear kernel has no bias term, so compare on centred targets.
+        X, y, _ = linear_data
+        y_centred = y - y.mean()
+        kr = KernelRidge(alpha=1e-6, kernel="linear", standardize=False).fit(X, y_centred)
+        lin = LinearRegression(fit_intercept=False).fit(X, y_centred)
+        np.testing.assert_allclose(kr.predict(X[:20]), lin.predict(X[:20]), atol=0.05)
+
+    def test_poly_and_laplacian_kernels_run(self, nonlinear_data):
+        X, y = nonlinear_data
+        for kernel in ("poly", "laplacian"):
+            kr = KernelRidge(alpha=1e-2, kernel=kernel).fit(X, y)
+            assert kr.score(X, y) > 0.7
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            KernelRidge(alpha=-0.1).fit(np.ones((4, 2)), np.arange(4.0))
+
+    def test_unknown_kernel_rejected(self, nonlinear_data):
+        X, y = nonlinear_data
+        with pytest.raises(ValueError):
+            KernelRidge(kernel="bogus").fit(X, y)
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            KernelRidge().predict(np.ones((2, 2)))

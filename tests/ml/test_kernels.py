@@ -1,0 +1,143 @@
+"""Tests for kernel functions and their algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.kernels import (
+    RBF,
+    ConstantKernel,
+    LinearKernel,
+    PolynomialKernel,
+    RationalQuadratic,
+    Sum,
+    Product,
+    WhiteKernel,
+    pairwise_kernel,
+)
+
+points = st.tuples(
+    st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=4)
+).flatmap(
+    lambda shape: arrays(
+        np.float64,
+        shape,
+        elements=st.floats(min_value=-5, max_value=5, allow_nan=False, allow_infinity=False),
+    )
+)
+
+
+class TestRBF:
+    def test_diagonal_is_one(self, rng):
+        X = rng.normal(size=(10, 3))
+        K = RBF(1.0)(X)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+    def test_symmetry(self, rng):
+        X = rng.normal(size=(8, 2))
+        K = RBF(0.7)(X)
+        np.testing.assert_allclose(K, K.T)
+
+    def test_decays_with_distance(self):
+        X = np.array([[0.0], [1.0], [5.0]])
+        K = RBF(1.0)(X)
+        assert K[0, 1] > K[0, 2]
+
+    def test_anisotropic_length_scale(self):
+        X = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        K = RBF(np.array([0.1, 10.0]))(X)
+        # Distance along the short-length-scale axis decays much faster.
+        assert K[0, 1] < K[0, 2]
+
+    def test_theta_roundtrip(self):
+        k = RBF(np.array([2.0, 3.0]))
+        theta = k.theta
+        k2 = k.clone_with_theta(theta)
+        np.testing.assert_allclose(k2.length_scale, [2.0, 3.0])
+
+    def test_invalid_length_scale(self):
+        with pytest.raises(ValueError):
+            RBF(0.0)
+
+    @given(points)
+    @settings(max_examples=30, deadline=None)
+    def test_psd_property(self, X):
+        K = RBF(1.0)(X) + 1e-8 * np.eye(X.shape[0])
+        eigvals = np.linalg.eigvalsh(K)
+        assert np.all(eigvals > -1e-6)
+
+
+class TestOtherKernels:
+    def test_white_kernel_only_diagonal(self, rng):
+        X = rng.normal(size=(6, 2))
+        K = WhiteKernel(0.5)(X)
+        np.testing.assert_allclose(K, 0.5 * np.eye(6))
+        K_cross = WhiteKernel(0.5)(X, rng.normal(size=(4, 2)))
+        np.testing.assert_allclose(K_cross, 0.0)
+
+    def test_constant_kernel(self, rng):
+        X = rng.normal(size=(3, 2))
+        np.testing.assert_allclose(ConstantKernel(2.5)(X), 2.5)
+
+    def test_linear_kernel_matches_dot(self, rng):
+        X = rng.normal(size=(5, 3))
+        np.testing.assert_allclose(LinearKernel()(X), X @ X.T)
+
+    def test_polynomial_kernel_degree_one_is_affine_dot(self, rng):
+        X = rng.normal(size=(4, 2))
+        K = PolynomialKernel(degree=1, gamma=1.0, coef0=0.0)(X)
+        np.testing.assert_allclose(K, X @ X.T)
+
+    def test_rational_quadratic_bounded_by_one(self, rng):
+        X = rng.normal(size=(6, 2))
+        K = RationalQuadratic(1.0, 1.0)(X)
+        assert np.all(K <= 1.0 + 1e-12)
+        np.testing.assert_allclose(np.diag(K), 1.0)
+
+
+class TestKernelAlgebra:
+    def test_sum_and_product(self, rng):
+        X = rng.normal(size=(5, 2))
+        k1, k2 = RBF(1.0), ConstantKernel(2.0)
+        np.testing.assert_allclose((k1 + k2)(X), k1(X) + k2(X))
+        np.testing.assert_allclose((k1 * k2)(X), k1(X) * k2(X))
+
+    def test_scalar_promotes_to_constant(self, rng):
+        X = rng.normal(size=(4, 2))
+        k = 2.0 * RBF(1.0)
+        assert isinstance(k, Product)
+        np.testing.assert_allclose(k(X), 2.0 * RBF(1.0)(X))
+
+    def test_composite_theta_concatenates(self):
+        k = ConstantKernel(1.0) * RBF(np.ones(3)) + WhiteKernel(0.1)
+        assert len(k.theta) == 1 + 3 + 1
+        new_theta = k.theta + 0.5
+        k.theta = new_theta
+        np.testing.assert_allclose(k.theta, new_theta)
+
+    def test_composite_bounds_shape(self):
+        k = ConstantKernel(1.0) * RBF(np.ones(2)) + WhiteKernel(0.1)
+        assert k.bounds.shape == (4, 2)
+
+    def test_sum_diag(self, rng):
+        X = rng.normal(size=(5, 2))
+        k = Sum(RBF(1.0), WhiteKernel(0.3))
+        np.testing.assert_allclose(k.diag(X), np.diag(k(X)))
+
+
+class TestPairwiseKernel:
+    def test_rbf_matches_class(self, rng):
+        X = rng.normal(size=(6, 2))
+        K1 = pairwise_kernel(X, None, "rbf", gamma=0.5)
+        K2 = np.exp(-0.5 * np.sum((X[:, None] - X[None]) ** 2, axis=-1))
+        np.testing.assert_allclose(K1, K2)
+
+    def test_linear(self, rng):
+        X = rng.normal(size=(4, 3))
+        np.testing.assert_allclose(pairwise_kernel(X, None, "linear"), X @ X.T)
+
+    def test_unknown_kernel(self, rng):
+        with pytest.raises(ValueError):
+            pairwise_kernel(rng.normal(size=(3, 2)), None, "bogus")

@@ -1,0 +1,103 @@
+"""Tests for linear, ridge, Bayesian ridge and polynomial regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import BayesianRidge, LinearRegression, PolynomialRegression, Ridge
+from repro.ml.metrics import r2_score
+
+
+class TestLinearRegression:
+    def test_recovers_true_coefficients(self, linear_data):
+        X, y, coef = linear_data
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.05)
+        assert model.intercept_ == pytest.approx(3.0, abs=0.05)
+
+    def test_exact_fit_noise_free(self):
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = 2.0 * X.ravel() + 1.0
+        model = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-10)
+
+    def test_no_intercept(self):
+        X = np.array([[1.0], [2.0], [3.0]])
+        y = 4.0 * X.ravel()
+        model = LinearRegression(fit_intercept=False).fit(X, y)
+        assert model.intercept_ == 0.0
+        assert model.coef_[0] == pytest.approx(4.0)
+
+    def test_score_is_r2(self, linear_data):
+        X, y, _ = linear_data
+        model = LinearRegression().fit(X, y)
+        assert model.score(X, y) == pytest.approx(r2_score(y, model.predict(X)))
+
+
+class TestRidge:
+    def test_matches_ols_with_zero_alpha(self, linear_data):
+        X, y, _ = linear_data
+        ols = LinearRegression().fit(X, y)
+        ridge = Ridge(alpha=0.0).fit(X, y)
+        np.testing.assert_allclose(ridge.coef_, ols.coef_, atol=1e-8)
+
+    def test_shrinkage_increases_with_alpha(self, linear_data):
+        X, y, _ = linear_data
+        small = Ridge(alpha=0.01).fit(X, y)
+        large = Ridge(alpha=1e4).fit(X, y)
+        assert np.linalg.norm(large.coef_) < np.linalg.norm(small.coef_)
+
+    def test_negative_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            Ridge(alpha=-1.0).fit(np.ones((3, 1)), np.ones(3))
+
+    def test_handles_collinear_features(self, rng):
+        x = rng.normal(size=50)
+        X = np.column_stack([x, x])  # perfectly collinear
+        y = 3.0 * x
+        model = Ridge(alpha=1.0).fit(X, y)
+        assert np.all(np.isfinite(model.coef_))
+        assert r2_score(y, model.predict(X)) > 0.95
+
+
+class TestBayesianRidge:
+    def test_fit_quality_on_linear_data(self, linear_data):
+        X, y, coef = linear_data
+        model = BayesianRidge().fit(X, y)
+        np.testing.assert_allclose(model.coef_, coef, atol=0.1)
+        assert model.alpha_ > 0 and model.lambda_ > 0
+
+    def test_noise_precision_tracks_noise_level(self, rng):
+        X = rng.normal(size=(300, 2))
+        y_clean = X @ np.array([1.0, -1.0])
+        low_noise = BayesianRidge().fit(X, y_clean + rng.normal(0, 0.01, 300))
+        high_noise = BayesianRidge().fit(X, y_clean + rng.normal(0, 1.0, 300))
+        # alpha_ is the estimated noise *precision*: higher for cleaner data.
+        assert low_noise.alpha_ > high_noise.alpha_
+
+    def test_predict_with_std(self, linear_data):
+        X, y, _ = linear_data
+        model = BayesianRidge().fit(X, y)
+        mean, std = model.predict(X[:10], return_std=True)
+        assert mean.shape == (10,) and std.shape == (10,)
+        assert np.all(std > 0)
+
+
+class TestPolynomialRegression:
+    def test_fits_quadratic_exactly(self, rng):
+        X = rng.uniform(-2, 2, size=(100, 1))
+        y = 3.0 * X.ravel() ** 2 - X.ravel() + 0.5
+        model = PolynomialRegression(degree=2, alpha=1e-10).fit(X, y)
+        assert r2_score(y, model.predict(X)) > 0.9999
+
+    def test_beats_linear_on_nonlinear_data(self, nonlinear_data):
+        X, y = nonlinear_data
+        lin = LinearRegression().fit(X, y)
+        poly = PolynomialRegression(degree=3).fit(X, y)
+        assert poly.score(X, y) > lin.score(X, y)
+
+    def test_get_set_params_roundtrip(self):
+        model = PolynomialRegression(degree=4, alpha=0.1)
+        params = model.get_params()
+        assert params["degree"] == 4
+        model.set_params(degree=2)
+        assert model.degree == 2

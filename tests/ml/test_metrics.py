@@ -1,0 +1,125 @@
+"""Tests for regression metrics, including property-based invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.ml.metrics import (
+    explained_variance_score,
+    max_error,
+    mean_absolute_error,
+    mean_absolute_percentage_error,
+    mean_squared_error,
+    median_absolute_error,
+    r2_score,
+    regression_report,
+    root_mean_squared_error,
+)
+
+finite_floats = st.floats(min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False)
+
+
+def paired_arrays(min_size=2, max_size=50):
+    return st.integers(min_value=min_size, max_value=max_size).flatmap(
+        lambda n: st.tuples(
+            arrays(np.float64, n, elements=finite_floats),
+            arrays(np.float64, n, elements=finite_floats),
+        )
+    )
+
+
+class TestKnownValues:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+        assert mean_absolute_error(y, y) == 0.0
+        assert mean_absolute_percentage_error(y, y) == 0.0
+        assert max_error(y, y) == 0.0
+
+    def test_mae_hand_computed(self):
+        assert mean_absolute_error([1.0, 2.0, 3.0], [2.0, 2.0, 5.0]) == pytest.approx(1.0)
+
+    def test_mape_hand_computed(self):
+        # errors: 0.5/1, 1/4 -> mean = 0.375
+        assert mean_absolute_percentage_error([1.0, 4.0], [1.5, 3.0]) == pytest.approx(0.375)
+
+    def test_mse_rmse_consistency(self):
+        y_true = [0.0, 0.0, 0.0]
+        y_pred = [1.0, 2.0, 2.0]
+        assert root_mean_squared_error(y_true, y_pred) == pytest.approx(
+            np.sqrt(mean_squared_error(y_true, y_pred))
+        )
+
+    def test_r2_of_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, np.full_like(y, y.mean())) == pytest.approx(0.0)
+
+    def test_r2_constant_target(self):
+        assert r2_score([2.0, 2.0], [2.0, 2.0]) == 1.0
+        assert r2_score([2.0, 2.0], [1.0, 3.0]) == 0.0
+
+    def test_median_absolute_error_robust(self):
+        y_true = np.zeros(5)
+        y_pred = np.array([0.1, 0.1, 0.1, 0.1, 100.0])
+        assert median_absolute_error(y_true, y_pred) == pytest.approx(0.1)
+
+    def test_explained_variance_ignores_constant_offset(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert explained_variance_score(y, y + 10.0) == pytest.approx(1.0)
+        assert r2_score(y, y + 10.0) < 1.0
+
+    def test_regression_report_keys(self):
+        report = regression_report([1.0, 2.0], [1.1, 2.2])
+        assert set(report) == {"r2", "mae", "mape", "rmse", "max_error"}
+
+
+class TestValidation:
+    def test_shape_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            mean_absolute_error([1.0, 2.0], [1.0])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            r2_score([], [])
+
+
+class TestProperties:
+    @given(paired_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mae_nonnegative_and_bounded_by_max_error(self, pair):
+        y_true, y_pred = pair
+        mae = mean_absolute_error(y_true, y_pred)
+        assert mae >= 0.0
+        assert mae <= max_error(y_true, y_pred) + 1e-9
+
+    @given(paired_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_rmse_at_least_mae(self, pair):
+        y_true, y_pred = pair
+        assert root_mean_squared_error(y_true, y_pred) >= mean_absolute_error(y_true, y_pred) - 1e-9
+
+    @given(paired_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_r2_never_exceeds_one(self, pair):
+        y_true, y_pred = pair
+        assert r2_score(y_true, y_pred) <= 1.0 + 1e-12
+
+    @given(paired_arrays(), st.floats(min_value=0.1, max_value=10.0))
+    @settings(max_examples=50, deadline=None)
+    def test_mae_scales_linearly(self, pair, scale):
+        y_true, y_pred = pair
+        base = mean_absolute_error(y_true, y_pred)
+        scaled = mean_absolute_error(scale * y_true, scale * y_pred)
+        assert scaled == pytest.approx(scale * base, rel=1e-9, abs=1e-9)
+
+    @given(paired_arrays())
+    @settings(max_examples=50, deadline=None)
+    def test_mape_scale_invariant(self, pair):
+        y_true, y_pred = pair
+        base = mean_absolute_percentage_error(y_true, y_pred)
+        scaled = mean_absolute_percentage_error(3.0 * y_true, 3.0 * y_pred)
+        # Scale invariance holds whenever no |y_true| value sits below the eps clamp.
+        if np.all(np.abs(y_true) > 1e-6):
+            assert scaled == pytest.approx(base, rel=1e-6)

@@ -1,0 +1,106 @@
+"""Tests for parameter grids and grid/randomized search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.linear import Ridge
+from repro.ml.search import GridSearchCV, ParameterGrid, ParameterSampler, RandomizedSearchCV
+from repro.ml.tree import DecisionTreeRegressor
+
+
+class TestParameterGrid:
+    def test_length_and_contents(self):
+        grid = ParameterGrid({"a": [1, 2], "b": ["x", "y", "z"]})
+        combos = list(grid)
+        assert len(grid) == 6 and len(combos) == 6
+        assert {"a": 1, "b": "x"} in combos
+
+    def test_multiple_grids(self):
+        grid = ParameterGrid([{"a": [1]}, {"b": [2, 3]}])
+        assert len(grid) == 3
+
+    def test_scalar_values_promoted_to_lists(self):
+        grid = ParameterGrid({"a": [1, 2], "b": "const"})
+        assert all(c["b"] == "const" for c in grid)
+
+    def test_empty_value_list_rejected(self):
+        with pytest.raises(ValueError):
+            ParameterGrid({"a": []})
+
+
+class TestParameterSampler:
+    def test_samples_without_replacement_from_grid(self):
+        sampler = ParameterSampler({"a": [1, 2, 3], "b": [10, 20]}, n_iter=4, random_state=0)
+        samples = list(sampler)
+        assert len(samples) == 4
+        assert len({tuple(sorted(s.items())) for s in samples}) == 4
+
+    def test_n_iter_capped_by_grid_size(self):
+        sampler = ParameterSampler({"a": [1, 2]}, n_iter=10, random_state=0)
+        assert len(list(sampler)) == 2
+
+    def test_rvs_distributions_supported(self):
+        import scipy.stats as st
+
+        sampler = ParameterSampler({"alpha": st.uniform(0, 1)}, n_iter=5, random_state=0)
+        samples = list(sampler)
+        assert len(samples) == 5
+        assert all(0 <= s["alpha"] <= 1 for s in samples)
+
+
+class TestGridSearchCV:
+    def test_finds_best_alpha(self, nonlinear_data):
+        X, y = nonlinear_data
+        search = GridSearchCV(
+            DecisionTreeRegressor(random_state=0),
+            {"max_depth": [1, 6]},
+            cv=3,
+        ).fit(X, y)
+        assert search.best_params_["max_depth"] == 6
+
+    def test_cv_results_structure(self, linear_data):
+        X, y, _ = linear_data
+        search = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0, 10.0]}, cv=3).fit(X, y)
+        assert len(search.cv_results_["params"]) == 3
+        assert search.cv_results_["mean_test_score"].shape == (3,)
+        assert search.best_index_ == int(np.argmax(search.cv_results_["mean_test_score"]))
+
+    def test_refit_allows_predict(self, linear_data):
+        X, y, _ = linear_data
+        search = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0]}, cv=3).fit(X, y)
+        assert search.predict(X[:5]).shape == (5,)
+        assert search.score(X, y) > 0.9
+
+    def test_no_refit_blocks_predict(self, linear_data):
+        X, y, _ = linear_data
+        search = GridSearchCV(Ridge(), {"alpha": [0.1]}, cv=3, refit=False).fit(X, y)
+        with pytest.raises(RuntimeError):
+            search.predict(X[:5])
+
+    def test_search_time_recorded(self, linear_data):
+        X, y, _ = linear_data
+        search = GridSearchCV(Ridge(), {"alpha": [0.1, 1.0]}, cv=3).fit(X, y)
+        assert search.search_time_ > 0
+
+    def test_empty_grid_rejected(self, linear_data):
+        X, y, _ = linear_data
+        with pytest.raises(ValueError):
+            GridSearchCV(Ridge(), [{}][:0], cv=3).fit(X, y)
+
+
+class TestRandomizedSearchCV:
+    def test_respects_n_iter(self, linear_data):
+        X, y, _ = linear_data
+        search = RandomizedSearchCV(
+            Ridge(), {"alpha": [0.01, 0.1, 1.0, 10.0, 100.0]}, n_iter=3, cv=3, random_state=0
+        ).fit(X, y)
+        assert len(search.cv_results_["params"]) == 3
+
+    def test_best_score_close_to_grid_search(self, nonlinear_data):
+        X, y = nonlinear_data
+        grid = {"max_depth": [2, 4, 6, 8], "min_samples_leaf": [1, 5]}
+        gs = GridSearchCV(DecisionTreeRegressor(random_state=0), grid, cv=3).fit(X, y)
+        rs = RandomizedSearchCV(
+            DecisionTreeRegressor(random_state=0), grid, n_iter=8, cv=3, random_state=0
+        ).fit(X, y)
+        assert rs.best_score_ == pytest.approx(gs.best_score_, abs=0.05)

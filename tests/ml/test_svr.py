@@ -1,0 +1,59 @@
+"""Tests for support vector regression."""
+
+import numpy as np
+import pytest
+
+from repro.ml.metrics import mean_absolute_error
+from repro.ml.svr import SVR
+
+
+class TestSVR:
+    def test_rbf_fit_quality(self, nonlinear_data):
+        X, y = nonlinear_data
+        svr = SVR(C=100.0, epsilon=0.05, gamma=0.5).fit(X, y)
+        assert svr.score(X, y) > 0.9
+
+    def test_linear_kernel_on_linear_data(self, linear_data):
+        X, y, _ = linear_data
+        svr = SVR(kernel="linear", C=100.0, epsilon=0.01).fit(X, y)
+        assert svr.score(X, y) > 0.98
+
+    def test_poly_kernel_runs(self, nonlinear_data):
+        X, y = nonlinear_data
+        svr = SVR(kernel="poly", C=10.0, degree=2).fit(X, y)
+        assert svr.score(X, y) > 0.6
+
+    def test_large_epsilon_flattens_fit(self, linear_data):
+        X, y, _ = linear_data
+        tight = SVR(C=10.0, epsilon=0.01).fit(X, y)
+        loose = SVR(C=10.0, epsilon=100.0).fit(X, y)
+        err_tight = mean_absolute_error(y, tight.predict(X))
+        err_loose = mean_absolute_error(y, loose.predict(X))
+        assert err_loose > err_tight
+
+    def test_small_C_regularizes(self, nonlinear_data):
+        X, y = nonlinear_data
+        weak = SVR(C=1e-4, gamma=0.5).fit(X, y)
+        strong = SVR(C=100.0, gamma=0.5).fit(X, y)
+        assert strong.score(X, y) > weak.score(X, y)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            SVR(C=0.0).fit(np.ones((3, 1)), np.ones(3))
+        with pytest.raises(ValueError):
+            SVR(epsilon=-1.0).fit(np.ones((3, 1)), np.arange(3.0))
+
+    def test_n_support_reported(self, nonlinear_data):
+        X, y = nonlinear_data
+        svr = SVR(C=10.0, epsilon=0.1).fit(X[:100], y[:100])
+        assert 0 < svr.n_support_ <= 100
+
+    def test_predict_requires_fit(self):
+        with pytest.raises(RuntimeError):
+            SVR().predict(np.ones((2, 2)))
+
+    def test_target_normalization_handles_large_scale(self, rng):
+        X = rng.uniform(0, 1, size=(150, 2))
+        y = 5000.0 + 1000.0 * X[:, 0]
+        svr = SVR(C=100.0, epsilon=0.01, gamma=1.0).fit(X, y)
+        assert svr.score(X, y) > 0.9

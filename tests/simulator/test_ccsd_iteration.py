@@ -1,0 +1,46 @@
+"""Tests for the one-call CCSD experiment API."""
+
+import pytest
+
+from repro.machines import AURORA
+from repro.simulator.ccsd_iteration import run_ccsd_iteration
+from repro.tamm.runtime import InfeasibleConfigurationError, TammRuntimeSimulator
+
+
+class TestRunCCSDIteration:
+    def test_returns_experiment_record(self):
+        exp = run_ccsd_iteration("aurora", 44, 260, 5, 40, rng=0)
+        assert exp.machine == "aurora"
+        assert exp.features == (44, 260, 5, 40)
+        assert exp.runtime_s > 0
+        assert exp.node_hours == pytest.approx(exp.runtime_s * 5 / 3600)
+
+    def test_accepts_machine_spec_object(self):
+        exp = run_ccsd_iteration(AURORA, 44, 260, 5, 40, rng=0)
+        assert exp.machine == "aurora"
+
+    def test_noise_toggle(self):
+        noisy = run_ccsd_iteration("frontier", 99, 718, 50, 80, rng=0, apply_noise=True)
+        clean = run_ccsd_iteration("frontier", 99, 718, 50, 80, rng=0, apply_noise=False)
+        assert clean.runtime_s == pytest.approx(clean.breakdown.total_time)
+        assert noisy.runtime_s != clean.runtime_s
+
+    def test_reuses_provided_simulator(self):
+        sim = TammRuntimeSimulator(AURORA)
+        exp = run_ccsd_iteration("aurora", 44, 260, 5, 40, rng=0, simulator=sim)
+        assert exp.breakdown.machine == "aurora"
+
+    def test_infeasible_configuration_raises(self):
+        with pytest.raises(InfeasibleConfigurationError):
+            run_ccsd_iteration("aurora", 146, 1568, 1, 80)
+
+    def test_unknown_machine(self):
+        with pytest.raises(ValueError):
+            run_ccsd_iteration("summit", 44, 260, 5, 40)
+
+    def test_breakdown_fields_consistent(self):
+        exp = run_ccsd_iteration("aurora", 99, 718, 60, 80, rng=1)
+        b = exp.breakdown
+        assert b.n_nodes == 60 and b.tile_size == 80
+        assert b.noisy_time == exp.runtime_s
+        assert set(b.per_term) and all(v >= 0 for v in b.per_term.values())

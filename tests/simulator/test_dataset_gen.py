@@ -1,0 +1,74 @@
+"""Tests for the dataset sweep generator."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.dataset_gen import (
+    DEFAULT_TILE_GRID,
+    PAPER_DATASET_SIZES,
+    SweepConfig,
+    generate_dataset,
+    generate_sweep,
+)
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> SweepConfig:
+    return SweepConfig(
+        machine="aurora",
+        problems=[(44, 260), (99, 718)],
+        tile_grid=[40, 80, 120],
+        node_grid=[5, 20, 80, 320],
+        seed=3,
+    )
+
+
+class TestSweep:
+    def test_sweep_covers_requested_problems(self, tiny_config):
+        experiments = generate_sweep(tiny_config)
+        pairs = {(e.n_occupied, e.n_virtual) for e in experiments}
+        assert pairs == {(44, 260), (99, 718)}
+
+    def test_sweep_configs_are_feasible_and_unique(self, tiny_config):
+        experiments = generate_sweep(tiny_config)
+        configs = [(e.n_occupied, e.n_virtual, e.n_nodes, e.tile_size) for e in experiments]
+        assert len(configs) == len(set(configs))
+        assert all(e.runtime_s > 0 for e in experiments)
+
+    def test_sweep_respects_grids(self, tiny_config):
+        experiments = generate_sweep(tiny_config)
+        assert {e.tile_size for e in experiments} <= set(tiny_config.tile_grid)
+        assert {e.n_nodes for e in experiments} <= set(tiny_config.node_grid)
+
+    def test_catalogue_defaults_to_machine(self):
+        config = SweepConfig(machine="frontier")
+        assert len(config.catalogue()) == 20
+
+
+class TestGenerateDataset:
+    def test_paper_sizes_by_default(self):
+        # This generates the full Aurora sweep once; it is the slowest test of
+        # the module (~2 s).
+        traces = generate_dataset("aurora", seed=0)
+        assert len(traces) == PAPER_DATASET_SIZES["aurora"][0]
+
+    def test_subsampling_keeps_every_problem_size(self, tiny_config):
+        traces = generate_dataset("aurora", n_total=10, config=tiny_config)
+        assert len(traces) == 10
+        pairs = {(t.n_occupied, t.n_virtual) for t in traces}
+        assert pairs == {(44, 260), (99, 718)}
+
+    def test_subsampling_larger_than_sweep_returns_all(self, tiny_config):
+        traces = generate_dataset("aurora", n_total=10_000, config=tiny_config)
+        full = generate_sweep(tiny_config)
+        assert len(traces) == len(full)
+
+    def test_reproducible_with_seed(self, tiny_config):
+        a = generate_dataset("aurora", n_total=12, config=tiny_config)
+        b = generate_dataset("aurora", n_total=12, config=tiny_config)
+        assert [t.features() for t in a] == [t.features() for t in b]
+        np.testing.assert_allclose([t.runtime_s for t in a], [t.runtime_s for t in b])
+
+    def test_default_tile_grid_contains_paper_values(self):
+        assert 73 in DEFAULT_TILE_GRID
+        assert min(DEFAULT_TILE_GRID) == 40 and max(DEFAULT_TILE_GRID) == 150

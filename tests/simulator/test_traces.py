@@ -1,0 +1,40 @@
+"""Tests for trace records and table conversion."""
+
+import pytest
+
+from repro.simulator.ccsd_iteration import run_ccsd_iteration
+from repro.simulator.traces import Trace, experiments_to_traces, traces_to_table
+
+
+class TestTrace:
+    def test_node_hours_and_seconds(self):
+        t = Trace("aurora", 44, 260, 10, 40, runtime_s=360.0)
+        assert t.node_seconds == pytest.approx(3600.0)
+        assert t.node_hours == pytest.approx(1.0)
+
+    def test_features_tuple(self):
+        t = Trace("aurora", 44, 260, 10, 40, runtime_s=1.0)
+        assert t.features() == (44, 260, 10, 40)
+
+
+class TestConversions:
+    def test_experiments_to_traces(self):
+        exps = [run_ccsd_iteration("aurora", 44, 260, 5, 40, rng=i) for i in range(3)]
+        traces = experiments_to_traces(exps)
+        assert len(traces) == 3
+        assert traces[0].runtime_s == exps[0].runtime_s
+
+    def test_traces_to_table_schema(self):
+        traces = [
+            Trace("aurora", 44, 260, 5, 40, 17.0),
+            Trace("aurora", 99, 718, 60, 80, 50.0),
+        ]
+        table = traces_to_table(traces)
+        assert table.n_rows == 2
+        for col in ("machine", "n_occupied", "n_virtual", "n_nodes", "tile_size", "runtime_s", "node_hours"):
+            assert col in table
+        assert table["node_hours"][0] == pytest.approx(17.0 * 5 / 3600)
+
+    def test_empty_traces_rejected(self):
+        with pytest.raises(ValueError):
+            traces_to_table([])

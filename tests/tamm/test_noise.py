@@ -1,0 +1,59 @@
+"""Tests for the measurement-noise model."""
+
+import numpy as np
+import pytest
+
+from repro.machines import AURORA, FRONTIER
+from repro.tamm.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_zero_sigma_no_stragglers_is_identity(self):
+        model = NoiseModel(sigma=0.0)
+        assert model.apply(10.0, rng=0) == pytest.approx(10.0)
+
+    def test_factors_positive(self):
+        model = NoiseModel(sigma=0.2, straggler_probability=0.1, straggler_slowdown=1.5)
+        factors = model.sample_factor(rng=0, size=1000)
+        assert np.all(factors > 0)
+
+    def test_median_factor_near_one(self):
+        model = NoiseModel(sigma=0.05)
+        factors = model.sample_factor(rng=1, size=4000)
+        assert np.median(factors) == pytest.approx(1.0, abs=0.02)
+
+    def test_straggler_shifts_mean_up(self):
+        clean = NoiseModel(sigma=0.01)
+        straggly = NoiseModel(sigma=0.01, straggler_probability=0.5, straggler_slowdown=2.0)
+        f_clean = clean.sample_factor(rng=2, size=3000).mean()
+        f_straggly = straggly.sample_factor(rng=2, size=3000).mean()
+        assert f_straggly > f_clean * 1.2
+
+    def test_for_machine_uses_spec(self):
+        aurora = NoiseModel.for_machine(AURORA)
+        frontier = NoiseModel.for_machine(FRONTIER)
+        assert frontier.sigma > aurora.sigma
+
+    def test_frontier_spread_wider_than_aurora(self):
+        a = NoiseModel.for_machine(AURORA).sample_factor(rng=3, size=3000)
+        f = NoiseModel.for_machine(FRONTIER).sample_factor(rng=3, size=3000)
+        assert np.std(f) > np.std(a)
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=0.1, straggler_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=0.1, straggler_slowdown=0.5)
+
+    def test_apply_rejects_negative_runtime(self):
+        with pytest.raises(ValueError):
+            NoiseModel(sigma=0.1).apply(-1.0)
+
+    def test_scalar_vs_vector_sampling(self):
+        model = NoiseModel(sigma=0.1)
+        scalar = model.sample_factor(rng=0)
+        vector = model.sample_factor(rng=0, size=3)
+        assert np.isscalar(scalar) or isinstance(scalar, float)
+        assert vector.shape == (3,)

@@ -1,0 +1,154 @@
+"""Tests for the end-to-end CCSD iteration runtime simulator.
+
+These tests pin down the *qualitative* behaviours the ML layer must learn:
+strong-scaling with an interior optimum, tile-size sweet spots, memory-driven
+minimum node counts, node-hours favouring small allocations, and Frontier
+being noisier than Aurora.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chem.orbitals import ProblemSize
+from repro.machines import AURORA, FRONTIER
+from repro.tamm.runtime import InfeasibleConfigurationError, TammRuntimeSimulator
+
+
+@pytest.fixture(scope="module")
+def aurora_sim() -> TammRuntimeSimulator:
+    return TammRuntimeSimulator(AURORA)
+
+
+@pytest.fixture(scope="module")
+def frontier_sim() -> TammRuntimeSimulator:
+    return TammRuntimeSimulator(FRONTIER)
+
+
+class TestFeasibility:
+    def test_min_nodes_increases_with_problem_size(self, aurora_sim):
+        small = aurora_sim.min_nodes(ProblemSize(44, 260))
+        large = aurora_sim.min_nodes(ProblemSize(146, 1568))
+        assert small < large
+
+    def test_frontier_needs_more_nodes_than_aurora(self, aurora_sim, frontier_sim):
+        problem = ProblemSize(134, 1200)
+        assert frontier_sim.min_nodes(problem) >= aurora_sim.min_nodes(problem)
+
+    def test_infeasible_below_min_nodes(self, aurora_sim):
+        problem = ProblemSize(146, 1568)
+        lo = aurora_sim.min_nodes(problem)
+        with pytest.raises(InfeasibleConfigurationError):
+            aurora_sim.check_feasible(problem, lo - 1, 80)
+        aurora_sim.check_feasible(problem, lo, 80)  # does not raise
+
+    def test_oversized_tile_rejected(self, aurora_sim):
+        problem = ProblemSize(44, 260)
+        limit = aurora_sim.max_tile_size(problem)
+        assert not aurora_sim.is_feasible(problem, 10, limit + 50)
+
+    def test_nonpositive_inputs_rejected(self, aurora_sim):
+        problem = ProblemSize(44, 260)
+        with pytest.raises(InfeasibleConfigurationError):
+            aurora_sim.check_feasible(problem, 0, 40)
+        with pytest.raises(InfeasibleConfigurationError):
+            aurora_sim.check_feasible(problem, 5, 0)
+
+
+class TestRuntimeShape:
+    def test_runtime_positive_and_has_floor(self, aurora_sim):
+        b = aurora_sim.simulate_iteration(ProblemSize(44, 260), 5, 40, rng=0, apply_noise=False)
+        assert b.total_time > AURORA.iteration_base_s
+
+    def test_breakdown_sums_to_total(self, aurora_sim):
+        b = aurora_sim.simulate_iteration(ProblemSize(99, 718), 60, 80, rng=0, apply_noise=False)
+        parts = b.compute_time + b.comm_time + b.overhead_time + b.imbalance_time + b.fixed_time
+        assert b.total_time == pytest.approx(parts, rel=1e-9)
+
+    def test_larger_problem_takes_longer(self, aurora_sim):
+        small = aurora_sim.simulate_iteration(ProblemSize(81, 835), 100, 80, rng=0, apply_noise=False)
+        large = aurora_sim.simulate_iteration(ProblemSize(235, 1007), 100, 80, rng=0, apply_noise=False)
+        assert large.total_time > small.total_time
+
+    def test_strong_scaling_then_saturation(self, aurora_sim):
+        """Runtime first drops with nodes, then rises again (interior optimum)."""
+        problem = ProblemSize(116, 840)
+        nodes = [10, 40, 100, 400, 900]
+        times = [
+            aurora_sim.simulate_iteration(problem, n, 80, rng=0, apply_noise=False).total_time
+            for n in nodes
+        ]
+        assert times[1] < times[0]
+        assert times[-1] > min(times)
+
+    def test_tile_size_has_interior_optimum(self, aurora_sim):
+        problem = ProblemSize(116, 840)
+        tiles = [40, 80, 150]
+        times = [
+            aurora_sim.simulate_iteration(problem, 40, t, rng=0, apply_noise=False).total_time
+            for t in tiles
+        ]
+        assert times[1] < times[0]
+        assert times[1] < times[2]
+
+    def test_node_hours_favour_small_allocations(self, aurora_sim):
+        problem = ProblemSize(116, 840)
+        lo = aurora_sim.simulate_iteration(problem, 10, 100, rng=0, apply_noise=False)
+        hi = aurora_sim.simulate_iteration(problem, 400, 100, rng=0, apply_noise=False)
+        assert lo.node_hours < hi.node_hours
+
+    def test_node_seconds_consistency(self, aurora_sim):
+        b = aurora_sim.simulate_iteration(ProblemSize(99, 718), 60, 80, rng=0)
+        assert b.node_seconds == pytest.approx(b.noisy_time * 60)
+        assert b.node_hours == pytest.approx(b.node_seconds / 3600)
+
+    def test_noise_reproducible_and_bounded(self, frontier_sim):
+        problem = ProblemSize(116, 840)
+        a = frontier_sim.simulate_iteration(problem, 50, 80, rng=7).noisy_time
+        b = frontier_sim.simulate_iteration(problem, 50, 80, rng=7).noisy_time
+        c = frontier_sim.simulate_iteration(problem, 50, 80, rng=8).noisy_time
+        assert a == b
+        assert a != c
+
+    def test_frontier_noise_spread_exceeds_aurora(self, aurora_sim, frontier_sim):
+        problem = ProblemSize(116, 840)
+        aurora_times = [
+            aurora_sim.simulate_iteration(problem, 50, 80, rng=i).noisy_time for i in range(40)
+        ]
+        frontier_times = [
+            frontier_sim.simulate_iteration(problem, 50, 80, rng=i).noisy_time for i in range(40)
+        ]
+        rel_a = np.std(aurora_times) / np.mean(aurora_times)
+        rel_f = np.std(frontier_times) / np.mean(frontier_times)
+        assert rel_f > rel_a
+
+    def test_sampled_fidelity_close_to_analytic(self):
+        analytic = TammRuntimeSimulator(AURORA, fidelity="analytic")
+        sampled = TammRuntimeSimulator(AURORA, fidelity="sampled")
+        problem = ProblemSize(99, 718)
+        a = analytic.simulate_iteration(problem, 60, 80, rng=0, apply_noise=False).total_time
+        s = sampled.simulate_iteration(problem, 60, 80, rng=0, apply_noise=False).total_time
+        assert s == pytest.approx(a, rel=0.5)
+
+    def test_invalid_constructor_args(self):
+        with pytest.raises(ValueError):
+            TammRuntimeSimulator(AURORA, comm_overlap=1.5)
+        with pytest.raises(ValueError):
+            TammRuntimeSimulator(AURORA, fidelity="exact")
+
+
+class TestNodeRange:
+    def test_range_respects_memory_lower_bound(self, aurora_sim):
+        problem = ProblemSize(146, 1568)
+        nodes = aurora_sim.node_range(problem)
+        assert min(nodes) >= aurora_sim.min_nodes(problem)
+
+    def test_small_problem_gets_small_allocations(self, aurora_sim):
+        small_nodes = aurora_sim.node_range(ProblemSize(44, 260))
+        big_nodes = aurora_sim.node_range(ProblemSize(235, 1007))
+        assert min(small_nodes) <= 10
+        assert max(big_nodes) > max(small_nodes)
+
+    def test_custom_candidates_filtered(self, aurora_sim):
+        nodes = aurora_sim.node_range(ProblemSize(99, 718), candidate_nodes=[1, 2, 50, 100000])
+        assert 50 in nodes
+        assert 100000 not in nodes

@@ -1,0 +1,90 @@
+"""Tests for the makespan / load-balance models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tamm.scheduler import SampledScheduler, analytic_makespan
+
+
+class TestAnalyticMakespan:
+    def test_never_below_ideal_or_single_task(self):
+        ideal = 1000 * 0.01 / 64
+        m = analytic_makespan(1000, 0.01, 64)
+        assert m >= ideal
+        assert m >= 0.01
+
+    def test_fewer_tasks_than_workers_is_one_task(self):
+        assert analytic_makespan(10, 2.0, 100) == pytest.approx(2.0)
+
+    def test_more_workers_never_slower(self):
+        times = [analytic_makespan(10_000, 0.005, w) for w in (8, 64, 512)]
+        assert times[0] >= times[1] >= times[2]
+
+    def test_imbalance_shrinks_with_more_tasks_per_worker(self):
+        few = analytic_makespan(128, 1.0, 64) / (128 * 1.0 / 64)
+        many = analytic_makespan(128_000, 1.0, 64) / (128_000 * 1.0 / 64)
+        assert many < few
+
+    def test_zero_task_time(self):
+        assert analytic_makespan(100, 0.0, 10) == 0.0
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            analytic_makespan(0, 1.0, 4)
+        with pytest.raises(ValueError):
+            analytic_makespan(10, 1.0, 0)
+        with pytest.raises(ValueError):
+            analytic_makespan(10, -1.0, 4)
+
+    @given(
+        st.integers(1, 100_000),
+        st.floats(1e-6, 10.0, allow_nan=False),
+        st.integers(1, 4096),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_bounds_property(self, n_tasks, task_time, n_workers):
+        m = analytic_makespan(n_tasks, task_time, n_workers)
+        ideal = n_tasks * task_time / n_workers
+        assert m >= max(ideal, task_time) - 1e-12
+        # Makespan can never exceed fully serial execution (with slack for the
+        # imbalance term at tiny task/worker ratios).
+        assert m <= n_tasks * task_time * 2.5 + task_time
+
+
+class TestSampledScheduler:
+    def test_reproducible_with_seed(self):
+        a = SampledScheduler(random_state=3).makespan(500, 0.01, 16)
+        b = SampledScheduler(random_state=3).makespan(500, 0.01, 16)
+        assert a == b
+
+    def test_close_to_ideal_for_many_small_tasks(self):
+        scheduler = SampledScheduler(task_cv=0.1, random_state=0)
+        makespan = scheduler.makespan(20_000, 0.001, 16)
+        ideal = 20_000 * 0.001 / 16
+        assert makespan == pytest.approx(ideal, rel=0.1)
+
+    def test_single_worker_sums_all_work(self):
+        scheduler = SampledScheduler(task_cv=0.2, random_state=0)
+        makespan = scheduler.makespan(100, 0.02, 1)
+        assert makespan == pytest.approx(100 * 0.02, rel=0.25)
+
+    def test_fewer_tasks_than_workers(self):
+        scheduler = SampledScheduler(task_cv=0.2, random_state=0)
+        makespan = scheduler.makespan(4, 1.0, 100)
+        assert 0.3 < makespan < 3.0
+
+    def test_subsampling_large_task_counts(self):
+        scheduler = SampledScheduler(task_cv=0.2, max_sampled_tasks=1000, random_state=0)
+        makespan = scheduler.makespan(1_000_000, 1e-5, 64)
+        ideal = 1_000_000 * 1e-5 / 64
+        assert makespan == pytest.approx(ideal, rel=0.3)
+
+    def test_invalid_inputs(self):
+        scheduler = SampledScheduler()
+        with pytest.raises(ValueError):
+            scheduler.makespan(0, 1.0, 2)
+        with pytest.raises(ValueError):
+            scheduler.makespan(10, 1.0, 0)
+        with pytest.raises(ValueError):
+            scheduler.makespan(10, -1.0, 2)

@@ -1,0 +1,59 @@
+"""Tests for the block-distributed tensor layout model."""
+
+import numpy as np
+import pytest
+
+from repro.tamm.tensor import TiledTensor
+from repro.tamm.tiling import TiledIndexSpace
+
+
+class TestTiledTensor:
+    def _t2_like(self, o=20, v=60, tile=16):
+        occ = TiledIndexSpace(o, tile)
+        vir = TiledIndexSpace(v, tile)
+        return TiledTensor((occ, occ, vir, vir), name="t2")
+
+    def test_shape_and_elements(self):
+        t = self._t2_like(20, 60, 16)
+        assert t.shape == (20, 20, 60, 60)
+        assert t.n_elements == 20 * 20 * 60 * 60
+        assert t.total_bytes == pytest.approx(8 * t.n_elements)
+
+    def test_block_count(self):
+        t = self._t2_like(20, 60, 16)
+        # 20/16 -> 2 tiles, 60/16 -> 4 tiles
+        assert t.n_blocks == 2 * 2 * 4 * 4
+
+    def test_block_shape_of_last_block(self):
+        t = self._t2_like(20, 60, 16)
+        assert t.block_shape((1, 1, 3, 3)) == (4, 4, 12, 12)
+        assert t.block_shape((0, 0, 0, 0)) == (16, 16, 16, 16)
+
+    def test_block_shape_validates_rank(self):
+        t = self._t2_like()
+        with pytest.raises(ValueError):
+            t.block_shape((0, 0))
+
+    def test_bytes_per_node_decreases_with_nodes(self):
+        t = self._t2_like(40, 120, 20)
+        per_node = [t.bytes_per_node(n) for n in (1, 2, 4, 8)]
+        assert all(b >= a for a, b in zip(per_node[1:], per_node[:-1]))
+        assert per_node[0] == pytest.approx(t.total_bytes, rel=0.05)
+
+    def test_bytes_per_node_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            self._t2_like().bytes_per_node(0)
+
+    def test_block_sizes_summary_total_matches(self):
+        t = self._t2_like(10, 30, 8)
+        summary = t.block_sizes_summary()
+        assert summary["total"] == pytest.approx(t.total_bytes)
+        assert summary["min"] <= summary["mean"] <= summary["max"]
+
+    def test_requires_at_least_one_space(self):
+        with pytest.raises(ValueError):
+            TiledTensor(())
+
+    def test_max_block_bytes(self):
+        t = self._t2_like(20, 60, 16)
+        assert t.max_block_bytes == pytest.approx(8 * 16**4)

@@ -1,0 +1,63 @@
+"""Tests for tiled index spaces."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tamm.tiling import TiledIndexSpace
+
+
+class TestTiledIndexSpace:
+    def test_exact_division(self):
+        space = TiledIndexSpace(100, 25)
+        assert space.n_tiles == 4
+        np.testing.assert_array_equal(space.tile_sizes, [25, 25, 25, 25])
+
+    def test_ragged_last_tile(self):
+        space = TiledIndexSpace(105, 25)
+        assert space.n_tiles == 5
+        np.testing.assert_array_equal(space.tile_sizes, [25, 25, 25, 25, 5])
+
+    def test_tile_larger_than_dimension(self):
+        space = TiledIndexSpace(30, 100)
+        assert space.n_tiles == 1
+        np.testing.assert_array_equal(space.tile_sizes, [30])
+
+    def test_offsets_are_cumulative(self):
+        space = TiledIndexSpace(105, 25)
+        np.testing.assert_array_equal(space.tile_offsets, [0, 25, 50, 75, 100])
+
+    def test_tile_of_and_bounds(self):
+        space = TiledIndexSpace(50, 20)
+        assert space.tile_of(0) == 0
+        assert space.tile_of(25) == 1
+        assert space.tile_of(49) == 2
+        assert space.tile_bounds(2) == (40, 50)
+
+    def test_out_of_range_errors(self):
+        space = TiledIndexSpace(10, 3)
+        with pytest.raises(IndexError):
+            space.tile_of(10)
+        with pytest.raises(IndexError):
+            space.tile_bounds(4)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            TiledIndexSpace(0, 5)
+        with pytest.raises(ValueError):
+            TiledIndexSpace(5, 0)
+
+    def test_len_matches_n_tiles(self):
+        assert len(TiledIndexSpace(47, 8)) == TiledIndexSpace(47, 8).n_tiles
+
+    @given(st.integers(1, 5000), st.integers(1, 300))
+    @settings(max_examples=100, deadline=None)
+    def test_tiles_partition_dimension(self, dim, tile):
+        space = TiledIndexSpace(dim, tile)
+        sizes = space.tile_sizes
+        assert sizes.sum() == dim
+        assert np.all(sizes >= 1)
+        assert np.all(sizes <= tile)
+        assert space.n_tiles == -(-dim // tile)
+        assert space.mean_tile_size == pytest.approx(dim / space.n_tiles)

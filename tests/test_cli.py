@@ -1,0 +1,43 @@
+"""Tests for the repro-chem command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_args(self):
+        args = build_parser().parse_args(
+            ["simulate", "-O", "44", "-V", "260", "--nodes", "5", "--tile", "40"]
+        )
+        assert args.command == "simulate"
+        assert args.occupied == 44 and args.virtual == 260
+
+
+class TestCommands:
+    def test_simulate_prints_breakdown(self, capsys):
+        code = main(["simulate", "-O", "44", "-V", "260", "--nodes", "5", "--tile", "40"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "runtime:" in out and "node-hours" in out
+
+    def test_simulate_infeasible_reports_error(self, capsys):
+        code = main(
+            ["simulate", "-O", "146", "-V", "1568", "--nodes", "1", "--tile", "80"]
+        )
+        err = capsys.readouterr().err
+        assert code == 1
+        assert "Infeasible" in err
+
+    def test_generate_data_writes_csv(self, tmp_path, capsys):
+        out_path = tmp_path / "data.csv"
+        code = main(
+            ["generate-data", "--machine", "aurora", "--rows", "150", "--output", str(out_path)]
+        )
+        assert code == 0
+        assert out_path.exists()
+        assert "150 rows" in capsys.readouterr().out
