@@ -5,6 +5,13 @@ experiments run at a reduced "bench" scale (smaller ensembles, fewer active-
 learning rounds, training subsets for the expensive searches) so the whole
 harness completes in minutes; set ``REPRO_PAPER_SCALE=1`` to use the paper's
 full experiment sizes.
+
+The harness is excluded from the tier-1 run (``pyproject.toml`` restricts
+``testpaths`` to ``tests/``); run it with an explicit ``benchmarks/`` path.
+Every test collected here is tagged with the ``benchmark`` marker.  The
+``--jobs N`` option (or ``REPRO_JOBS=N``) fans the fit-heavy sweeps out over
+``N`` worker processes via :mod:`repro.parallel`; results are identical for
+any value.
 """
 
 from __future__ import annotations
@@ -17,6 +24,29 @@ from repro.core.estimator import ResourceEstimator
 from repro.data.datasets import CCSDDataset, build_dataset
 
 PAPER_SCALE = os.environ.get("REPRO_PAPER_SCALE", "0") not in ("0", "", "false", "False")
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--jobs",
+        action="store",
+        type=int,
+        default=int(os.environ.get("REPRO_JOBS", "1")),
+        help="Worker processes for fit-heavy benchmarks (1=serial, -1=all CPUs).",
+    )
+
+
+def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
+    bench_dir = os.path.dirname(__file__)
+    for item in items:
+        if str(item.path).startswith(bench_dir):
+            item.add_marker(pytest.mark.benchmark)
+
+
+@pytest.fixture(scope="session")
+def n_jobs(request: pytest.FixtureRequest) -> int:
+    """Worker-process count for benchmarks that support parallel execution."""
+    return request.config.getoption("--jobs")
 
 
 def is_paper_scale() -> bool:

@@ -15,7 +15,7 @@ from benchmarks.conftest import is_paper_scale
 from benchmarks.helpers import print_banner
 
 
-def test_fig1_aurora_model_comparison(benchmark, aurora_dataset):
+def test_fig1_aurora_model_comparison(benchmark, aurora_dataset, n_jobs):
     scale = "paper" if is_paper_scale() else "fast"
     max_train = None if is_paper_scale() else 300
 
@@ -27,6 +27,7 @@ def test_fig1_aurora_model_comparison(benchmark, aurora_dataset):
             cv=3,
             seed=0,
             max_train_samples=max_train,
+            n_jobs=n_jobs,
         ),
         rounds=1,
         iterations=1,

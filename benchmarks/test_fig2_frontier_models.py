@@ -11,7 +11,7 @@ from benchmarks.conftest import is_paper_scale
 from benchmarks.helpers import print_banner
 
 
-def test_fig2_frontier_model_comparison(benchmark, frontier_dataset, aurora_dataset):
+def test_fig2_frontier_model_comparison(benchmark, frontier_dataset, aurora_dataset, n_jobs):
     scale = "paper" if is_paper_scale() else "fast"
     max_train = None if is_paper_scale() else 300
 
@@ -23,6 +23,7 @@ def test_fig2_frontier_model_comparison(benchmark, frontier_dataset, aurora_data
             cv=3,
             seed=0,
             max_train_samples=max_train,
+            n_jobs=n_jobs,
         ),
         rounds=1,
         iterations=1,

@@ -26,6 +26,13 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _jobs_spec(value: str) -> int:
+    n = int(value)
+    if n == 0:
+        raise argparse.ArgumentTypeError("--jobs must not be 0 (use 1 for serial, -1 for all CPUs).")
+    return n
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-chem",
@@ -62,6 +69,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--scale", choices=["fast", "paper"], default="fast")
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--max-train", type=int, default=600)
+    p_cmp.add_argument(
+        "--jobs",
+        type=_jobs_spec,
+        default=1,
+        help="Worker processes (1=serial, -1=all CPUs); results are identical for any value.",
+    )
 
     p_al = sub.add_parser("active-learn", help="Run an active-learning campaign.")
     p_al.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
@@ -71,6 +84,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_al.add_argument("--query-size", type=int, default=50)
     p_al.add_argument("--n-queries", type=int, default=10)
     p_al.add_argument("--seed", type=int, default=0)
+    p_al.add_argument(
+        "--jobs",
+        type=_jobs_spec,
+        default=1,
+        help="Worker processes for committee fits (1=serial, -1=all CPUs).",
+    )
 
     return parser
 
@@ -149,6 +168,7 @@ def _cmd_compare_models(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
         max_train_samples=args.max_train,
+        n_jobs=args.jobs,
     )
     print(format_model_comparison(results))
     best = max(results, key=lambda r: r.r2)
@@ -169,6 +189,7 @@ def _cmd_active_learn(args: argparse.Namespace) -> int:
         n_queries=args.n_queries,
         random_state=args.seed,
         goal=goal,
+        n_jobs=args.jobs,
     )
     result = run_active_learning(
         dataset.X_train,

@@ -30,6 +30,7 @@ from repro.core.evaluation import question_loss_report
 from repro.ml.base import check_random_state, clone
 from repro.ml.gaussian_process import GaussianProcessRegressor
 from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.parallel.backend import parallel_map
 from repro.ml.metrics import (
     mean_absolute_error,
     mean_absolute_percentage_error,
@@ -59,6 +60,9 @@ class ActiveLearningConfig:
     #: Goal of the campaign: ``None`` (plain runtime regression), ``"stq"``
     #: or ``"bq"`` — the latter two additionally track question-level losses.
     goal: Optional[str] = None
+    #: Worker processes for strategies with parallelisable fits (the
+    #: query-by-committee member fits); results are seed-identical to serial.
+    n_jobs: int = 1
 
     def __post_init__(self) -> None:
         if self.n_initial < 1:
@@ -117,6 +121,12 @@ class ActiveLearningResult:
 
 
 # --------------------------------------------------------------------------- strategies
+def _fit_committee_member(task: tuple) -> Any:
+    """Fit one (pre-seeded) committee member; module-level so it pickles."""
+    member, X_labeled, y_labeled = task
+    return member.fit(X_labeled, y_labeled)
+
+
 class QueryStrategy:
     """Interface: pick which unlabelled configurations to run next."""
 
@@ -219,6 +229,7 @@ class QueryByCommittee(QueryStrategy):
         self,
         n_committee: int = 5,
         base_model: Optional[GradientBoostingRegressor] = None,
+        n_jobs: int = 1,
     ) -> None:
         if n_committee < 2:
             raise ValueError("A committee needs at least 2 members.")
@@ -226,15 +237,22 @@ class QueryByCommittee(QueryStrategy):
         self.base_model = base_model if base_model is not None else GradientBoostingRegressor(
             n_estimators=80, max_depth=6, subsample=0.8, random_state=0
         )
+        self.n_jobs = n_jobs
         self._committee: list[Any] = []
 
     def fit_model(self, X_labeled: np.ndarray, y_labeled: np.ndarray, rng: np.random.Generator) -> Any:
-        self._committee = []
+        # Member seeds are drawn sequentially so committee fits can fan out
+        # across processes while staying bit-identical to the serial loop.
+        members = []
         for _ in range(self.n_committee):
             member = clone(self.base_model)
             member.set_params(random_state=int(rng.integers(0, 2**31 - 1)))
-            member.fit(X_labeled, y_labeled)
-            self._committee.append(member)
+            members.append(member)
+        self._committee = parallel_map(
+            _fit_committee_member,
+            [(member, X_labeled, y_labeled) for member in members],
+            n_jobs=self.n_jobs,
+        )
         # Algorithm 2 evaluates with the last fitted committee member.
         return self._committee[-1]
 
@@ -304,31 +322,41 @@ def run_active_learning(
     result = ActiveLearningResult(strategy=strategy.name, goal=config.goal)
     objective = "runtime" if config.goal == "stq" else "node_hours"
 
-    for _ in range(config.n_queries):
-        X_labeled, y_labeled = X_pool[labeled_mask], y_pool[labeled_mask]
-        model = strategy.fit_model(X_labeled, y_labeled, rng)
+    # Apply the campaign's n_jobs to strategies that support it for the
+    # duration of this run only; the caller's object is restored afterwards.
+    override_jobs = config.n_jobs != 1 and hasattr(strategy, "n_jobs")
+    saved_jobs = strategy.n_jobs if override_jobs else None
+    if override_jobs:
+        strategy.n_jobs = config.n_jobs
+    try:
+        for _ in range(config.n_queries):
+            X_labeled, y_labeled = X_pool[labeled_mask], y_pool[labeled_mask]
+            model = strategy.fit_model(X_labeled, y_labeled, rng)
 
-        # Paper protocol: regression metrics are tracked on the full pool.
-        y_hat = model.predict(X_pool)
-        result.known_sizes.append(int(labeled_mask.sum()))
-        result.r2.append(r2_score(y_pool, y_hat))
-        result.mae.append(mean_absolute_error(y_pool, y_hat))
-        result.mape.append(mean_absolute_percentage_error(y_pool, y_hat))
+            # Paper protocol: regression metrics are tracked on the full pool.
+            y_hat = model.predict(X_pool)
+            result.known_sizes.append(int(labeled_mask.sum()))
+            result.r2.append(r2_score(y_pool, y_hat))
+            result.mae.append(mean_absolute_error(y_pool, y_hat))
+            result.mape.append(mean_absolute_percentage_error(y_pool, y_hat))
 
-        if config.goal is not None:
-            report = question_loss_report(
-                X_test, np.asarray(y_test, dtype=float).ravel(), model.predict(X_test), objective
+            if config.goal is not None:
+                report = question_loss_report(
+                    X_test, np.asarray(y_test, dtype=float).ravel(), model.predict(X_test), objective
+                )
+                result.goal_r2.append(report["r2"])
+                result.goal_mae.append(report["mae"])
+                result.goal_mape.append(report["mape"])
+
+            unlabeled_idx = np.flatnonzero(~labeled_mask)
+            if unlabeled_idx.size == 0:
+                break
+            picked = strategy.select(
+                model, X_labeled, y_labeled, X_pool[unlabeled_idx], config.query_size, rng
             )
-            result.goal_r2.append(report["r2"])
-            result.goal_mae.append(report["mae"])
-            result.goal_mape.append(report["mape"])
-
-        unlabeled_idx = np.flatnonzero(~labeled_mask)
-        if unlabeled_idx.size == 0:
-            break
-        picked = strategy.select(
-            model, X_labeled, y_labeled, X_pool[unlabeled_idx], config.query_size, rng
-        )
-        labeled_mask[unlabeled_idx[np.asarray(picked, dtype=int)]] = True
+            labeled_mask[unlabeled_idx[np.asarray(picked, dtype=int)]] = True
+    finally:
+        if override_jobs:
+            strategy.n_jobs = saved_jobs
 
     return result

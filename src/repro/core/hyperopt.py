@@ -4,6 +4,20 @@ Figures 1 and 2 of the paper report, for every model in the zoo and each of
 GridSearchCV / RandomizedSearchCV / BayesSearchCV, the test-set R², MAE and
 MAPE of the best found configuration and the wall time of the search itself.
 :func:`run_model_comparison` reproduces that sweep for one machine's dataset.
+
+With ``n_jobs > 1`` the sweep fans out across the (model x strategy)
+combinations — one task per model, heaviest models submitted first — rather
+than within a single search.  Grouping a model's three strategies in one
+worker keeps the cross-strategy candidate-evaluation cache effective, and
+because every task is fully seeded up front, parallel and serial sweeps
+return identical results (modulo wall-time fields) for the same seed.
+
+Note on timings: because candidate evaluations are memoised across
+strategies (see :mod:`repro.parallel.cache`), ``search_time_s`` measures
+the search *as executed* — strategies that revisit candidates already
+scored in the same process report only the cache-lookup time.  Scores and
+``best_params_`` are unaffected; clear the caches between searches if you
+need cold-cache wall times.
 """
 
 from __future__ import annotations
@@ -19,11 +33,16 @@ from repro.data.datasets import CCSDDataset
 from repro.ml.bayes_search import BayesSearchCV
 from repro.ml.metrics import regression_report
 from repro.ml.search import GridSearchCV, ParameterGrid, RandomizedSearchCV
+from repro.parallel.backend import parallel_map
 
 __all__ = ["ModelComparisonResult", "run_model_comparison", "SEARCH_STRATEGIES"]
 
 #: Search strategy labels as used in the paper's figures.
 SEARCH_STRATEGIES: tuple[str, ...] = ("GridSearchCV", "RandomizedSearchCV", "BayesSearchCV")
+
+#: Static cost ranking (heaviest first) used to order task submission so the
+#: expensive ensembles never start last on a busy pool.
+_MODEL_COST_ORDER: tuple[str, ...] = ("GB", "RF", "GP", "SVR", "AB", "DT", "PR", "KR", "BR")
 
 
 @dataclass(frozen=True)
@@ -54,13 +73,21 @@ class ModelComparisonResult:
         }
 
 
-def _make_search(strategy: str, estimator: Any, grid: dict[str, list], *, cv: int, seed: int) -> Any:
+def _make_search(
+    strategy: str, estimator: Any, grid: dict[str, list], *, cv: int, seed: int, n_jobs: int = 1
+) -> Any:
     if strategy == "GridSearchCV":
-        return GridSearchCV(estimator, grid, cv=cv, scoring="r2")
+        return GridSearchCV(estimator, grid, cv=cv, scoring="r2", n_jobs=n_jobs)
     n_grid = len(ParameterGrid(grid))
     if strategy == "RandomizedSearchCV":
         return RandomizedSearchCV(
-            estimator, grid, n_iter=min(8, n_grid), cv=cv, scoring="r2", random_state=seed
+            estimator,
+            grid,
+            n_iter=min(8, n_grid),
+            cv=cv,
+            scoring="r2",
+            random_state=seed,
+            n_jobs=n_jobs,
         )
     if strategy == "BayesSearchCV":
         return BayesSearchCV(
@@ -71,8 +98,37 @@ def _make_search(strategy: str, estimator: Any, grid: dict[str, list], *, cv: in
             cv=cv,
             scoring="r2",
             random_state=seed,
+            n_jobs=n_jobs,
         )
     raise ValueError(f"Unknown search strategy {strategy!r}. Expected one of {SEARCH_STRATEGIES}.")
+
+
+def _compare_one_model(task: tuple) -> list[ModelComparisonResult]:
+    """Run every search strategy for one model; one parallel task of the sweep."""
+    (machine, key, strategies, scale, cv, seed, search_jobs, X_train, y_train, X_test, y_test) = task
+    spec = get_model_spec(key)
+    grid = spec.grid(scale)
+    results: list[ModelComparisonResult] = []
+    for strategy in strategies:
+        search = _make_search(strategy, spec.factory(), grid, cv=cv, seed=seed, n_jobs=search_jobs)
+        t0 = time.perf_counter()
+        search.fit(X_train, y_train)
+        elapsed = time.perf_counter() - t0
+        report = regression_report(y_test, search.predict(X_test))
+        results.append(
+            ModelComparisonResult(
+                machine=machine,
+                model=key,
+                search=strategy,
+                best_params=dict(search.best_params_),
+                r2=report["r2"],
+                mae=report["mae"],
+                mape=report["mape"],
+                search_time_s=elapsed,
+                n_candidates=len(search.cv_results_["params"]),
+            )
+        )
+    return results
 
 
 def run_model_comparison(
@@ -84,6 +140,7 @@ def run_model_comparison(
     cv: int = 3,
     seed: int = 0,
     max_train_samples: Optional[int] = None,
+    n_jobs: int = 1,
 ) -> list[ModelComparisonResult]:
     """Tune every model with every search strategy and score it on the test set.
 
@@ -105,6 +162,10 @@ def run_model_comparison(
     max_train_samples:
         Optional subsample of the training split (keeps expensive kernel
         models tractable at bench scale); ``None`` uses the full split.
+    n_jobs:
+        Worker processes for the sweep.  ``1`` runs serially; ``N > 1``
+        distributes whole models (all their strategies) over a process pool;
+        ``-1`` uses every CPU.  Results are identical for any ``n_jobs``.
     """
     model_keys = [m.upper() for m in (models if models is not None else MODEL_ZOO.keys())]
     X_train, y_train = dataset.X_train, dataset.y_train
@@ -114,27 +175,33 @@ def run_model_comparison(
         X_train, y_train = X_train[idx], y_train[idx]
     X_test, y_test = dataset.X_test, dataset.y_test
 
-    results: list[ModelComparisonResult] = []
-    for key in model_keys:
-        spec = get_model_spec(key)
-        grid = spec.grid(scale)
-        for strategy in strategies:
-            search = _make_search(strategy, spec.factory(), grid, cv=cv, seed=seed)
-            t0 = time.perf_counter()
-            search.fit(X_train, y_train)
-            elapsed = time.perf_counter() - t0
-            report = regression_report(y_test, search.predict(X_test))
-            results.append(
-                ModelComparisonResult(
-                    machine=dataset.machine,
-                    model=key,
-                    search=strategy,
-                    best_params=dict(search.best_params_),
-                    r2=report["r2"],
-                    mae=report["mae"],
-                    mape=report["mape"],
-                    search_time_s=elapsed,
-                    n_candidates=len(search.cv_results_["params"]),
-                )
-            )
-    return results
+    # One task per model so a worker runs all three strategies and benefits
+    # from the shared candidate-evaluation cache; with a single model the
+    # parallelism moves inside the searches instead.
+    parallel_models = n_jobs != 1 and len(model_keys) > 1
+    search_jobs = 1 if parallel_models else n_jobs
+    tasks = [
+        (
+            dataset.machine,
+            key,
+            tuple(strategies),
+            scale,
+            cv,
+            seed,
+            search_jobs,
+            X_train,
+            y_train,
+            X_test,
+            y_test,
+        )
+        for key in model_keys
+    ]
+    cost_rank = {key: rank for rank, key in enumerate(_MODEL_COST_ORDER)}
+    priority = sorted(
+        range(len(model_keys)),
+        key=lambda i: (cost_rank.get(model_keys[i], len(cost_rank)), i),
+    )
+    per_model = parallel_map(
+        _compare_one_model, tasks, n_jobs=n_jobs if parallel_models else 1, priority=priority
+    )
+    return [result for model_results in per_model for result in model_results]

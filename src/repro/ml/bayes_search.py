@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 import time
-from typing import Any, Mapping, Sequence
+from typing import Any, Mapping, Optional, Sequence
 
 import numpy as np
 
@@ -96,23 +96,27 @@ class BayesSearchCV(BaseSearchCV):
         cv: Any = 3,
         refit: bool = True,
         random_state: Any = None,
+        n_jobs: Optional[int] = 1,
     ) -> None:
-        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit)
+        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit, n_jobs=n_jobs)
         self.search_spaces = search_spaces
         self.n_iter = n_iter
         self.n_initial_points = n_initial_points
         self.random_state = random_state
 
     # The sequential nature of Bayesian optimisation means we override fit
-    # rather than just listing candidates up front.
+    # rather than just listing candidates up front; ``n_jobs`` therefore
+    # parallelises the CV folds *within* each candidate evaluation.
     def fit(self, X: Any, y: Any) -> "BayesSearchCV":
-        from repro.ml.model_selection import _resolve_cv, get_scorer
+        from repro.ml.model_selection import get_scorer
+        from repro.parallel.cache import cv_splits
 
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
         rng = check_random_state(self.random_state)
-        scorer = get_scorer(self.scoring)
-        splits = list(_resolve_cv(self.cv).split(X, y))
+        get_scorer(self.scoring)  # fail fast on unknown scoring specs
+        splits = cv_splits(X, y, cv=self.cv)
+        data_token = self._data_token(X, y, splits)
 
         pool = list(ParameterGrid(self.search_spaces))
         if not pool:
@@ -131,7 +135,9 @@ class BayesSearchCV(BaseSearchCV):
 
         def evaluate(pool_index: int) -> None:
             params = pool[pool_index]
-            mean, std, elapsed = self._evaluate_candidate(params, X, y, splits, scorer)
+            mean, std, elapsed = self._evaluate_candidate(
+                params, X, y, splits, data_token=data_token, fold_jobs=self.n_jobs
+            )
             evaluated_idx.append(pool_index)
             scores.append(mean)
             stds.append(std)

@@ -3,6 +3,11 @@
 A bagging ensemble of :class:`~repro.ml.tree.DecisionTreeRegressor` grown on
 bootstrap resamples with per-split feature subsampling.  Supports
 out-of-bag scoring for quick generalisation estimates without a held-out set.
+
+``n_jobs`` distributes the independent tree fits over worker processes.
+Every tree's seed and bootstrap indices are drawn *sequentially* from the
+forest RNG before the fan-out, so serial and parallel fits (and the
+historical single-loop implementation) are bit-identical.
 """
 
 from __future__ import annotations
@@ -20,8 +25,21 @@ from repro.ml.base import (
 )
 from repro.ml.metrics import r2_score
 from repro.ml.tree import DecisionTreeRegressor
+from repro.parallel.backend import parallel_map, resolve_n_jobs
 
 __all__ = ["RandomForestRegressor"]
+
+
+def _fit_tree_chunk(task: tuple) -> list[DecisionTreeRegressor]:
+    """Fit a contiguous chunk of member trees on their (pre-drawn) bootstraps.
+
+    Chunking ships the training matrix to each worker once per chunk instead
+    of once per tree, which keeps IPC cost independent of ``n_estimators``.
+    """
+    X, y, members = task
+    # Each bootstrap matrix is unique, so the presort cache could never hit;
+    # bypassing it avoids hashing every resample and churning the LRU.
+    return [tree.fit(X[idx], y[idx], use_presort_cache=False) for tree, idx in members]
 
 
 class RandomForestRegressor(BaseEstimator, RegressorMixin):
@@ -38,6 +56,7 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         oob_score: bool = False,
         max_samples: Optional[float] = None,
         random_state: Any = None,
+        n_jobs: Optional[int] = 1,
     ) -> None:
         self.n_estimators = n_estimators
         self.max_depth = max_depth
@@ -48,6 +67,7 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         self.oob_score = oob_score
         self.max_samples = max_samples
         self.random_state = random_state
+        self.n_jobs = n_jobs
 
     def fit(self, X: Any, y: Any) -> "RandomForestRegressor":
         if self.n_estimators < 1:
@@ -62,10 +82,10 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
                 raise ValueError("max_samples must be in (0, 1].")
             n_draw = max(1, int(round(self.max_samples * n_samples)))
 
-        self.estimators_: list[DecisionTreeRegressor] = []
-        oob_sum = np.zeros(n_samples)
-        oob_count = np.zeros(n_samples)
-
+        # Draw every tree's seed and bootstrap sample sequentially up front:
+        # the RNG consumption order matches the historical fit loop, and the
+        # per-tree work becomes independent and safe to fan out.
+        members = []
         for _ in range(self.n_estimators):
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
@@ -78,9 +98,20 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
                 idx = rng.integers(0, n_samples, size=n_draw)
             else:
                 idx = np.arange(n_samples)
-            tree.fit(X[idx], y[idx])
-            self.estimators_.append(tree)
-            if self.oob_score and self.bootstrap:
+            members.append((tree, idx))
+
+        n_chunks = max(1, min(resolve_n_jobs(self.n_jobs), self.n_estimators))
+        bounds = np.linspace(0, self.n_estimators, n_chunks + 1).astype(int)
+        tasks = [
+            (X, y, members[lo:hi]) for lo, hi in zip(bounds[:-1], bounds[1:]) if hi > lo
+        ]
+        chunks = parallel_map(_fit_tree_chunk, tasks, n_jobs=self.n_jobs)
+        self.estimators_ = [tree for chunk in chunks for tree in chunk]
+
+        oob_sum = np.zeros(n_samples)
+        oob_count = np.zeros(n_samples)
+        if self.oob_score and self.bootstrap:
+            for tree, (_, idx) in zip(self.estimators_, members):
                 mask = np.ones(n_samples, dtype=bool)
                 mask[np.unique(idx)] = False
                 if np.any(mask):

@@ -4,6 +4,11 @@ The paper finds GB the best overall model on both Aurora and Frontier and
 deploys it with 750 estimators and max depth 10.  This implementation is
 least-squares gradient boosting with shrinkage, optional stochastic
 subsampling and optional early stopping on a validation fraction.
+
+When ``subsample == 1.0`` every stage fits on the training matrix itself,
+so the sorted-feature-index cache (:func:`repro.parallel.cache.feature_presort`)
+is hit once per stage and the per-stage column sorts disappear; stages are
+sequential by construction, so boosting itself takes no ``n_jobs``.
 """
 
 from __future__ import annotations
@@ -126,8 +131,12 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
             if self.subsample < 1.0:
                 n_draw = max(2, int(round(self.subsample * n_samples)))
                 idx = rng.choice(n_samples, size=n_draw, replace=False)
+                X_stage, residual_stage = X[idx], residual[idx]
             else:
-                idx = np.arange(n_samples)
+                # Reuse the training matrix itself: every stage then hits the
+                # same sorted-feature-index cache entry (see repro.parallel).
+                idx = None
+                X_stage, residual_stage = X, residual
             tree = DecisionTreeRegressor(
                 max_depth=self.max_depth,
                 min_samples_split=self.min_samples_split,
@@ -135,9 +144,12 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
                 max_features=self.max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
             )
-            tree.fit(X[idx], residual[idx])
+            # Subsampled stages fit a fresh one-use matrix: bypass the presort
+            # cache (no possible hit) so it keeps the reusable full matrices.
+            tree.fit(X_stage, residual_stage, use_presort_cache=idx is None)
             if self.loss == "absolute_error":
-                self._update_leaves_absolute(tree, X[idx], (y - pred)[idx])
+                residual_abs = (y - pred) if idx is None else (y - pred)[idx]
+                self._update_leaves_absolute(tree, X_stage, residual_abs)
             pred += self.learning_rate * tree.predict(X)
             self.estimators_.append(tree)
             self.train_score_.append(self._loss_value(y, pred))

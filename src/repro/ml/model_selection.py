@@ -2,6 +2,11 @@
 
 The paper trains with a fixed train/test split (Table 1) and uses K-fold
 cross validation inside the hyper-parameter searches of Figures 1 and 2.
+
+``cross_validate``, ``cross_val_score`` and ``cross_val_predict`` accept
+``n_jobs`` and fan the independent fold fits out over
+:func:`repro.parallel.parallel_map`; folds are enumerated and seeded before
+the fan-out, so serial and parallel runs return identical scores.
 """
 
 from __future__ import annotations
@@ -132,6 +137,23 @@ def _resolve_cv(cv: Any) -> KFold:
     raise ValueError(f"Unsupported cv specification: {cv!r}")
 
 
+def _cross_validate_fold(task: tuple) -> tuple[float, float, float, Optional[float]]:
+    """Fit/score a single fold: ``(test_score, fit_time, score_time, train_score)``."""
+    estimator, X, y, train_idx, test_idx, scoring, return_train_score = task
+    scorer = get_scorer(scoring)
+    model = clone(estimator)
+    t0 = time.perf_counter()
+    model.fit(X[train_idx], y[train_idx])
+    fit_time = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    test_score = scorer(y[test_idx], model.predict(X[test_idx]))
+    score_time = time.perf_counter() - t0
+    train_score = (
+        scorer(y[train_idx], model.predict(X[train_idx])) if return_train_score else None
+    )
+    return test_score, fit_time, score_time, train_score
+
+
 def cross_validate(
     estimator: Any,
     X: Any,
@@ -140,32 +162,34 @@ def cross_validate(
     cv: Any = 5,
     scoring: Any = "r2",
     return_train_score: bool = False,
+    n_jobs: Optional[int] = 1,
 ) -> dict[str, np.ndarray]:
-    """Fit/score an estimator over CV folds, returning per-fold diagnostics."""
+    """Fit/score an estimator over CV folds, returning per-fold diagnostics.
+
+    ``n_jobs`` distributes the fold fits over worker processes; fold order
+    and scores are identical to the serial run.
+    """
+    from repro.parallel.backend import parallel_map
+    from repro.parallel.cache import cv_splits
+
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
-    splitter = _resolve_cv(cv)
-    scorer = get_scorer(scoring)
+    get_scorer(scoring)  # fail fast on unknown scoring specs
+    splits = cv_splits(X, y, cv=cv)
 
-    test_scores, train_scores, fit_times, score_times = [], [], [], []
-    for train_idx, test_idx in splitter.split(X, y):
-        model = clone(estimator)
-        t0 = time.perf_counter()
-        model.fit(X[train_idx], y[train_idx])
-        fit_times.append(time.perf_counter() - t0)
-        t0 = time.perf_counter()
-        test_scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
-        score_times.append(time.perf_counter() - t0)
-        if return_train_score:
-            train_scores.append(scorer(y[train_idx], model.predict(X[train_idx])))
+    tasks = [
+        (estimator, X, y, train_idx, test_idx, scoring, return_train_score)
+        for train_idx, test_idx in splits
+    ]
+    folds = parallel_map(_cross_validate_fold, tasks, n_jobs=n_jobs)
 
     out = {
-        "test_score": np.asarray(test_scores),
-        "fit_time": np.asarray(fit_times),
-        "score_time": np.asarray(score_times),
+        "test_score": np.asarray([f[0] for f in folds]),
+        "fit_time": np.asarray([f[1] for f in folds]),
+        "score_time": np.asarray([f[2] for f in folds]),
     }
     if return_train_score:
-        out["train_score"] = np.asarray(train_scores)
+        out["train_score"] = np.asarray([f[3] for f in folds])
     return out
 
 
@@ -176,9 +200,17 @@ def cross_val_score(
     *,
     cv: Any = 5,
     scoring: Any = "r2",
+    n_jobs: Optional[int] = 1,
 ) -> np.ndarray:
     """Per-fold test scores of ``estimator`` under K-fold cross validation."""
-    return cross_validate(estimator, X, y, cv=cv, scoring=scoring)["test_score"]
+    return cross_validate(estimator, X, y, cv=cv, scoring=scoring, n_jobs=n_jobs)["test_score"]
+
+
+def _cross_val_predict_fold(task: tuple) -> np.ndarray:
+    estimator, X, y, train_idx, test_idx = task
+    model = clone(estimator)
+    model.fit(X[train_idx], y[train_idx])
+    return model.predict(X[test_idx])
 
 
 def cross_val_predict(
@@ -187,14 +219,18 @@ def cross_val_predict(
     y: Any,
     *,
     cv: Any = 5,
+    n_jobs: Optional[int] = 1,
 ) -> np.ndarray:
     """Out-of-fold predictions for every sample."""
+    from repro.parallel.backend import parallel_map
+    from repro.parallel.cache import cv_splits
+
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
-    splitter = _resolve_cv(cv)
+    splits = cv_splits(X, y, cv=cv)
+    tasks = [(estimator, X, y, train_idx, test_idx) for train_idx, test_idx in splits]
+    fold_preds = parallel_map(_cross_val_predict_fold, tasks, n_jobs=n_jobs)
     preds = np.empty_like(y)
-    for train_idx, test_idx in splitter.split(X, y):
-        model = clone(estimator)
-        model.fit(X[train_idx], y[train_idx])
-        preds[test_idx] = model.predict(X[test_idx])
+    for (train_idx, test_idx), fold_pred in zip(splits, fold_preds):
+        preds[test_idx] = fold_pred
     return preds

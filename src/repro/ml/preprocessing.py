@@ -31,6 +31,13 @@ class StandardScaler(BaseEstimator):
     def fit(self, X: Any, y: Any = None) -> "StandardScaler":
         X = check_array(X)
         self.n_features_in_ = X.shape[1]
+        if self.with_mean and self.with_std:
+            # Content-addressed cache: kernel models (KR, GP, SVR) fitting
+            # the same fold matrix share one moments computation.
+            from repro.parallel.cache import feature_moments
+
+            self.mean_, self.scale_ = feature_moments(X)
+            return self
         self.mean_ = X.mean(axis=0) if self.with_mean else np.zeros(X.shape[1])
         if self.with_std:
             scale = X.std(axis=0)

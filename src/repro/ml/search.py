@@ -4,20 +4,97 @@ Figures 1 and 2 of the paper compare every model under three search
 strategies: ``GridSearchCV``, ``RandomizedSearchCV`` and ``BayesSearchCV``
 (the latter lives in :mod:`repro.ml.bayes_search`).  All searches share the
 same cross-validated scoring loop implemented here.
+
+``n_jobs`` contract: every search accepts ``n_jobs`` and fans candidate
+evaluations out over :func:`repro.parallel.parallel_map` (folds, for the
+sequential Bayesian search).  Candidate order, CV splits and every seed are
+fixed *before* the fan-out, so ``best_params_``, ``best_score_`` and
+``cv_results_`` scores are bit-identical for serial and parallel runs.
+Candidate evaluations are memoised via :mod:`repro.parallel.cache`, so
+strategies that revisit the same candidate on the same data reuse the score.
 """
 
 from __future__ import annotations
 
 import time
 from itertools import product
-from typing import Any, Iterator, Mapping, Sequence
+from typing import Any, Iterator, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.ml.base import BaseEstimator, _as_param_mapping, check_random_state, clone
-from repro.ml.model_selection import KFold, _resolve_cv, get_scorer
+from repro.ml.model_selection import get_scorer
+from repro.parallel.backend import parallel_map
+from repro.parallel.cache import (
+    array_token,
+    candidate_eval_get,
+    candidate_eval_put,
+    cv_splits,
+    splits_token,
+)
 
 __all__ = ["ParameterGrid", "ParameterSampler", "GridSearchCV", "RandomizedSearchCV", "BaseSearchCV"]
+
+_PRIMITIVE_PARAM_TYPES = (int, float, str, bool, type(None), np.integer, np.floating)
+
+
+def _candidate_cache_key(
+    estimator: Any, params: Mapping[str, Any], data_token: Optional[tuple], scoring: Any
+) -> Optional[tuple]:
+    """Memoisation key for one candidate evaluation, or ``None`` if uncacheable."""
+    if data_token is None or not isinstance(scoring, str):
+        return None
+    resolved = dict(estimator.get_params(deep=False))
+    resolved.update(params)
+    if resolved.get("random_state", 0) is None:
+        # An unseeded stochastic estimator draws fresh entropy per fit;
+        # memoising would freeze one random draw and replay it.
+        return None
+    items = []
+    for name in sorted(resolved):
+        value = resolved[name]
+        if not isinstance(value, _PRIMITIVE_PARAM_TYPES):
+            return None
+        items.append((name, value))
+    cls = type(estimator)
+    return (f"{cls.__module__}.{cls.__qualname__}", tuple(items), data_token, scoring)
+
+
+def _fit_score_fold(task: tuple) -> float:
+    """Fit one CV fold of one candidate and return its test score."""
+    estimator, params, X, y, train_idx, test_idx, scoring = task
+    scorer = get_scorer(scoring)
+    model = clone(estimator).set_params(**params)
+    model.fit(X[train_idx], y[train_idx])
+    return float(scorer(y[test_idx], model.predict(X[test_idx])))
+
+
+def _evaluate_one(task: tuple) -> tuple[float, float, float]:
+    """Evaluate one candidate over all folds: ``(mean, std, eval_time)``.
+
+    Module-level (picklable) so candidate evaluations can run in worker
+    processes; consults the cross-strategy memo cache first.
+    """
+    estimator, params, X, y, splits, scoring, data_token, fold_jobs = task
+    t0 = time.perf_counter()
+    key = _candidate_cache_key(estimator, params, data_token, scoring)
+    if key is not None:
+        cached = candidate_eval_get(key)
+        if cached is not None:
+            # eval_time always reports time spent *this* run: for a memo hit
+            # that is the lookup cost, not the original evaluation's cost.
+            mean, std = cached
+            return (mean, std, time.perf_counter() - t0)
+    fold_tasks = [
+        (estimator, params, X, y, train_idx, test_idx, scoring)
+        for train_idx, test_idx in splits
+    ]
+    scores = parallel_map(_fit_score_fold, fold_tasks, n_jobs=fold_jobs)
+    elapsed = time.perf_counter() - t0
+    mean, std = float(np.mean(scores)), float(np.std(scores))
+    if key is not None:
+        candidate_eval_put(key, (mean, std))
+    return (mean, std, elapsed)
 
 
 class ParameterGrid:
@@ -94,7 +171,12 @@ class ParameterSampler:
 
 
 class BaseSearchCV(BaseEstimator):
-    """Shared machinery: evaluate candidates with K-fold CV and refit the best."""
+    """Shared machinery: evaluate candidates with K-fold CV and refit the best.
+
+    ``n_jobs`` fans the independent candidate evaluations out over a process
+    pool (serial when 1, all CPUs when -1); results are identical to the
+    serial path for a fixed seed.
+    """
 
     def __init__(
         self,
@@ -103,14 +185,22 @@ class BaseSearchCV(BaseEstimator):
         scoring: Any = "r2",
         cv: Any = 3,
         refit: bool = True,
+        n_jobs: Optional[int] = 1,
     ) -> None:
         self.estimator = estimator
         self.scoring = scoring
         self.cv = cv
         self.refit = refit
+        self.n_jobs = n_jobs
 
     def _candidates(self) -> list[dict[str, Any]]:  # pragma: no cover - abstract
         raise NotImplementedError
+
+    def _data_token(
+        self, X: np.ndarray, y: np.ndarray, splits: list[tuple[np.ndarray, np.ndarray]]
+    ) -> tuple:
+        """Content token identifying ``(X, y, splits)`` for the memo cache."""
+        return (array_token(X), array_token(y), splits_token(splits))
 
     def _evaluate_candidate(
         self,
@@ -118,48 +208,41 @@ class BaseSearchCV(BaseEstimator):
         X: np.ndarray,
         y: np.ndarray,
         splits: list[tuple[np.ndarray, np.ndarray]],
-        scorer: Any,
+        *,
+        data_token: Optional[tuple] = None,
+        fold_jobs: Optional[int] = 1,
     ) -> tuple[float, float, float]:
-        scores = []
-        t0 = time.perf_counter()
-        for train_idx, test_idx in splits:
-            model = clone(self.estimator).set_params(**params)
-            model.fit(X[train_idx], y[train_idx])
-            scores.append(scorer(y[test_idx], model.predict(X[test_idx])))
-        elapsed = time.perf_counter() - t0
-        return float(np.mean(scores)), float(np.std(scores)), elapsed
+        return _evaluate_one(
+            (self.estimator, params, X, y, splits, self.scoring, data_token, fold_jobs)
+        )
 
     def fit(self, X: Any, y: Any) -> "BaseSearchCV":
         X = np.asarray(X, dtype=np.float64)
         y = np.asarray(y, dtype=np.float64).ravel()
-        scorer = get_scorer(self.scoring)
-        splitter = _resolve_cv(self.cv)
-        splits = list(splitter.split(X, y))
+        get_scorer(self.scoring)  # fail fast on unknown scoring specs
+        splits = cv_splits(X, y, cv=self.cv)
 
         candidates = self._candidates()
         if not candidates:
             raise ValueError("No hyper-parameter candidates to evaluate.")
 
-        results: dict[str, list] = {
-            "params": [],
-            "mean_test_score": [],
-            "std_test_score": [],
-            "eval_time": [],
-        }
+        data_token = self._data_token(X, y, splits)
+        # With a single candidate the fan-out happens across folds instead.
+        candidate_jobs = self.n_jobs if len(candidates) > 1 else 1
+        fold_jobs = self.n_jobs if len(candidates) == 1 else 1
+        tasks = [
+            (self.estimator, params, X, y, splits, self.scoring, data_token, fold_jobs)
+            for params in candidates
+        ]
         t_start = time.perf_counter()
-        for params in candidates:
-            mean, std, elapsed = self._evaluate_candidate(params, X, y, splits, scorer)
-            results["params"].append(params)
-            results["mean_test_score"].append(mean)
-            results["std_test_score"].append(std)
-            results["eval_time"].append(elapsed)
+        evaluated = parallel_map(_evaluate_one, tasks, n_jobs=candidate_jobs)
         self.search_time_ = time.perf_counter() - t_start
 
         self.cv_results_ = {
-            "params": results["params"],
-            "mean_test_score": np.asarray(results["mean_test_score"]),
-            "std_test_score": np.asarray(results["std_test_score"]),
-            "eval_time": np.asarray(results["eval_time"]),
+            "params": candidates,
+            "mean_test_score": np.asarray([mean for mean, _, _ in evaluated]),
+            "std_test_score": np.asarray([std for _, std, _ in evaluated]),
+            "eval_time": np.asarray([elapsed for _, _, elapsed in evaluated]),
         }
         best_idx = int(np.argmax(self.cv_results_["mean_test_score"]))
         self.best_index_ = best_idx
@@ -193,8 +276,9 @@ class GridSearchCV(BaseSearchCV):
         scoring: Any = "r2",
         cv: Any = 3,
         refit: bool = True,
+        n_jobs: Optional[int] = 1,
     ) -> None:
-        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit)
+        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit, n_jobs=n_jobs)
         self.param_grid = param_grid
 
     def _candidates(self) -> list[dict[str, Any]]:
@@ -214,8 +298,9 @@ class RandomizedSearchCV(BaseSearchCV):
         cv: Any = 3,
         refit: bool = True,
         random_state: Any = None,
+        n_jobs: Optional[int] = 1,
     ) -> None:
-        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit)
+        super().__init__(estimator, scoring=scoring, cv=cv, refit=refit, n_jobs=n_jobs)
         self.param_distributions = param_distributions
         self.n_iter = n_iter
         self.random_state = random_state

@@ -1,9 +1,14 @@
 """CART regression trees with a vectorised, weighted split search.
 
 The split criterion is weighted sum-of-squared-errors reduction.  The best
-split per feature is found with prefix sums over the sorted feature values
-(no Python loop over candidate thresholds), which keeps single-tree fits fast
-enough to build the 750-tree Gradient Boosting ensembles the paper uses.
+split is found with prefix sums over *presorted* feature columns: the
+builder takes one stable argsort per feature at the root (served by the
+content-addressed :func:`repro.parallel.cache.feature_presort` cache, so
+repeated fits on the same matrix — e.g. every boosting stage — reuse a
+single sort) and partitions the sorted index lists down the tree instead of
+re-sorting at every node.  All features are scanned in one vectorised pass
+per node.  This is exactly equivalent to per-node stable argsorts, so fitted
+trees are bit-identical to the historical implementation, only faster.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from repro.ml.base import (
     check_random_state,
     check_X_y,
 )
+from repro.parallel.cache import feature_presort
 
 __all__ = ["DecisionTreeRegressor"]
 
@@ -70,52 +76,71 @@ class _TreeBuilder:
         self.n_node_samples.append(n_samples)
         return idx
 
-    def _best_split(self, X: np.ndarray, y: np.ndarray, w: np.ndarray) -> Optional[_Split]:
-        n_samples, n_features = X.shape
+    def _best_split(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, idx: np.ndarray, sorted_rows: np.ndarray
+    ) -> Optional[_Split]:
+        """Best split of the node holding rows ``idx`` of the full matrix.
+
+        ``sorted_rows`` has shape ``(n_features, n_node)``: row ``f`` lists
+        the node's sample rows in ascending order of feature ``f`` (ties by
+        row index), maintained by partitioning the root presort down the
+        tree.  The scan is equivalent to a per-node stable argsort per
+        feature — same candidate order, same tie-breaking, same floats.
+        """
+        n_samples = len(idx)
+        n_features = X.shape[1]
         if n_samples < self.min_samples_split or n_samples < 2 * self.min_samples_leaf:
             return None
 
-        w_total = w.sum()
-        wy_total = float(w @ y)
-        node_sse = float(w @ (y * y)) - wy_total**2 / w_total
+        wi = w[idx]
+        yi = y[idx]
+        w_total = wi.sum()
+        wy_total = float(wi @ yi)
+        node_sse = float(wi @ (yi * yi)) - wy_total**2 / w_total
 
         if self.max_features is not None and self.max_features < n_features:
             features = self.rng.choice(n_features, size=self.max_features, replace=False)
+            rows = sorted_rows[features]
         else:
             features = np.arange(n_features)
+            rows = sorted_rows
+
+        # One vectorised pass over every candidate feature: (k, n_node)
+        # matrices of the node's values in sorted order per feature.
+        xs = X[rows, features[:, None]]
+        ys = y[rows]
+        ws = w[rows]
+
+        # Cumulative weighted statistics of the left partition for a split
+        # placed after position i (0-based, i+1 samples go left).
+        cw = np.cumsum(ws, axis=1)[:, :-1]
+        cwy = np.cumsum(ws * ys, axis=1)[:, :-1]
+        rw = w_total - cw
+        rwy = wy_total - cwy
+
+        # Splits are only valid where the feature value actually changes
+        # and both children keep at least min_samples_leaf samples.
+        positions = np.arange(1, n_samples)
+        valid = xs[:, 1:] > xs[:, :-1]
+        valid &= positions >= self.min_samples_leaf
+        valid &= (n_samples - positions) >= self.min_samples_leaf
+        feature_has_valid = np.any(valid, axis=1)
+
+        with np.errstate(divide="ignore", invalid="ignore"):
+            gain = cwy**2 / cw + rwy**2 / rw - wy_total**2 / w_total
+        gain = np.where(valid, gain, -np.inf)
+        best_positions = np.argmax(gain, axis=1)
 
         best: Optional[_Split] = None
         best_gain = 0.0
-        for f in features:
-            order = np.argsort(X[:, f], kind="stable")
-            xs = X[order, f]
-            ys = y[order]
-            ws = w[order]
-
-            # Cumulative weighted statistics of the left partition for a split
-            # placed after position i (0-based, i+1 samples go left).
-            cw = np.cumsum(ws)[:-1]
-            cwy = np.cumsum(ws * ys)[:-1]
-            rw = w_total - cw
-            rwy = wy_total - cwy
-
-            # Splits are only valid where the feature value actually changes
-            # and both children keep at least min_samples_leaf samples.
-            positions = np.arange(1, n_samples)
-            valid = xs[1:] > xs[:-1]
-            valid &= positions >= self.min_samples_leaf
-            valid &= (n_samples - positions) >= self.min_samples_leaf
-            if not np.any(valid):
+        for row, f in enumerate(features):
+            if not feature_has_valid[row]:
                 continue
-
-            with np.errstate(divide="ignore", invalid="ignore"):
-                gain = cwy**2 / cw + rwy**2 / rw - wy_total**2 / w_total
-            gain = np.where(valid, gain, -np.inf)
-            best_pos = int(np.argmax(gain))
-            g = float(gain[best_pos])
+            best_pos = int(best_positions[row])
+            g = float(gain[row, best_pos])
             if g > best_gain + 1e-12:
-                threshold = 0.5 * (xs[best_pos] + xs[best_pos + 1])
-                left_mask = X[:, f] <= threshold
+                threshold = 0.5 * (xs[row, best_pos] + xs[row, best_pos + 1])
+                left_mask = X[idx, f] <= threshold
                 # Guard against degenerate thresholds produced by ties.
                 n_left = int(left_mask.sum())
                 if n_left < self.min_samples_leaf or n_samples - n_left < self.min_samples_leaf:
@@ -129,31 +154,53 @@ class _TreeBuilder:
             return None
         return best
 
-    def build(self, X: np.ndarray, y: np.ndarray, w: np.ndarray) -> None:
-        stack: list[tuple[np.ndarray, int, int]] = []
-        root_value = float(np.average(y, weights=w))
+    def build(
+        self, X: np.ndarray, y: np.ndarray, w: np.ndarray, presort: Optional[np.ndarray] = None
+    ) -> None:
+        n_samples, n_features = X.shape
+        if presort is None:
+            presort = np.argsort(X, axis=0, kind="stable")
+        # Feature-major sorted row lists, partitioned down the tree.
+        sorted_rows = np.ascontiguousarray(presort.T)
+
+        # (y * w).sum() / w.sum() is np.average's exact computation (same
+        # float-op order, so bit-identical) without its dispatch overhead.
+        root_value = float((y * w).sum() / w.sum())
         root = self._new_node(root_value, len(y))
-        stack.append((np.arange(len(y)), root, 0))
+        stack: list[tuple[np.ndarray, np.ndarray, int, int]] = [
+            (np.arange(n_samples), sorted_rows, root, 0)
+        ]
+        # Epoch-stamped membership marker: lets each split route the sorted
+        # row lists to the children in O(n_node) without clearing an array.
+        marker = np.zeros(n_samples, dtype=np.int64)
+        epoch = 0
 
         while stack:
-            idx, node, depth = stack.pop()
+            idx, rows, node, depth = stack.pop()
             yi = y[idx]
             if depth >= self.max_depth or len(idx) < self.min_samples_split or np.all(yi == yi[0]):
                 continue
-            split = self._best_split(X[idx], yi, w[idx])
+            split = self._best_split(X, y, w, idx, rows)
             if split is None:
                 continue
             left_idx = idx[split.left_mask]
             right_idx = idx[~split.left_mask]
+            # Stable partition of each feature's sorted list preserves the
+            # "ascending value, ties by row index" invariant in both children.
+            epoch += 1
+            marker[left_idx] = epoch
+            goes_left = marker[rows] == epoch
+            rows_left = rows[goes_left].reshape(n_features, len(left_idx))
+            rows_right = rows[~goes_left].reshape(n_features, len(right_idx))
             wl, wr = w[left_idx], w[right_idx]
-            left = self._new_node(float(np.average(y[left_idx], weights=wl)), len(left_idx))
-            right = self._new_node(float(np.average(y[right_idx], weights=wr)), len(right_idx))
+            left = self._new_node(float((y[left_idx] * wl).sum() / wl.sum()), len(left_idx))
+            right = self._new_node(float((y[right_idx] * wr).sum() / wr.sum()), len(right_idx))
             self.feature[node] = split.feature
             self.threshold[node] = split.threshold
             self.children_left[node] = left
             self.children_right[node] = right
-            stack.append((left_idx, left, depth + 1))
-            stack.append((right_idx, right, depth + 1))
+            stack.append((left_idx, rows_left, left, depth + 1))
+            stack.append((right_idx, rows_right, right, depth + 1))
 
 
 class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
@@ -211,7 +258,14 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
             raise ValueError("max_features must be at least 1.")
         return min(mf, n_features)
 
-    def fit(self, X: Any, y: Any, sample_weight: Any = None) -> "DecisionTreeRegressor":
+    def fit(
+        self,
+        X: Any,
+        y: Any,
+        sample_weight: Any = None,
+        *,
+        use_presort_cache: bool = True,
+    ) -> "DecisionTreeRegressor":
         if self.min_samples_split < 2:
             raise ValueError("min_samples_split must be at least 2.")
         if self.min_samples_leaf < 1:
@@ -237,7 +291,12 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
             max_features=self._resolve_max_features(X.shape[1]),
             rng=rng,
         )
-        builder.build(X, y, w)
+        # The content-addressed presort cache makes repeated fits on the same
+        # matrix (boosting stages, CV candidates on one fold) sort only once.
+        # Callers fitting a single-use matrix (bootstrap/subsampled rows)
+        # pass use_presort_cache=False to avoid hashing and LRU churn.
+        presort = feature_presort(X) if use_presort_cache else None
+        builder.build(X, y, w, presort=presort)
         self.feature_ = np.asarray(builder.feature, dtype=np.int64)
         self.threshold_ = np.asarray(builder.threshold, dtype=np.float64)
         self.children_left_ = np.asarray(builder.children_left, dtype=np.int64)

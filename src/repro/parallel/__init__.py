@@ -1,0 +1,44 @@
+"""Shared parallel execution backend and content-addressed caches.
+
+``repro.parallel`` is the substrate under every fit-heavy layer:
+
+* :class:`ParallelMap` / :func:`parallel_map` — process-pool or serial
+  fan-out with seed-stable task ordering, exception propagation and a
+  graceful serial fallback (see :mod:`repro.parallel.backend`).
+* :func:`cv_splits`, :func:`feature_moments`, :func:`feature_presort` —
+  caches for CV splits, standardisation moments and sorted-feature indices
+  keyed on array content (see :mod:`repro.parallel.cache`).
+
+The ``n_jobs`` contract (mirrored by the CLI's ``--jobs`` flag): ``1`` or
+``None`` runs serially, ``N > 1`` uses up to ``N`` worker processes, and
+negative values count back from the CPU count (``-1`` = all cores).  For a
+fixed seed, serial and parallel execution produce bit-identical results.
+"""
+
+from repro.parallel.backend import (
+    ParallelMap,
+    effective_cpu_count,
+    parallel_map,
+    resolve_n_jobs,
+)
+from repro.parallel.cache import (
+    array_token,
+    cache_stats,
+    clear_caches,
+    cv_splits,
+    feature_moments,
+    feature_presort,
+)
+
+__all__ = [
+    "ParallelMap",
+    "parallel_map",
+    "resolve_n_jobs",
+    "effective_cpu_count",
+    "array_token",
+    "cv_splits",
+    "feature_moments",
+    "feature_presort",
+    "clear_caches",
+    "cache_stats",
+]

@@ -1,0 +1,151 @@
+"""Process-pool/serial ``ParallelMap`` execution backend.
+
+Every fit-heavy layer of the repo (hyper-parameter searches, cross
+validation, forests, active-learning committees, the model x strategy sweep
+of :func:`repro.core.hyperopt.run_model_comparison`) funnels its
+embarrassingly parallel work through :class:`ParallelMap`.  The contract:
+
+* **Seed-stable task ordering** — results are always returned in the order
+  of the input tasks, regardless of worker completion order, so parallel
+  and serial execution are interchangeable.
+* **Determinism** — tasks must carry their own random state (a seed or a
+  cloned generator).  Callers pre-draw any seeds *sequentially* before
+  fanning out, which makes ``n_jobs=1`` and ``n_jobs=N`` bit-identical.
+* **Serial fallback** — ``n_jobs=1`` (the default), nested parallel
+  regions, un-picklable tasks and broken pools all degrade gracefully to
+  the plain serial loop; worker exceptions propagate to the caller.
+
+``n_jobs`` follows the scikit-learn convention: ``None``/``1`` is serial,
+positive integers give the worker count, and negative values count back
+from the number of CPUs (``-1`` means "all cores").
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+__all__ = ["ParallelMap", "parallel_map", "resolve_n_jobs", "effective_cpu_count"]
+
+# Set in worker processes so that nested parallel regions (e.g. a forest fit
+# inside a parallel search candidate) run serially instead of forking again.
+_IN_WORKER = False
+
+
+def _mark_worker() -> None:
+    global _IN_WORKER
+    _IN_WORKER = True
+
+
+def effective_cpu_count() -> int:
+    """CPUs actually available to this process (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def resolve_n_jobs(n_jobs: Optional[int]) -> int:
+    """Normalise an ``n_jobs`` spec to a concrete worker count (>= 1)."""
+    if n_jobs is None:
+        return 1
+    n = int(n_jobs)
+    if n == 0:
+        raise ValueError("n_jobs == 0 has no meaning; use 1 for serial or -1 for all CPUs.")
+    if n < 0:
+        n = effective_cpu_count() + 1 + n
+    return max(1, n)
+
+
+class ParallelMap:
+    """Map a function over tasks, serially or on a process pool.
+
+    Parameters
+    ----------
+    n_jobs:
+        Worker count spec (see :func:`resolve_n_jobs`).
+    """
+
+    def __init__(self, n_jobs: Optional[int] = 1) -> None:
+        self.n_jobs = n_jobs
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        tasks: Iterable[Any],
+        *,
+        priority: Optional[Sequence[int]] = None,
+    ) -> list[Any]:
+        """Apply ``fn`` to every task, returning results in input order.
+
+        ``priority`` optionally gives the submission order (a permutation of
+        task indices, heaviest first) to reduce straggler time on a pool;
+        it never affects the order of the returned results.
+        """
+        tasks = list(tasks)
+        n_workers = resolve_n_jobs(self.n_jobs)
+        if n_workers == 1 or _IN_WORKER or len(tasks) <= 1:
+            return [fn(task) for task in tasks]
+        order = list(priority) if priority is not None else list(range(len(tasks)))
+        if sorted(order) != list(range(len(tasks))):
+            raise ValueError("priority must be a permutation of the task indices.")
+        if not _is_shippable(fn, tasks):
+            # Un-picklable closures/tasks (e.g. lambda scorers) fall back to
+            # the serial path, which is always available and bit-identical.
+            return [fn(task) for task in tasks]
+        try:
+            return self._map_processes(fn, tasks, order, n_workers)
+        except BrokenProcessPool:
+            # A dead pool (OOM-killed worker, interpreter teardown) is an
+            # infrastructure failure, not a task failure: recompute serially.
+            return [fn(task) for task in tasks]
+
+    @staticmethod
+    def _map_processes(
+        fn: Callable[[Any], Any],
+        tasks: list[Any],
+        order: Sequence[int],
+        n_workers: int,
+    ) -> list[Any]:
+        # Tasks are CPU-bound: more workers than cores only adds contention,
+        # so the pool is capped at the affinity-visible CPU count.
+        max_workers = max(1, min(n_workers, len(tasks), effective_cpu_count()))
+        results: list[Any] = [None] * len(tasks)
+        with ProcessPoolExecutor(max_workers=max_workers, initializer=_mark_worker) as pool:
+            futures = {idx: pool.submit(fn, tasks[idx]) for idx in order}
+            for idx in range(len(tasks)):
+                results[idx] = futures[idx].result()
+        return results
+
+
+def _is_shippable(fn: Callable[[Any], Any], tasks: list[Any]) -> bool:
+    """Pre-flight pickling check before handing work to a process pool.
+
+    Verifying up front that the function and a representative task pickle
+    means any exception that later escapes ``future.result()`` was raised
+    *by the task itself* inside a worker and must propagate to the caller —
+    exactly like it would serially — rather than being confused with an
+    infrastructure failure and silently retried.  Only the first task is
+    checked (one fan-out's tasks are structurally homogeneous); pickling
+    every task here would double the dominant IPC cost of a parallel call.
+    """
+    try:
+        pickle.dumps(fn)
+        pickle.dumps(tasks[0])
+    except Exception:
+        return False
+    return True
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    n_jobs: Optional[int] = 1,
+    *,
+    priority: Optional[Sequence[int]] = None,
+) -> list[Any]:
+    """Functional shorthand for ``ParallelMap(n_jobs).map(fn, tasks)``."""
+    return ParallelMap(n_jobs).map(fn, tasks, priority=priority)

@@ -1,0 +1,224 @@
+"""Content-addressed caches for CV splits, feature moments and presorts.
+
+The paper's workload runs many hyper-parameter searches against the *same*
+training matrix: nine models x three strategies all split the same 300-row
+subsample with the same ``KFold(3)``, every candidate standardises the same
+fold matrices, and every boosting stage re-sorts the same feature columns.
+This module caches those derived artefacts, keyed on the **content** of the
+array (SHA-1 of its bytes plus shape/dtype) together with the relevant
+configuration — for CV splits that is ``(dataset, cv, seed)``.
+
+Safety contract:
+
+* Cache hits return the *identical* arrays (no copies) for speed.
+* Every cached array is marked read-only (``writeable=False``); a caller
+  that tries to mutate a returned array gets a ``ValueError`` instead of
+  silently poisoning the cache.  Callers that need a private mutable copy
+  must ``.copy()``.
+* Splitters with stateful random sources (a ``numpy`` ``Generator`` as
+  ``random_state``) bypass the cache entirely — consuming their state is
+  part of their semantics.
+
+All caches are bounded LRU and thread-safe; worker processes spawned by
+:mod:`repro.parallel.backend` each hold their own (initially empty) cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from typing import Any, Optional
+
+import numpy as np
+
+__all__ = [
+    "array_token",
+    "cv_splits",
+    "feature_moments",
+    "feature_presort",
+    "candidate_eval_get",
+    "candidate_eval_put",
+    "splits_token",
+    "clear_caches",
+    "cache_stats",
+]
+
+
+class _LRUCache:
+    """A small thread-safe LRU mapping with hit/miss counters."""
+
+    def __init__(self, maxsize: int) -> None:
+        self.maxsize = maxsize
+        self._data: OrderedDict[Any, Any] = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any) -> Any:
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.hits += 1
+                return self._data[key]
+            self.misses += 1
+            return None
+
+    def put(self, key: Any, value: Any) -> None:
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.maxsize:
+                self._data.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+            self.hits = 0
+            self.misses = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._data)
+
+
+_SPLIT_CACHE = _LRUCache(maxsize=32)
+_MOMENTS_CACHE = _LRUCache(maxsize=64)
+_PRESORT_CACHE = _LRUCache(maxsize=32)
+_CANDIDATE_CACHE = _LRUCache(maxsize=1024)
+
+
+def array_token(X: np.ndarray) -> tuple:
+    """A hashable content token for an ndarray (shape, dtype, SHA-1 digest)."""
+    X = np.ascontiguousarray(X)
+    digest = hashlib.sha1(X.tobytes()).hexdigest()
+    return (X.shape, X.dtype.str, digest)
+
+
+def _freeze(arr: np.ndarray) -> np.ndarray:
+    arr.setflags(write=False)
+    return arr
+
+
+def _cv_signature(cv: Any) -> Optional[tuple]:
+    """Hashable signature of a splitter, or ``None`` when it must not be cached."""
+    from repro.ml.model_selection import KFold, _resolve_cv
+
+    splitter = _resolve_cv(cv)
+    if not isinstance(splitter, KFold):  # pragma: no cover - only KFold exists today
+        return None
+    seed = splitter.random_state
+    if splitter.shuffle:
+        # Only a concrete integer seed makes a shuffled split reproducible;
+        # an unseeded or Generator-driven shuffle must stay a fresh draw.
+        if not isinstance(seed, (int, np.integer)) or isinstance(seed, bool):
+            return None
+        return ("kfold", splitter.n_splits, True, int(seed))
+    return ("kfold", splitter.n_splits, False, None)
+
+
+def cv_splits(X: np.ndarray, y: Optional[np.ndarray] = None, *, cv: Any = 5) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Cached ``[(train_idx, test_idx), ...]`` for splitting ``X`` with ``cv``.
+
+    Keyed on ``(dataset content, cv config, shuffle seed)``.  The returned
+    index arrays are read-only; copy before mutating.
+    """
+    from repro.ml.model_selection import _resolve_cv
+
+    signature = _cv_signature(cv)
+    if signature is None:
+        return list(_resolve_cv(cv).split(X, y))
+    key = (array_token(np.asarray(X)), signature)
+    cached = _SPLIT_CACHE.get(key)
+    if cached is not None:
+        return list(cached)
+    splits = [
+        (_freeze(train), _freeze(test)) for train, test in _resolve_cv(cv).split(X, y)
+    ]
+    _SPLIT_CACHE.put(key, tuple(splits))
+    return splits
+
+
+def feature_moments(X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Cached per-column ``(mean, scale)`` with zero-variance columns clamped to 1.
+
+    This is the exact computation of ``StandardScaler.fit``, shared across
+    the many estimators that re-standardise the same fold matrix.
+    """
+    X = np.ascontiguousarray(X)
+    key = array_token(X)
+    cached = _MOMENTS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    mean = X.mean(axis=0)
+    scale = X.std(axis=0)
+    scale[scale == 0.0] = 1.0
+    value = (_freeze(mean), _freeze(scale))
+    _MOMENTS_CACHE.put(key, value)
+    return value
+
+
+def feature_presort(X: np.ndarray) -> np.ndarray:
+    """Cached stable argsort of every feature column, shape ``(n_samples, n_features)``.
+
+    Column ``f`` lists the row indices of ``X`` in ascending order of feature
+    ``f`` (ties by row index).  Tree builders start from this matrix and
+    *partition* it down the tree instead of re-sorting at every node; because
+    the cache is content-addressed, every boosting stage and every search
+    candidate fitting on the same fold matrix reuses one sort.
+    """
+    X = np.ascontiguousarray(X)
+    key = array_token(X)
+    cached = _PRESORT_CACHE.get(key)
+    if cached is not None:
+        return cached
+    presort = _freeze(np.argsort(X, axis=0, kind="stable"))
+    _PRESORT_CACHE.put(key, presort)
+    return presort
+
+
+def candidate_eval_get(key: Any) -> Any:
+    """Cached ``(mean_score, std_score, eval_time)`` of a CV candidate, or ``None``.
+
+    The three search strategies of the paper's sweep largely evaluate the
+    *same* hyper-parameter candidates on the *same* splits; memoising the
+    (pure, seed-deterministic) evaluation makes the second and third
+    strategies nearly free.  Keys are built by the search layer from the
+    estimator class, its fully resolved primitive hyper-parameters and the
+    content tokens of ``(X, y, splits, scoring)``; candidates with
+    non-primitive parameters (e.g. kernel objects) are never cached.
+    """
+    return _CANDIDATE_CACHE.get(key)
+
+
+def candidate_eval_put(key: Any, value: Any) -> None:
+    _CANDIDATE_CACHE.put(key, value)
+
+
+def splits_token(splits: Any) -> tuple:
+    """A hashable content token for a list of ``(train_idx, test_idx)`` splits."""
+    return tuple(
+        (array_token(np.asarray(train)), array_token(np.asarray(test)))
+        for train, test in splits
+    )
+
+
+def clear_caches() -> None:
+    """Drop every cached artefact (mainly for tests and benchmarks)."""
+    _SPLIT_CACHE.clear()
+    _MOMENTS_CACHE.clear()
+    _PRESORT_CACHE.clear()
+    _CANDIDATE_CACHE.clear()
+
+
+def cache_stats() -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters per cache, for diagnostics."""
+    return {
+        name: {"hits": c.hits, "misses": c.misses, "size": len(c)}
+        for name, c in (
+            ("cv_splits", _SPLIT_CACHE),
+            ("feature_moments", _MOMENTS_CACHE),
+            ("feature_presort", _PRESORT_CACHE),
+            ("candidate_eval", _CANDIDATE_CACHE),
+        )
+    }

@@ -59,3 +59,67 @@ class TestModelComparison:
 
     def test_strategy_constants_match_paper(self):
         assert SEARCH_STRATEGIES == ("GridSearchCV", "RandomizedSearchCV", "BayesSearchCV")
+
+
+class TestSweepParallelism:
+    """The model x strategy sweep fans out over models with identical results."""
+
+    def test_n_jobs_parity(self, small_aurora_dataset):
+        from repro.parallel import clear_caches
+
+        kwargs = dict(
+            models=["PR", "DT"],
+            strategies=("GridSearchCV", "RandomizedSearchCV"),
+            scale="fast",
+            cv=3,
+            seed=0,
+            max_train_samples=60,
+        )
+        serial = run_model_comparison(small_aurora_dataset, n_jobs=1, **kwargs)
+        clear_caches()
+        parallel = run_model_comparison(small_aurora_dataset, n_jobs=2, **kwargs)
+        assert [(r.model, r.search) for r in serial] == [(r.model, r.search) for r in parallel]
+        for a, b in zip(serial, parallel):
+            assert a.best_params == b.best_params
+            assert a.r2 == b.r2
+            assert a.mae == b.mae
+            assert a.mape == b.mape
+
+
+class TestGradientBoostingRanking:
+    """Regression pin for the Figure 1 seed failure: GB must not trail RF.
+
+    With the widened GB grid (learning-rate x n_estimators x subsample), the
+    best Gradient Boosting configuration stays within 0.05 R^2 of the best
+    Random Forest on a small fixed dataset; without stochastic subsampling it
+    trailed by ~0.10.
+    """
+
+    def test_gb_within_tolerance_of_rf(self, small_aurora_dataset):
+        from repro.core.model_zoo import get_model_spec
+        from repro.ml.metrics import r2_score
+
+        ds = small_aurora_dataset
+        # Best fast-grid configurations (the combination the searches converge
+        # to); fitting them directly keeps this pin test fast and deterministic.
+        gb_spec, rf_spec = get_model_spec("GB"), get_model_spec("RF")
+        gb_params = dict(n_estimators=400, max_depth=4, learning_rate=0.05, subsample=0.6)
+        rf_params = dict(n_estimators=60, max_depth=None, max_features=1.0)
+        assert all(gb_params[k] in gb_spec.grid("fast")[k] for k in gb_params)
+        assert all(rf_params[k] in rf_spec.grid("fast")[k] for k in rf_params)
+
+        gb = gb_spec.build(**gb_params).fit(ds.X_train, ds.y_train)
+        rf = rf_spec.build(**rf_params).fit(ds.X_train, ds.y_train)
+        gb_r2 = r2_score(ds.y_test, gb.predict(ds.X_test))
+        rf_r2 = r2_score(ds.y_test, rf.predict(ds.X_test))
+        assert gb_r2 >= rf_r2 - 0.05
+        assert gb_r2 > 0.8
+
+    def test_gb_fast_grid_includes_subsample(self):
+        from repro.core.model_zoo import get_model_spec
+
+        for scale in ("fast", "paper"):
+            grid = get_model_spec("GB").grid(scale)
+            assert "subsample" in grid
+            assert any(s < 1.0 for s in grid["subsample"])
+            assert "learning_rate" in grid and "n_estimators" in grid

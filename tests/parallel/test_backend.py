@@ -1,0 +1,156 @@
+"""Tests for the ``repro.parallel`` execution backend.
+
+Covers the ISSUE-1 contract: serial-vs-process parity of search results for
+fixed seeds, exception propagation from worker tasks, and graceful fallback
+when ``n_jobs=1`` or tasks cannot be shipped to a pool.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ml.forest import RandomForestRegressor
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.model_selection import cross_val_predict, cross_validate
+from repro.ml.search import GridSearchCV, RandomizedSearchCV
+from repro.parallel import clear_caches, parallel_map, resolve_n_jobs
+from repro.parallel.backend import ParallelMap, effective_cpu_count
+
+
+def _square(x):
+    return x * x
+
+
+def _fail_on_three(x):
+    if x == 3:
+        raise ValueError(f"task {x} exploded")
+    return x
+
+
+@pytest.fixture(autouse=True)
+def _fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+@pytest.fixture()
+def data():
+    rng = np.random.default_rng(7)
+    X = rng.uniform(0.0, 3.0, size=(120, 4))
+    y = X @ np.array([1.5, -2.0, 0.5, 1.0]) + rng.normal(0.0, 0.1, size=120)
+    return X, y
+
+
+class TestParallelMap:
+    def test_serial_map_preserves_order(self):
+        assert parallel_map(_square, [3, 1, 2], n_jobs=1) == [9, 1, 4]
+
+    def test_process_map_preserves_order(self):
+        assert parallel_map(_square, list(range(10)), n_jobs=2) == [x * x for x in range(10)]
+
+    def test_priority_reorders_submission_not_results(self):
+        tasks = list(range(6))
+        priority = [5, 4, 3, 2, 1, 0]
+        assert parallel_map(_square, tasks, n_jobs=2, priority=priority) == [
+            x * x for x in tasks
+        ]
+
+    def test_invalid_priority_rejected(self):
+        with pytest.raises(ValueError, match="permutation"):
+            parallel_map(_square, [1, 2], n_jobs=2, priority=[0, 0])
+
+    def test_worker_exception_propagates_serial(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], n_jobs=1)
+
+    def test_worker_exception_propagates_parallel(self):
+        with pytest.raises(ValueError, match="task 3 exploded"):
+            parallel_map(_fail_on_three, [1, 2, 3, 4], n_jobs=2)
+
+    def test_unpicklable_task_falls_back_to_serial(self):
+        # A closure cannot be pickled for a process pool; the backend must
+        # quietly run it serially instead of erroring out.
+        captured = []
+
+        def record(x):
+            captured.append(x)
+            return x + 1
+
+        assert parallel_map(record, [1, 2, 3], n_jobs=2) == [2, 3, 4]
+        assert captured == [1, 2, 3]
+
+    def test_single_task_runs_inline(self):
+        assert ParallelMap(n_jobs=4).map(_square, [5]) == [25]
+
+    def test_resolve_n_jobs(self):
+        assert resolve_n_jobs(None) == 1
+        assert resolve_n_jobs(1) == 1
+        assert resolve_n_jobs(3) == 3
+        assert resolve_n_jobs(-1) == effective_cpu_count()
+        assert resolve_n_jobs(-10**6) == 1
+        with pytest.raises(ValueError):
+            resolve_n_jobs(0)
+
+
+class TestSearchParity:
+    """Serial and process-parallel searches are bit-identical for fixed seeds."""
+
+    def test_grid_search_parity(self, data):
+        X, y = data
+        grid = {"n_estimators": [5, 10], "max_depth": [3, None]}
+        serial = GridSearchCV(
+            RandomForestRegressor(random_state=0), grid, cv=3, n_jobs=1
+        ).fit(X, y)
+        clear_caches()
+        parallel = GridSearchCV(
+            RandomForestRegressor(random_state=0), grid, cv=3, n_jobs=2
+        ).fit(X, y)
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+        assert np.array_equal(
+            serial.cv_results_["mean_test_score"], parallel.cv_results_["mean_test_score"]
+        )
+        assert np.array_equal(
+            serial.cv_results_["std_test_score"], parallel.cv_results_["std_test_score"]
+        )
+
+    def test_randomized_search_parity(self, data):
+        X, y = data
+        dists = {"n_estimators": [5, 10, 20], "learning_rate": [0.05, 0.1, 0.2]}
+        serial = RandomizedSearchCV(
+            GradientBoostingRegressor(random_state=0), dists, n_iter=4, cv=3,
+            random_state=11, n_jobs=1,
+        ).fit(X, y)
+        clear_caches()
+        parallel = RandomizedSearchCV(
+            GradientBoostingRegressor(random_state=0), dists, n_iter=4, cv=3,
+            random_state=11, n_jobs=2,
+        ).fit(X, y)
+        assert serial.cv_results_["params"] == parallel.cv_results_["params"]
+        assert serial.best_params_ == parallel.best_params_
+        assert serial.best_score_ == parallel.best_score_
+
+    def test_cross_validate_parity(self, data):
+        X, y = data
+        est = GradientBoostingRegressor(n_estimators=10, random_state=0)
+        serial = cross_validate(est, X, y, cv=4, n_jobs=1)
+        clear_caches()
+        parallel = cross_validate(est, X, y, cv=4, n_jobs=2)
+        assert np.array_equal(serial["test_score"], parallel["test_score"])
+
+    def test_cross_val_predict_parity(self, data):
+        X, y = data
+        est = RandomForestRegressor(n_estimators=5, random_state=1)
+        serial = cross_val_predict(est, X, y, cv=3, n_jobs=1)
+        clear_caches()
+        parallel = cross_val_predict(est, X, y, cv=3, n_jobs=2)
+        assert np.array_equal(serial, parallel)
+
+    def test_forest_parity(self, data):
+        X, y = data
+        serial = RandomForestRegressor(n_estimators=8, oob_score=True, random_state=5, n_jobs=1)
+        parallel = RandomForestRegressor(n_estimators=8, oob_score=True, random_state=5, n_jobs=2)
+        serial.fit(X, y)
+        parallel.fit(X, y)
+        assert np.array_equal(serial.predict(X), parallel.predict(X))
+        assert serial.oob_score_ == parallel.oob_score_
