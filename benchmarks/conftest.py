@@ -11,7 +11,10 @@ The harness is excluded from the tier-1 run (``pyproject.toml`` restricts
 Every test collected here is tagged with the ``benchmark`` marker.  The
 ``--jobs N`` option (or ``REPRO_JOBS=N``) fans the fit-heavy sweeps out over
 ``N`` worker processes via :mod:`repro.parallel`; results are identical for
-any value.
+any value.  The ``--memo-dir PATH`` option (or ``REPRO_MEMO_DIR=PATH``)
+activates the cross-process memo store so workers and successive harness
+runs share candidate evaluations and interrupted sweeps resume; results
+are identical with or without it.
 """
 
 from __future__ import annotations
@@ -34,6 +37,15 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         default=int(os.environ.get("REPRO_JOBS", "1")),
         help="Worker processes for fit-heavy benchmarks (1=serial, -1=all CPUs).",
     )
+    parser.addoption(
+        "--memo-dir",
+        action="store",
+        default=os.environ.get("REPRO_MEMO_DIR") or None,
+        help=(
+            "Directory of the cross-process memo store shared by workers and "
+            "successive harness runs (default: $REPRO_MEMO_DIR; unset = no store)."
+        ),
+    )
 
 
 def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
@@ -47,6 +59,24 @@ def pytest_collection_modifyitems(items: list[pytest.Item]) -> None:
 def n_jobs(request: pytest.FixtureRequest) -> int:
     """Worker-process count for benchmarks that support parallel execution."""
     return request.config.getoption("--jobs")
+
+
+@pytest.fixture(scope="session", autouse=True)
+def memo_store(request: pytest.FixtureRequest):
+    """Activate the cross-process memo store for the whole harness run.
+
+    With ``--memo-dir`` (or ``REPRO_MEMO_DIR``) unset this is a no-op; with
+    it set, every benchmark's candidate evaluations are shared across
+    worker processes and persist across harness runs.
+    """
+    path = request.config.getoption("--memo-dir")
+    if not path:
+        yield None
+        return
+    from repro.parallel.store import configure_store
+
+    yield configure_store(path)
+    configure_store(None)
 
 
 def is_paper_scale() -> bool:

@@ -18,6 +18,7 @@ Sub-commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Optional, Sequence
 
@@ -31,6 +32,54 @@ def _jobs_spec(value: str) -> int:
     if n == 0:
         raise argparse.ArgumentTypeError("--jobs must not be 0 (use 1 for serial, -1 for all CPUs).")
     return n
+
+
+def _add_memo_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--memo-dir",
+        default=os.environ.get("REPRO_MEMO_DIR") or None,
+        help=(
+            "Directory of the cross-process memo store (default: $REPRO_MEMO_DIR). "
+            "Workers and successive runs share candidate evaluations through it, "
+            "and interrupted sweeps resume; results are identical with or without it."
+        ),
+    )
+
+
+def _activate_memo_store(args: argparse.Namespace) -> Optional[dict]:
+    """Activate the memo store and return its baseline counters.
+
+    The store's stats snapshots persist across runs (that is what makes
+    them aggregate across a pool); the baseline lets the end-of-run
+    summary report *this run's* activity rather than store-lifetime
+    totals.
+    """
+    if not getattr(args, "memo_dir", None):
+        return None
+    from repro.parallel.store import configure_store
+
+    store = configure_store(args.memo_dir)
+    agg = store.aggregated_stats()
+    return {"store": dict(agg["store"]), "fits": agg["fits"]}
+
+
+def _print_memo_summary(baseline: Optional[dict]) -> None:
+    from repro.parallel.store import get_store
+
+    store = get_store()
+    if store is None:
+        return
+    agg = store.aggregated_stats()
+    base = baseline or {"store": {}, "fits": 0}
+    delta = {
+        name: max(0, agg["store"][name] - base["store"].get(name, 0))
+        for name in ("hits", "misses", "puts")
+    }
+    fits = max(0, agg["fits"] - base["fits"])
+    print(
+        f"[memo] dir={store.root} hits={delta['hits']} misses={delta['misses']} "
+        f"puts={delta['puts']} objects={agg['store']['objects']} fits={fits} (this run)"
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +124,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="Worker processes (1=serial, -1=all CPUs); results are identical for any value.",
     )
+    _add_memo_dir_option(p_cmp)
 
     p_al = sub.add_parser("active-learn", help="Run an active-learning campaign.")
     p_al.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
@@ -90,6 +140,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="Worker processes for committee fits (1=serial, -1=all CPUs).",
     )
+    _add_memo_dir_option(p_al)
 
     return parser
 
@@ -161,6 +212,7 @@ def _cmd_compare_models(args: argparse.Namespace) -> int:
     from repro.core.reporting import format_model_comparison
     from repro.data.datasets import build_dataset
 
+    memo_baseline = _activate_memo_store(args)
     dataset = build_dataset(args.machine, seed=args.seed)
     results = run_model_comparison(
         dataset,
@@ -173,6 +225,7 @@ def _cmd_compare_models(args: argparse.Namespace) -> int:
     print(format_model_comparison(results))
     best = max(results, key=lambda r: r.r2)
     print(f"\nBest: {best.model} via {best.search} (R2={best.r2:.4f}, MAPE={best.mape:.4f})")
+    _print_memo_summary(memo_baseline)
     return 0
 
 
@@ -181,6 +234,7 @@ def _cmd_active_learn(args: argparse.Namespace) -> int:
     from repro.core.reporting import format_active_learning_curves
     from repro.data.datasets import build_dataset
 
+    memo_baseline = _activate_memo_store(args)
     dataset = build_dataset(args.machine, seed=args.seed)
     goal = None if args.goal == "none" else args.goal
     config = ActiveLearningConfig(
@@ -202,6 +256,7 @@ def _cmd_active_learn(args: argparse.Namespace) -> int:
     print(format_active_learning_curves([result], metric="mape", use_goal=goal is not None))
     final = result.final_metrics()
     print("\nFinal:", ", ".join(f"{k}={v:.4f}" if isinstance(v, float) else f"{k}={v}" for k, v in final.items()))
+    _print_memo_summary(memo_baseline)
     return 0
 
 

@@ -18,6 +18,15 @@ the search *as executed* — strategies that revisit candidates already
 scored in the same process report only the cache-lookup time.  Scores and
 ``best_params_`` are unaffected; clear the caches between searches if you
 need cold-cache wall times.
+
+Resumability: when a cross-process memo store is active (``--memo-dir`` /
+``REPRO_MEMO_DIR``, see :mod:`repro.parallel.store`), every finished
+(model, strategy) combination is persisted as soon as it completes, keyed
+on the full experimental content (machine, grid, cv, seed and the bytes of
+the train/test arrays).  An interrupted sweep rerun against the same store
+skips the finished combinations entirely — a fully warm rerun performs
+zero model fits and returns the stored results byte-for-byte, including
+the original ``search_time_s``.
 """
 
 from __future__ import annotations
@@ -103,31 +112,101 @@ def _make_search(
     raise ValueError(f"Unknown search strategy {strategy!r}. Expected one of {SEARCH_STRATEGIES}.")
 
 
+#: Store namespace for finished (model, strategy) sweep combinations.
+_SWEEP_NAMESPACE = "model_comparison"
+
+
+def _sweep_memo_key(
+    machine: str,
+    key: str,
+    strategy: str,
+    grid: dict,
+    scale: str,
+    cv: int,
+    seed: int,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> tuple:
+    """Content key for one (model, strategy) combination of the sweep.
+
+    The grid itself is part of the key, so editing a model's search space
+    in :mod:`repro.core.model_zoo` naturally invalidates stale results.
+    """
+    from repro.parallel.cache import array_token
+
+    grid_items = tuple(sorted((name, tuple(values)) for name, values in grid.items()))
+    return (
+        machine,
+        key,
+        strategy,
+        grid_items,
+        scale,
+        int(cv),
+        int(seed),
+        array_token(X_train),
+        array_token(y_train),
+        array_token(X_test),
+        array_token(y_test),
+    )
+
+
+def _load_sweep_result(store: Any, memo_key: tuple) -> Optional[ModelComparisonResult]:
+    payload = store.get(_SWEEP_NAMESPACE, memo_key)
+    if payload is None:
+        return None
+    try:
+        return ModelComparisonResult(**payload)
+    except TypeError:
+        # The dataclass grew/renamed fields since this payload was written;
+        # treat it as stale and recompute.
+        return None
+
+
 def _compare_one_model(task: tuple) -> list[ModelComparisonResult]:
-    """Run every search strategy for one model; one parallel task of the sweep."""
+    """Run every search strategy for one model; one parallel task of the sweep.
+
+    With a memo store active, each strategy's finished result is persisted
+    immediately (per-combination granularity is what makes an interrupted
+    sweep resumable) and already-stored combinations are skipped wholesale.
+    """
+    from repro.parallel.store import get_store
+
     (machine, key, strategies, scale, cv, seed, search_jobs, X_train, y_train, X_test, y_test) = task
     spec = get_model_spec(key)
     grid = spec.grid(scale)
+    store = get_store()
     results: list[ModelComparisonResult] = []
     for strategy in strategies:
+        memo_key = None
+        if store is not None:
+            memo_key = _sweep_memo_key(
+                machine, key, strategy, grid, scale, cv, seed, X_train, y_train, X_test, y_test
+            )
+            stored = _load_sweep_result(store, memo_key)
+            if stored is not None:
+                results.append(stored)
+                continue
         search = _make_search(strategy, spec.factory(), grid, cv=cv, seed=seed, n_jobs=search_jobs)
         t0 = time.perf_counter()
         search.fit(X_train, y_train)
         elapsed = time.perf_counter() - t0
         report = regression_report(y_test, search.predict(X_test))
-        results.append(
-            ModelComparisonResult(
-                machine=machine,
-                model=key,
-                search=strategy,
-                best_params=dict(search.best_params_),
-                r2=report["r2"],
-                mae=report["mae"],
-                mape=report["mape"],
-                search_time_s=elapsed,
-                n_candidates=len(search.cv_results_["params"]),
-            )
+        result = ModelComparisonResult(
+            machine=machine,
+            model=key,
+            search=strategy,
+            best_params=dict(search.best_params_),
+            r2=report["r2"],
+            mae=report["mae"],
+            mape=report["mape"],
+            search_time_s=elapsed,
+            n_candidates=len(search.cv_results_["params"]),
         )
+        if memo_key is not None:
+            store.put(_SWEEP_NAMESPACE, memo_key, result.as_dict())
+        results.append(result)
     return results
 
 

@@ -186,7 +186,10 @@ class BayesSearchCV(BaseSearchCV):
         self.best_params_ = self.cv_results_["params"][best_i]
         self.best_score_ = float(self.cv_results_["mean_test_score"][best_i])
         if self.refit:
+            from repro.parallel.store import record_fit
+
             self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+            record_fit()
             self.best_estimator_.fit(X, y)
         return self
 

@@ -7,6 +7,14 @@ cross validation inside the hyper-parameter searches of Figures 1 and 2.
 ``n_jobs`` and fan the independent fold fits out over
 :func:`repro.parallel.parallel_map`; folds are enumerated and seeded before
 the fan-out, so serial and parallel runs return identical scores.
+
+When a cross-process memo store is active (``--memo-dir`` /
+``REPRO_MEMO_DIR``, see :mod:`repro.parallel.store`), ``cross_validate``
+memoises its whole result for seeded estimators with primitive parameters
+and a named scorer, keyed on the content of ``(estimator config, X, y,
+splits, scoring)``.  Scores of a store hit are byte-identical to a fresh
+run; the ``fit_time``/``score_time`` fields replay the *original* run's
+timings, and the returned arrays are read-only (copy before mutating).
 """
 
 from __future__ import annotations
@@ -137,12 +145,36 @@ def _resolve_cv(cv: Any) -> KFold:
     raise ValueError(f"Unsupported cv specification: {cv!r}")
 
 
+def _cv_memo_key(
+    estimator: Any, X: np.ndarray, y: np.ndarray, splits: list, scoring: Any, return_train_score: bool
+) -> Optional[tuple]:
+    """Store key for a whole ``cross_validate`` call, or ``None`` if uncacheable."""
+    from repro.parallel.cache import array_token, estimator_token, splits_token
+
+    if not isinstance(scoring, str):
+        return None
+    est_token = estimator_token(estimator)
+    if est_token is None:
+        return None
+    return (
+        est_token,
+        array_token(X),
+        array_token(y),
+        splits_token(splits),
+        scoring,
+        bool(return_train_score),
+    )
+
+
 def _cross_validate_fold(task: tuple) -> tuple[float, float, float, Optional[float]]:
     """Fit/score a single fold: ``(test_score, fit_time, score_time, train_score)``."""
+    from repro.parallel.store import record_fit
+
     estimator, X, y, train_idx, test_idx, scoring, return_train_score = task
     scorer = get_scorer(scoring)
     model = clone(estimator)
     t0 = time.perf_counter()
+    record_fit()
     model.fit(X[train_idx], y[train_idx])
     fit_time = time.perf_counter() - t0
     t0 = time.perf_counter()
@@ -171,11 +203,23 @@ def cross_validate(
     """
     from repro.parallel.backend import parallel_map
     from repro.parallel.cache import cv_splits
+    from repro.parallel.store import get_store
 
     X = np.asarray(X, dtype=np.float64)
     y = np.asarray(y, dtype=np.float64).ravel()
     get_scorer(scoring)  # fail fast on unknown scoring specs
     splits = cv_splits(X, y, cv=cv)
+
+    store = get_store()
+    memo_key = (
+        _cv_memo_key(estimator, X, y, splits, scoring, return_train_score)
+        if store is not None
+        else None
+    )
+    if memo_key is not None:
+        cached = store.get("cross_validate", memo_key)
+        if cached is not None:
+            return dict(cached)
 
     tasks = [
         (estimator, X, y, train_idx, test_idx, scoring, return_train_score)
@@ -190,6 +234,12 @@ def cross_validate(
     }
     if return_train_score:
         out["train_score"] = np.asarray([f[3] for f in folds])
+    if memo_key is not None:
+        # Freeze before publishing so first and later callers get the same
+        # read-only contract for memoised results.
+        for arr in out.values():
+            arr.setflags(write=False)
+        store.put("cross_validate", memo_key, out)
     return out
 
 
@@ -207,8 +257,11 @@ def cross_val_score(
 
 
 def _cross_val_predict_fold(task: tuple) -> np.ndarray:
+    from repro.parallel.store import record_fit
+
     estimator, X, y, train_idx, test_idx = task
     model = clone(estimator)
+    record_fit()
     model.fit(X[train_idx], y[train_idx])
     return model.predict(X[test_idx])
 

@@ -11,7 +11,10 @@ sequential Bayesian search).  Candidate order, CV splits and every seed are
 fixed *before* the fan-out, so ``best_params_``, ``best_score_`` and
 ``cv_results_`` scores are bit-identical for serial and parallel runs.
 Candidate evaluations are memoised via :mod:`repro.parallel.cache`, so
-strategies that revisit the same candidate on the same data reuse the score.
+strategies that revisit the same candidate on the same data reuse the score;
+when a cross-process memo store is active (``--memo-dir`` /
+``REPRO_MEMO_DIR``, see :mod:`repro.parallel.store`) the memo extends across
+worker processes and across runs with byte-identical scores.
 """
 
 from __future__ import annotations
@@ -30,12 +33,12 @@ from repro.parallel.cache import (
     candidate_eval_get,
     candidate_eval_put,
     cv_splits,
+    estimator_token,
     splits_token,
 )
+from repro.parallel.store import record_fit
 
 __all__ = ["ParameterGrid", "ParameterSampler", "GridSearchCV", "RandomizedSearchCV", "BaseSearchCV"]
-
-_PRIMITIVE_PARAM_TYPES = (int, float, str, bool, type(None), np.integer, np.floating)
 
 
 def _candidate_cache_key(
@@ -44,20 +47,10 @@ def _candidate_cache_key(
     """Memoisation key for one candidate evaluation, or ``None`` if uncacheable."""
     if data_token is None or not isinstance(scoring, str):
         return None
-    resolved = dict(estimator.get_params(deep=False))
-    resolved.update(params)
-    if resolved.get("random_state", 0) is None:
-        # An unseeded stochastic estimator draws fresh entropy per fit;
-        # memoising would freeze one random draw and replay it.
+    est_token = estimator_token(estimator, params)
+    if est_token is None:
         return None
-    items = []
-    for name in sorted(resolved):
-        value = resolved[name]
-        if not isinstance(value, _PRIMITIVE_PARAM_TYPES):
-            return None
-        items.append((name, value))
-    cls = type(estimator)
-    return (f"{cls.__module__}.{cls.__qualname__}", tuple(items), data_token, scoring)
+    return est_token + (data_token, scoring)
 
 
 def _fit_score_fold(task: tuple) -> float:
@@ -65,6 +58,7 @@ def _fit_score_fold(task: tuple) -> float:
     estimator, params, X, y, train_idx, test_idx, scoring = task
     scorer = get_scorer(scoring)
     model = clone(estimator).set_params(**params)
+    record_fit()
     model.fit(X[train_idx], y[train_idx])
     return float(scorer(y[test_idx], model.predict(X[test_idx])))
 
@@ -251,6 +245,7 @@ class BaseSearchCV(BaseEstimator):
 
         if self.refit:
             self.best_estimator_ = clone(self.estimator).set_params(**self.best_params_)
+            record_fit()
             self.best_estimator_.fit(X, y)
         return self
 

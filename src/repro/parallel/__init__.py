@@ -8,11 +8,19 @@
 * :func:`cv_splits`, :func:`feature_moments`, :func:`feature_presort` —
   caches for CV splits, standardisation moments and sorted-feature indices
   keyed on array content (see :mod:`repro.parallel.cache`).
+* :class:`MemoStore` / :func:`configure_store` / :func:`get_store` — a
+  cross-process, on-disk memo store that backs the candidate-evaluation
+  cache so worker processes and successive runs share evaluations and
+  interrupted sweeps resume (see :mod:`repro.parallel.store`).
 
 The ``n_jobs`` contract (mirrored by the CLI's ``--jobs`` flag): ``1`` or
 ``None`` runs serially, ``N > 1`` uses up to ``N`` worker processes, and
 negative values count back from the CPU count (``-1`` = all cores).  For a
 fixed seed, serial and parallel execution produce bit-identical results.
+
+The ``--memo-dir`` / ``REPRO_MEMO_DIR`` contract: pointing any run at a
+memo directory must not change its results — only how much of them is
+recomputed.  A warm-store run is byte-identical to a cold serial run.
 """
 
 from repro.parallel.backend import (
@@ -29,6 +37,13 @@ from repro.parallel.cache import (
     feature_moments,
     feature_presort,
 )
+from repro.parallel.store import (
+    MemoStore,
+    active_memo_dir,
+    configure_store,
+    fit_count,
+    get_store,
+)
 
 __all__ = [
     "ParallelMap",
@@ -41,4 +56,9 @@ __all__ = [
     "feature_presort",
     "clear_caches",
     "cache_stats",
+    "MemoStore",
+    "configure_store",
+    "get_store",
+    "active_memo_dir",
+    "fit_count",
 ]

@@ -35,9 +35,40 @@ __all__ = ["ParallelMap", "parallel_map", "resolve_n_jobs", "effective_cpu_count
 _IN_WORKER = False
 
 
-def _mark_worker() -> None:
+def _init_worker(memo_dir: Optional[str]) -> None:
+    """Pool initializer: mark the process and attach the parent's memo store.
+
+    Workers start with empty in-memory caches; pointing them at the
+    parent's on-disk store is what lets every worker (and every later run)
+    share candidate evaluations.  Passing the directory through initargs —
+    rather than relying on fork-inherited module state — keeps the contract
+    under any multiprocessing start method.
+    """
     global _IN_WORKER
     _IN_WORKER = True
+    from repro.parallel.store import configure_store
+
+    # Configure unconditionally: a parent that explicitly disabled the store
+    # (memo_dir None) must stay disabled in workers even when REPRO_MEMO_DIR
+    # is set and the start method does not inherit parent module state.
+    configure_store(memo_dir)
+
+
+def _call_task(fn: Callable[[Any], Any], task: Any) -> Any:
+    """Run one task in a worker, flushing store statistics afterwards.
+
+    The flush publishes the worker's store and LRU counters (and fit count)
+    into the store's per-process stats files after *every* task, so an
+    interrupt never loses more than the in-flight task's counters.
+    """
+    try:
+        return fn(task)
+    finally:
+        from repro.parallel.store import get_store
+
+        store = get_store()
+        if store is not None:
+            store.flush_stats()
 
 
 def effective_cpu_count() -> int:
@@ -110,12 +141,18 @@ class ParallelMap:
         order: Sequence[int],
         n_workers: int,
     ) -> list[Any]:
+        from repro.parallel.store import active_memo_dir
+
         # Tasks are CPU-bound: more workers than cores only adds contention,
         # so the pool is capped at the affinity-visible CPU count.
         max_workers = max(1, min(n_workers, len(tasks), effective_cpu_count()))
         results: list[Any] = [None] * len(tasks)
-        with ProcessPoolExecutor(max_workers=max_workers, initializer=_mark_worker) as pool:
-            futures = {idx: pool.submit(fn, tasks[idx]) for idx in order}
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_init_worker,
+            initargs=(active_memo_dir(),),
+        ) as pool:
+            futures = {idx: pool.submit(_call_task, fn, tasks[idx]) for idx in order}
             for idx in range(len(tasks)):
                 results[idx] = futures[idx].result()
         return results

@@ -21,6 +21,10 @@ Safety contract:
 
 All caches are bounded LRU and thread-safe; worker processes spawned by
 :mod:`repro.parallel.backend` each hold their own (initially empty) cache.
+When a cross-process memo store is active (see :mod:`repro.parallel.store`),
+the candidate-evaluation cache additionally reads through to and writes
+through to disk, so workers and successive runs share evaluations; the
+in-process LRU then acts as a first-level cache in front of the store.
 """
 
 from __future__ import annotations
@@ -28,9 +32,11 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 import numpy as np
+
+from repro.parallel import store as _store
 
 __all__ = [
     "array_token",
@@ -39,10 +45,15 @@ __all__ = [
     "feature_presort",
     "candidate_eval_get",
     "candidate_eval_put",
+    "estimator_token",
     "splits_token",
     "clear_caches",
     "cache_stats",
 ]
+
+#: Hyper-parameter value types that are safe to use in memo keys: hashable,
+#: deterministically encodable and round-trippable across processes.
+PRIMITIVE_PARAM_TYPES = (int, float, str, bool, type(None), np.integer, np.floating)
 
 
 class _LRUCache:
@@ -177,8 +188,35 @@ def feature_presort(X: np.ndarray) -> np.ndarray:
     return presort
 
 
+def estimator_token(estimator: Any, overrides: Optional[Mapping[str, Any]] = None) -> Optional[tuple]:
+    """Stable memo token for an estimator's class and resolved parameters.
+
+    Returns ``None`` when the configuration must not be memoised: any
+    non-primitive parameter value (e.g. a kernel object), or an unseeded
+    stochastic estimator (``random_state=None`` draws fresh entropy per fit,
+    so memoising would freeze one random draw and replay it).
+    """
+    resolved = dict(estimator.get_params(deep=False))
+    if overrides:
+        resolved.update(overrides)
+    if resolved.get("random_state", 0) is None:
+        return None
+    items = []
+    for name in sorted(resolved):
+        value = resolved[name]
+        if not isinstance(value, PRIMITIVE_PARAM_TYPES):
+            return None
+        items.append((name, value))
+    cls = type(estimator)
+    return (f"{cls.__module__}.{cls.__qualname__}", tuple(items))
+
+
+#: Store namespace for whole-candidate CV evaluations.
+_CANDIDATE_NAMESPACE = "candidate_eval"
+
+
 def candidate_eval_get(key: Any) -> Any:
-    """Cached ``(mean_score, std_score, eval_time)`` of a CV candidate, or ``None``.
+    """Cached ``(mean_score, std_score)`` of a CV candidate, or ``None``.
 
     The three search strategies of the paper's sweep largely evaluate the
     *same* hyper-parameter candidates on the *same* splits; memoising the
@@ -187,12 +225,27 @@ def candidate_eval_get(key: Any) -> Any:
     estimator class, its fully resolved primitive hyper-parameters and the
     content tokens of ``(X, y, splits, scoring)``; candidates with
     non-primitive parameters (e.g. kernel objects) are never cached.
+
+    Lookup order is the in-process LRU first, then the cross-process memo
+    store (when one is active); a store hit repopulates the LRU so repeat
+    lookups in the same process stay in memory.
     """
-    return _CANDIDATE_CACHE.get(key)
+    cached = _CANDIDATE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    store = _store.get_store()
+    if store is not None:
+        cached = store.get(_CANDIDATE_NAMESPACE, key)
+        if cached is not None:
+            _CANDIDATE_CACHE.put(key, cached)
+    return cached
 
 
 def candidate_eval_put(key: Any, value: Any) -> None:
     _CANDIDATE_CACHE.put(key, value)
+    store = _store.get_store()
+    if store is not None:
+        store.put(_CANDIDATE_NAMESPACE, key, value)
 
 
 def splits_token(splits: Any) -> tuple:
@@ -204,16 +257,33 @@ def splits_token(splits: Any) -> tuple:
 
 
 def clear_caches() -> None:
-    """Drop every cached artefact (mainly for tests and benchmarks)."""
+    """Drop every in-memory cached artefact and reset all counters.
+
+    When a cross-process memo store is active, its hit/miss counters and
+    per-process stats snapshots are reset too, but its on-disk *objects*
+    are kept — persistence across runs is the store's whole point.  Use
+    ``get_store().clear()`` to wipe the objects as well.
+    """
     _SPLIT_CACHE.clear()
     _MOMENTS_CACHE.clear()
     _PRESORT_CACHE.clear()
     _CANDIDATE_CACHE.clear()
+    _store.reset_fit_count()
+    store = _store.get_store()
+    if store is not None:
+        store.reset_stats()
 
 
-def cache_stats() -> dict[str, dict[str, int]]:
-    """Hit/miss/size counters per cache, for diagnostics."""
-    return {
+def cache_stats(include_store: bool = True) -> dict[str, dict[str, int]]:
+    """Hit/miss/size counters per cache, for diagnostics.
+
+    When a memo store is active (and ``include_store`` is true) the result
+    gains a ``"memo_store"`` entry with this process's store counters
+    (``hits``/``misses``/``puts``/``errors``/``objects``).  For a view
+    aggregated over worker processes, use
+    ``get_store().aggregated_stats()``.
+    """
+    stats = {
         name: {"hits": c.hits, "misses": c.misses, "size": len(c)}
         for name, c in (
             ("cv_splits", _SPLIT_CACHE),
@@ -222,3 +292,8 @@ def cache_stats() -> dict[str, dict[str, int]]:
             ("candidate_eval", _CANDIDATE_CACHE),
         )
     }
+    if include_store:
+        store = _store.get_store()
+        if store is not None:
+            stats["memo_store"] = store.stats()
+    return stats

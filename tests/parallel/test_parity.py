@@ -1,0 +1,126 @@
+"""Bit-parity matrix for the memo store (ISSUE 2 acceptance).
+
+For sampled seeds, ``run_model_comparison`` on a tiny dataset must return
+identical results (modulo wall-time fields) whether it runs serially, on a
+process pool, against a warm memo store, or resumed after an interrupt —
+and a fully warm rerun must perform **zero** model fits.
+
+The suite configures its own store directories explicitly, so it is
+deterministic whether or not an ambient ``REPRO_MEMO_DIR`` is set (CI runs
+it both ways).
+"""
+
+import pytest
+
+import repro.core.hyperopt as hyperopt
+from repro.core.hyperopt import run_model_comparison
+from repro.parallel import clear_caches, configure_store, get_store
+
+#: A sweep small enough for tier-1 but wide enough to cross model/strategy
+#: boundaries (grid + randomized over a deterministic and a seeded model).
+SWEEP = dict(
+    models=["PR", "DT"],
+    strategies=("GridSearchCV", "RandomizedSearchCV"),
+    scale="fast",
+    cv=3,
+    max_train_samples=50,
+)
+
+
+@pytest.fixture(autouse=True)
+def _isolated_store_state():
+    configure_store(None)
+    clear_caches()
+    yield
+    configure_store(None)
+    clear_caches()
+
+
+def _run(dataset, seed, *, n_jobs=1, memo_dir=None):
+    """One sweep run with a fresh in-process cache state."""
+    configure_store(memo_dir)
+    clear_caches()
+    return run_model_comparison(dataset, n_jobs=n_jobs, seed=seed, **SWEEP)
+
+
+def _comparable(results):
+    """Result dicts with the only run-dependent field (wall time) dropped."""
+    return [
+        {k: v for k, v in r.as_dict().items() if k != "search_time_s"} for r in results
+    ]
+
+
+@pytest.mark.parametrize("seed", [0, 7])
+def test_parity_matrix(small_aurora_dataset, tmp_path, seed):
+    """serial == n_jobs=2 == cold-store == warm-store for sampled seeds."""
+    serial = _run(small_aurora_dataset, seed)
+    parallel = _run(small_aurora_dataset, seed, n_jobs=2)
+    cold = _run(small_aurora_dataset, seed, memo_dir=tmp_path / "memo")
+    warm = _run(small_aurora_dataset, seed, memo_dir=tmp_path / "memo")
+
+    assert _comparable(serial) == _comparable(parallel)
+    assert _comparable(serial) == _comparable(cold)
+    assert _comparable(serial) == _comparable(warm)
+    # A fully warm run replays the stored results byte-for-byte, including
+    # the original run's search_time_s.
+    assert [r.as_dict() for r in warm] == [r.as_dict() for r in cold]
+
+
+def test_warm_store_run_performs_zero_fits(small_aurora_dataset, tmp_path):
+    """ISSUE 2 acceptance: the second (fully warm) run fits no models at all."""
+    cold = _run(small_aurora_dataset, 0, memo_dir=tmp_path / "memo")
+    cold_fits = get_store().aggregated_stats()["fits"]
+    assert cold_fits > 0
+
+    def no_search_allowed(*args, **kwargs):
+        raise AssertionError("a fully warm sweep must never construct a search")
+
+    configure_store(tmp_path / "memo")
+    clear_caches()
+    hyperopt_make_search = hyperopt._make_search
+    hyperopt._make_search = no_search_allowed
+    try:
+        warm = run_model_comparison(small_aurora_dataset, n_jobs=1, seed=0, **SWEEP)
+    finally:
+        hyperopt._make_search = hyperopt_make_search
+    assert get_store().aggregated_stats()["fits"] == 0
+    assert [r.as_dict() for r in warm] == [r.as_dict() for r in cold]
+
+
+def test_resume_after_interrupt(small_aurora_dataset, tmp_path, monkeypatch):
+    """An interrupted sweep resumes from the store without redoing finished work."""
+    baseline = _run(small_aurora_dataset, 0)
+
+    real_make_search = hyperopt._make_search
+
+    def explode_on_randomized(strategy, *args, **kwargs):
+        if strategy == "RandomizedSearchCV":
+            raise RuntimeError("simulated interrupt")
+        return real_make_search(strategy, *args, **kwargs)
+
+    configure_store(tmp_path / "memo")
+    clear_caches()
+    monkeypatch.setattr(hyperopt, "_make_search", explode_on_randomized)
+    with pytest.raises(RuntimeError, match="simulated interrupt"):
+        run_model_comparison(small_aurora_dataset, n_jobs=1, seed=0, **SWEEP)
+    monkeypatch.undo()
+
+    # The first model's GridSearchCV combination finished before the
+    # interrupt and is already on disk.
+    assert get_store().object_count() > 0
+
+    searched = []
+
+    def counting_make_search(strategy, *args, **kwargs):
+        searched.append(strategy)
+        return real_make_search(strategy, *args, **kwargs)
+
+    monkeypatch.setattr(hyperopt, "_make_search", counting_make_search)
+    clear_caches()
+    resumed = run_model_comparison(small_aurora_dataset, n_jobs=1, seed=0, **SWEEP)
+
+    # PR/GridSearchCV was restored from the store, the other three
+    # combinations were computed on resume.
+    assert len(searched) == 3
+    assert searched.count("GridSearchCV") == 1
+    assert _comparable(resumed) == _comparable(baseline)

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import build_parser, main
+from repro.parallel import clear_caches, configure_store
 
 
 class TestParser:
@@ -41,3 +42,60 @@ class TestCommands:
         assert code == 0
         assert out_path.exists()
         assert "150 rows" in capsys.readouterr().out
+
+
+class TestMemoFlags:
+    """The ``--memo-dir`` / ``REPRO_MEMO_DIR`` wiring of the CLI."""
+
+    @pytest.fixture(autouse=True)
+    def _isolated_store(self):
+        configure_store(None)
+        clear_caches()
+        yield
+        configure_store(None)
+        clear_caches()
+
+    def test_memo_dir_accepted_on_compare_models_and_active_learn(self):
+        args = build_parser().parse_args(["compare-models", "--memo-dir", "/tmp/m"])
+        assert args.memo_dir == "/tmp/m"
+        args = build_parser().parse_args(["active-learn", "--memo-dir", "/tmp/m"])
+        assert args.memo_dir == "/tmp/m"
+
+    def test_memo_dir_defaults_to_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_MEMO_DIR", "/tmp/from-env")
+        args = build_parser().parse_args(["compare-models"])
+        assert args.memo_dir == "/tmp/from-env"
+        monkeypatch.delenv("REPRO_MEMO_DIR")
+        args = build_parser().parse_args(["compare-models"])
+        assert args.memo_dir is None
+
+    def test_compare_models_memo_dir_makes_second_run_fit_free(
+        self, tmp_path, capsys, monkeypatch, small_aurora_dataset
+    ):
+        import repro.data.datasets as datasets
+
+        monkeypatch.setattr(
+            datasets, "build_dataset", lambda *args, **kwargs: small_aurora_dataset
+        )
+        argv = [
+            "compare-models",
+            "--models",
+            "PR",
+            "DT",
+            "--max-train",
+            "50",
+            "--memo-dir",
+            str(tmp_path / "memo"),
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "[memo] dir=" in first
+
+        configure_store(None)
+        clear_caches()
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "fits=0" in second  # fully warm: zero model fits
+        # Identical results, replayed from the store.
+        strip = lambda out: [line for line in out.splitlines() if "[memo]" not in line]
+        assert strip(first) == strip(second)
