@@ -11,10 +11,12 @@ The harness is excluded from the tier-1 run (``pyproject.toml`` restricts
 Every test collected here is tagged with the ``benchmark`` marker.  The
 ``--jobs N`` option (or ``REPRO_JOBS=N``) fans the fit-heavy sweeps out over
 ``N`` worker processes via :mod:`repro.parallel`; results are identical for
-any value.  The ``--memo-dir PATH`` option (or ``REPRO_MEMO_DIR=PATH``)
-activates the cross-process memo store so workers and successive harness
-runs share candidate evaluations and interrupted sweeps resume; results
-are identical with or without it.
+any value.  The ``--memo-dir SPEC`` option (or ``REPRO_MEMO_DIR=SPEC``)
+activates the cross-process memo store — ``SPEC`` is a directory or a
+``memo://host:port`` service URL (see ``repro-chem memo-serve``) — so
+workers, successive harness runs and other hosts share candidate
+evaluations and interrupted sweeps resume; results are identical with or
+without it.
 """
 
 from __future__ import annotations
@@ -42,8 +44,9 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         action="store",
         default=os.environ.get("REPRO_MEMO_DIR") or None,
         help=(
-            "Directory of the cross-process memo store shared by workers and "
-            "successive harness runs (default: $REPRO_MEMO_DIR; unset = no store)."
+            "Cross-process memo store shared by workers and successive harness "
+            "runs: a directory or a memo://host:port service URL "
+            "(default: $REPRO_MEMO_DIR; unset = no store)."
         ),
     )
 

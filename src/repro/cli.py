@@ -13,6 +13,9 @@ Sub-commands
     Run the nine-model / three-search comparison (Figures 1–2).
 ``active-learn``
     Run an active-learning campaign (Figures 3–6).
+``memo-serve``
+    Serve a disk memo store over TCP so multiple processes/hosts share one
+    memo (point runs at it with ``--memo-dir memo://host:port``).
 """
 
 from __future__ import annotations
@@ -39,9 +42,10 @@ def _add_memo_dir_option(parser: argparse.ArgumentParser) -> None:
         "--memo-dir",
         default=os.environ.get("REPRO_MEMO_DIR") or None,
         help=(
-            "Directory of the cross-process memo store (default: $REPRO_MEMO_DIR). "
-            "Workers and successive runs share candidate evaluations through it, "
-            "and interrupted sweeps resume; results are identical with or without it."
+            "Cross-process memo store: a directory ('~' is expanded) or a "
+            "memo://host:port service URL (default: $REPRO_MEMO_DIR). Workers "
+            "and successive runs share candidate evaluations through it, and "
+            "interrupted sweeps resume; results are identical with or without it."
         ),
     )
 
@@ -77,7 +81,7 @@ def _print_memo_summary(baseline: Optional[dict]) -> None:
     }
     fits = max(0, agg["fits"] - base["fits"])
     print(
-        f"[memo] dir={store.root} hits={delta['hits']} misses={delta['misses']} "
+        f"[memo] dir={store.location} hits={delta['hits']} misses={delta['misses']} "
         f"puts={delta['puts']} objects={agg['store']['objects']} fits={fits} (this run)"
     )
 
@@ -141,6 +145,23 @@ def build_parser() -> argparse.ArgumentParser:
         help="Worker processes for committee fits (1=serial, -1=all CPUs).",
     )
     _add_memo_dir_option(p_al)
+
+    p_srv = sub.add_parser(
+        "memo-serve",
+        help="Serve a disk memo store over TCP (memo:// protocol) to remote runs.",
+    )
+    p_srv.add_argument(
+        "--memo-dir",
+        required=True,
+        help="Disk store directory to serve ('~' expanded, created if missing).",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1", help="Interface to bind.")
+    p_srv.add_argument(
+        "--port",
+        type=int,
+        default=7501,
+        help="TCP port to listen on (0 picks a free port; printed at startup).",
+    )
 
     return parser
 
@@ -260,12 +281,32 @@ def _cmd_active_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_memo_serve(args: argparse.Namespace) -> int:
+    from repro.parallel.service import MemoServer
+
+    server = MemoServer(args.memo_dir, host=args.host, port=args.port)
+    # The exact "listening on memo://host:port" line is the startup handshake
+    # scripts wait for (and parse the ephemeral port from, with --port 0).
+    print(
+        f"memo-serve: dir={server.store.location} listening on {server.url}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("memo-serve: interrupted, shutting down", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
 _DISPATCH = {
     "generate-data": _cmd_generate_data,
     "simulate": _cmd_simulate,
     "ask": _cmd_ask,
     "compare-models": _cmd_compare_models,
     "active-learn": _cmd_active_learn,
+    "memo-serve": _cmd_memo_serve,
 }
 
 

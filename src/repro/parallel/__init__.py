@@ -12,6 +12,13 @@
   cross-process, on-disk memo store that backs the candidate-evaluation
   cache so worker processes and successive runs share evaluations and
   interrupted sweeps resume (see :mod:`repro.parallel.store`).
+* :class:`MemoServer` / :class:`RemoteMemoStore` — the service-backed form
+  of the same store: a TCP server fronting a disk store and a client with
+  the identical get/put/stats surface, for runs spread over multiple hosts
+  (see :mod:`repro.parallel.service`).
+* A named executor registry (``serial``, ``process``; see
+  :mod:`repro.parallel.executors`) behind :class:`ParallelMap`, selected
+  per call (``executor=``) or globally (``REPRO_EXECUTOR``).
 
 The ``n_jobs`` contract (mirrored by the CLI's ``--jobs`` flag): ``1`` or
 ``None`` runs serially, ``N > 1`` uses up to ``N`` worker processes, and
@@ -19,8 +26,10 @@ negative values count back from the CPU count (``-1`` = all cores).  For a
 fixed seed, serial and parallel execution produce bit-identical results.
 
 The ``--memo-dir`` / ``REPRO_MEMO_DIR`` contract: pointing any run at a
-memo directory must not change its results — only how much of them is
-recomputed.  A warm-store run is byte-identical to a cold serial run.
+memo store — a directory or a ``memo://host:port`` service URL (see
+:func:`make_store`) — must not change its results, only how much of them
+is recomputed.  A warm-store run is byte-identical to a cold serial run,
+and a dead or corrupt store degrades to recomputation, never a crash.
 """
 
 from repro.parallel.backend import (
@@ -28,6 +37,12 @@ from repro.parallel.backend import (
     effective_cpu_count,
     parallel_map,
     resolve_n_jobs,
+)
+from repro.parallel.executors import (
+    Executor,
+    available_executors,
+    get_executor,
+    register_executor,
 )
 from repro.parallel.cache import (
     array_token,
@@ -37,12 +52,14 @@ from repro.parallel.cache import (
     feature_moments,
     feature_presort,
 )
+from repro.parallel.service import MemoServer, RemoteMemoStore
 from repro.parallel.store import (
     MemoStore,
     active_memo_dir,
     configure_store,
     fit_count,
     get_store,
+    make_store,
 )
 
 __all__ = [
@@ -50,6 +67,10 @@ __all__ = [
     "parallel_map",
     "resolve_n_jobs",
     "effective_cpu_count",
+    "Executor",
+    "register_executor",
+    "get_executor",
+    "available_executors",
     "array_token",
     "cv_splits",
     "feature_moments",
@@ -57,6 +78,9 @@ __all__ = [
     "clear_caches",
     "cache_stats",
     "MemoStore",
+    "MemoServer",
+    "RemoteMemoStore",
+    "make_store",
     "configure_store",
     "get_store",
     "active_memo_dir",

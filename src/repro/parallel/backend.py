@@ -1,4 +1,4 @@
-"""Process-pool/serial ``ParallelMap`` execution backend.
+"""``ParallelMap``: pluggable-executor fan-out with a serial guarantee.
 
 Every fit-heavy layer of the repo (hyper-parameter searches, cross
 validation, forests, active-learning committees, the model x strategy sweep
@@ -12,8 +12,13 @@ embarrassingly parallel work through :class:`ParallelMap`.  The contract:
   cloned generator).  Callers pre-draw any seeds *sequentially* before
   fanning out, which makes ``n_jobs=1`` and ``n_jobs=N`` bit-identical.
 * **Serial fallback** — ``n_jobs=1`` (the default), nested parallel
-  regions, un-picklable tasks and broken pools all degrade gracefully to
-  the plain serial loop; worker exceptions propagate to the caller.
+  regions, un-picklable tasks and broken executors all degrade gracefully
+  to the plain serial loop; worker exceptions propagate to the caller.
+* **Pluggable executors** — the actual fan-out is delegated to a named
+  executor from :mod:`repro.parallel.executors` (``serial``, ``process``,
+  with room for distributed backends), selected per call site
+  (``executor=``) or globally (``REPRO_EXECUTOR``) without touching
+  callers.
 
 ``n_jobs`` follows the scikit-learn convention: ``None``/``1`` is serial,
 positive integers give the worker count, and negative values count back
@@ -23,10 +28,13 @@ from the number of CPUs (``-1`` means "all cores").
 from __future__ import annotations
 
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.parallel.executors import (
+    Executor,
+    ExecutorUnavailableError,
+    resolve_executor,
+)
 
 __all__ = ["ParallelMap", "parallel_map", "resolve_n_jobs", "effective_cpu_count"]
 
@@ -39,10 +47,11 @@ def _init_worker(memo_dir: Optional[str]) -> None:
     """Pool initializer: mark the process and attach the parent's memo store.
 
     Workers start with empty in-memory caches; pointing them at the
-    parent's on-disk store is what lets every worker (and every later run)
-    share candidate evaluations.  Passing the directory through initargs —
-    rather than relying on fork-inherited module state — keeps the contract
-    under any multiprocessing start method.
+    parent's store — a disk directory or a ``memo://`` service URL — is
+    what lets every worker (and every later run) share candidate
+    evaluations.  Passing the location through initargs — rather than
+    relying on fork-inherited module state — keeps the contract under any
+    multiprocessing start method.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -58,7 +67,7 @@ def _call_task(fn: Callable[[Any], Any], task: Any) -> Any:
     """Run one task in a worker, flushing store statistics afterwards.
 
     The flush publishes the worker's store and LRU counters (and fit count)
-    into the store's per-process stats files after *every* task, so an
+    into the store's per-process stats snapshots after *every* task, so an
     interrupt never loses more than the in-flight task's counters.
     """
     try:
@@ -92,16 +101,26 @@ def resolve_n_jobs(n_jobs: Optional[int]) -> int:
 
 
 class ParallelMap:
-    """Map a function over tasks, serially or on a process pool.
+    """Map a function over tasks through a named executor.
 
     Parameters
     ----------
     n_jobs:
         Worker count spec (see :func:`resolve_n_jobs`).
+    executor:
+        Executor name, :class:`~repro.parallel.executors.Executor` instance,
+        or ``None`` to use ``$REPRO_EXECUTOR`` (default ``process``).  Only
+        consulted when a parallel region is actually entered (``n_jobs > 1``
+        with more than one task outside a worker).
     """
 
-    def __init__(self, n_jobs: Optional[int] = 1) -> None:
+    def __init__(
+        self,
+        n_jobs: Optional[int] = 1,
+        executor: Union[str, Executor, None] = None,
+    ) -> None:
         self.n_jobs = n_jobs
+        self.executor = executor
 
     def map(
         self,
@@ -120,61 +139,22 @@ class ParallelMap:
         n_workers = resolve_n_jobs(self.n_jobs)
         if n_workers == 1 or _IN_WORKER or len(tasks) <= 1:
             return [fn(task) for task in tasks]
+        executor = resolve_executor(self.executor)
         order = list(priority) if priority is not None else list(range(len(tasks)))
         if sorted(order) != list(range(len(tasks))):
+            # Validated for every executor, so a buggy priority list at a
+            # call site cannot hide behind REPRO_EXECUTOR=serial.
             raise ValueError("priority must be a permutation of the task indices.")
-        if not _is_shippable(fn, tasks):
+        if not executor.supports(fn, tasks):
             # Un-picklable closures/tasks (e.g. lambda scorers) fall back to
             # the serial path, which is always available and bit-identical.
             return [fn(task) for task in tasks]
         try:
-            return self._map_processes(fn, tasks, order, n_workers)
-        except BrokenProcessPool:
-            # A dead pool (OOM-killed worker, interpreter teardown) is an
+            return executor.map(fn, tasks, order=order, n_workers=n_workers)
+        except ExecutorUnavailableError:
+            # A dead executor (OOM-killed pool, unreachable cluster) is an
             # infrastructure failure, not a task failure: recompute serially.
             return [fn(task) for task in tasks]
-
-    @staticmethod
-    def _map_processes(
-        fn: Callable[[Any], Any],
-        tasks: list[Any],
-        order: Sequence[int],
-        n_workers: int,
-    ) -> list[Any]:
-        from repro.parallel.store import active_memo_dir
-
-        # Tasks are CPU-bound: more workers than cores only adds contention,
-        # so the pool is capped at the affinity-visible CPU count.
-        max_workers = max(1, min(n_workers, len(tasks), effective_cpu_count()))
-        results: list[Any] = [None] * len(tasks)
-        with ProcessPoolExecutor(
-            max_workers=max_workers,
-            initializer=_init_worker,
-            initargs=(active_memo_dir(),),
-        ) as pool:
-            futures = {idx: pool.submit(_call_task, fn, tasks[idx]) for idx in order}
-            for idx in range(len(tasks)):
-                results[idx] = futures[idx].result()
-        return results
-
-
-def _is_shippable(fn: Callable[[Any], Any], tasks: list[Any]) -> bool:
-    """Pre-flight pickling check before handing work to a process pool.
-
-    Verifying up front that the function and a representative task pickle
-    means any exception that later escapes ``future.result()`` was raised
-    *by the task itself* inside a worker and must propagate to the caller —
-    exactly like it would serially — rather than being confused with an
-    infrastructure failure and silently retried.  Only the first task is
-    checked (one fan-out's tasks are structurally homogeneous); pickling
-    every task here would double the dominant IPC cost of a parallel call.
-    """
-    try:
-        pickle.dumps(fn)
-        pickle.dumps(tasks[0])
-    except Exception:
-        return False
-    return True
 
 
 def parallel_map(
@@ -183,6 +163,7 @@ def parallel_map(
     n_jobs: Optional[int] = 1,
     *,
     priority: Optional[Sequence[int]] = None,
+    executor: Union[str, Executor, None] = None,
 ) -> list[Any]:
-    """Functional shorthand for ``ParallelMap(n_jobs).map(fn, tasks)``."""
-    return ParallelMap(n_jobs).map(fn, tasks, priority=priority)
+    """Functional shorthand for ``ParallelMap(n_jobs, executor).map(fn, tasks)``."""
+    return ParallelMap(n_jobs, executor).map(fn, tasks, priority=priority)

@@ -1,0 +1,583 @@
+"""Service-backed memo store: a TCP server and its ``RemoteMemoStore`` client.
+
+:class:`~repro.parallel.store.MemoStore` shares memoised evaluations between
+the processes of one host through a directory.  This module lifts the same
+contract onto a socket so *multiple hosts* (or processes without a shared
+filesystem) can share one memo:
+
+* :class:`MemoServer` — a stdlib :mod:`socketserver` ``ThreadingTCPServer``
+  fronting an ordinary disk :class:`MemoStore`.  It moves opaque payload
+  blobs — the exact magic-prefixed, versioned pickles the disk store writes
+  — without ever unpickling them, so the served directory stays fully
+  interoperable with local disk clients, and a hostile or corrupt payload
+  cannot execute code server-side.
+* :class:`RemoteMemoStore` — a client implementing the same get/put/stats
+  surface as the disk store.  Pickling, version checking, read-only
+  freezing and key digesting all happen client-side; the wire carries
+  ``(namespace, digest, blob)``.
+* ``repro-chem memo-serve`` (see :mod:`repro.cli`) — the operational front
+  end: point it at a store directory and point every run at
+  ``memo://host:port``.
+
+Wire protocol (version 1): length-prefixed binary frames.  Every frame is a
+4-byte big-endian payload length followed by the payload; requests start
+with a 1-byte opcode, responses with a 1-byte status.  Strings are
+length-prefixed (``!H``); the value blob, when present, is the remainder of
+the frame.  Frames above 1 GiB are rejected outright — a garbled length
+must not turn into a giant allocation.
+
+Failure contract (mirrors the disk store's corruption tolerance): *any*
+protocol error — dead or unreachable server, connection reset mid-frame,
+truncated or oversized frame, garbage status, corrupt payload — degrades to
+a cache miss (counted in ``errors``) and the caller recomputes.  A memo
+service can be killed at any point of a run and the run still finishes with
+the right answer; determinism is untouched because the store only ever
+holds values that are pure functions of their keys.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pickle
+import re
+import socket
+import socketserver
+import struct
+import threading
+import time
+from typing import Any, Optional
+
+from repro.parallel.store import (
+    _MAGIC,
+    MEMO_URL_SCHEME,
+    MemoStore,
+    _freeze_nested,
+    _process_token,
+    build_stats_snapshot,
+    key_digest,
+    sum_snapshots,
+)
+
+__all__ = ["MemoServer", "RemoteMemoStore", "parse_memo_url", "PROTOCOL_VERSION"]
+
+PROTOCOL_VERSION = 1
+
+_LEN = struct.Struct("!I")
+_STR_LEN = struct.Struct("!H")
+
+#: Upper bound on a single frame; a corrupt length prefix reads as garbage,
+#: not as a multi-gigabyte allocation.
+_MAX_FRAME = 1 << 30
+
+# Request opcodes.
+_OP_GET = b"G"
+_OP_PUT = b"P"
+_OP_SNAP = b"S"      # publish this process's stats snapshot
+_OP_SNAPS = b"A"     # fetch every process's stats snapshot
+_OP_COUNT = b"C"     # on-disk object count
+_OP_RESET = b"R"     # drop stats snapshots (MemoStore.reset_stats)
+_OP_CLEAR = b"X"     # drop objects and snapshots (MemoStore.clear)
+_OP_PING = b"?"
+
+# Response statuses.
+_ST_OK = b"+"
+_ST_MISS = b"-"
+_ST_ERR = b"!"
+
+_PING_BANNER = f"repro-memo/{PROTOCOL_VERSION}".encode("ascii")
+
+# Namespaces/digests/tokens become path components on the server; anything
+# fancier than these is rejected before it can escape the store directory.
+_NAMESPACE_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
+_DIGEST_RE = re.compile(r"^[0-9a-f]{6,64}$")
+_TOKEN_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
+
+
+class _ProtocolError(Exception):
+    """A malformed frame or field; the connection/operation is abandoned."""
+
+
+def parse_memo_url(url: str) -> tuple[str, int]:
+    """``memo://host:port`` -> ``(host, port)``; raises ``ValueError`` on junk.
+
+    A malformed URL is a configuration typo and must fail loudly — unlike
+    runtime protocol failures, which degrade to misses.
+    """
+    if not url.startswith(MEMO_URL_SCHEME):
+        raise ValueError(f"memo URL must start with {MEMO_URL_SCHEME!r}: {url!r}")
+    rest = url[len(MEMO_URL_SCHEME):].rstrip("/")
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host or not port_s.isdigit():
+        raise ValueError(f"memo URL must be memo://host:port, got {url!r}")
+    port = int(port_s)
+    if not 0 < port < 65536:
+        raise ValueError(f"memo URL port out of range: {url!r}")
+    return host, port
+
+
+# ------------------------------------------------------------- frame helpers
+
+
+def _pack_str(value: str) -> bytes:
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise _ProtocolError("string field too long")
+    return _STR_LEN.pack(len(raw)) + raw
+
+
+def _unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
+    end = offset + _STR_LEN.size
+    if end > len(payload):
+        raise _ProtocolError("truncated string field")
+    (length,) = _STR_LEN.unpack_from(payload, offset)
+    if end + length > len(payload):
+        raise _ProtocolError("truncated string field")
+    return payload[end:end + length].decode("utf-8"), end + length
+
+
+def _read_exact(rfile, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise; a short read is a dead peer."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise _ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _read_frame(rfile) -> bytes:
+    header = _read_exact(rfile, _LEN.size)
+    (length,) = _LEN.unpack(header)
+    if length == 0 or length > _MAX_FRAME:
+        raise _ProtocolError(f"invalid frame length {length}")
+    return _read_exact(rfile, length)
+
+
+def _write_frame(wfile, payload: bytes) -> None:
+    wfile.write(_LEN.pack(len(payload)) + payload)
+    wfile.flush()
+
+
+# ------------------------------------------------------------------- server
+
+
+class _MemoRequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of request/response frames."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via MemoServer
+        while True:
+            try:
+                request = _read_frame(self.rfile)
+            except (OSError, _ProtocolError):
+                return  # EOF, reset or garbage: drop the connection
+            try:
+                status, body = self.server.memo_server._dispatch(request)
+            except _ProtocolError:
+                status, body = _ST_ERR, b"malformed request"
+            except Exception:
+                status, body = _ST_ERR, b"internal error"
+            try:
+                _write_frame(self.wfile, status + body)
+            except OSError:
+                return
+
+
+class _MemoTCPServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        # Open client connections, so shutdown can sever them like a real
+        # process kill would (handler threads otherwise outlive shutdown and
+        # keep serving their connected client).
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request: socket.socket, client_address: Any) -> None:
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class MemoServer:
+    """Serve a disk :class:`MemoStore` to ``RemoteMemoStore`` clients.
+
+    ``port=0`` binds an ephemeral port (see :attr:`port`/:attr:`url` for
+    the actual address) — what the in-process parity tests use.  The server
+    is thread-per-connection (stdlib ``ThreadingTCPServer``); the disk
+    store's atomic write-then-rename publication makes concurrent writers
+    of the same key safe, exactly as it does for local multi-process use.
+    """
+
+    def __init__(
+        self, root: "str | os.PathLike", host: str = "127.0.0.1", port: int = 0
+    ) -> None:
+        self.store = MemoStore(root)
+        self._tcp = _MemoTCPServer((host, port), _MemoRequestHandler)
+        self._tcp.memo_server = self
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._tcp.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"{MEMO_URL_SCHEME}{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or interrupt)."""
+        self._started = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "MemoServer":
+        """Serve on a daemon background thread (in-process test mode)."""
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="memo-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and sever every client connection (idempotent).
+
+        Severing in-flight connections is deliberate: it makes an orderly
+        shutdown indistinguishable from a process kill, which is exactly
+        the failure clients promise to tolerate.
+        """
+        if self._started:
+            self._started = False
+            self._tcp.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._tcp.close_all_connections()
+        self._tcp.server_close()
+
+    def __enter__(self) -> "MemoServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- dispatch
+
+    def _dispatch(self, request: bytes) -> tuple[bytes, bytes]:
+        op = request[:1]
+        if op == _OP_GET:
+            namespace, digest = self._parse_object_fields(request, expect_blob=False)
+            blob = self.store.get_blob(namespace, digest)
+            return (_ST_OK, blob) if blob is not None else (_ST_MISS, b"")
+        if op == _OP_PUT:
+            namespace, digest, blob = self._parse_object_fields(request, expect_blob=True)
+            ok = self.store.put_blob(namespace, digest, blob)
+            return (_ST_OK, b"") if ok else (_ST_ERR, b"store write failed")
+        if op == _OP_SNAP:
+            token, offset = _unpack_str(request, 1)
+            if not _TOKEN_RE.match(token):
+                raise _ProtocolError("bad snapshot token")
+            snapshot = request[offset:]
+            json.loads(snapshot)  # reject unparseable snapshots at the door
+            ok = self.store.write_snapshot(token, snapshot)
+            return (_ST_OK, b"") if ok else (_ST_ERR, b"snapshot write failed")
+        if op == _OP_SNAPS:
+            body = json.dumps(self.store.read_snapshots()).encode("utf-8")
+            return (_ST_OK, body)
+        if op == _OP_COUNT:
+            return (_ST_OK, str(self.store.object_count()).encode("ascii"))
+        if op == _OP_RESET:
+            self.store.reset_stats()
+            return (_ST_OK, b"")
+        if op == _OP_CLEAR:
+            self.store.clear()
+            return (_ST_OK, b"")
+        if op == _OP_PING:
+            return (_ST_OK, _PING_BANNER)
+        raise _ProtocolError(f"unknown opcode {op!r}")
+
+    @staticmethod
+    def _parse_object_fields(request: bytes, *, expect_blob: bool) -> Any:
+        namespace, offset = _unpack_str(request, 1)
+        digest, offset = _unpack_str(request, offset)
+        if not _NAMESPACE_RE.match(namespace) or not _DIGEST_RE.match(digest):
+            raise _ProtocolError("bad namespace or digest")
+        if expect_blob:
+            return namespace, digest, request[offset:]
+        if offset != len(request):
+            raise _ProtocolError("trailing bytes after GET fields")
+        return namespace, digest
+
+
+# ------------------------------------------------------------------- client
+
+
+class RemoteMemoStore:
+    """Client for :class:`MemoServer` with the disk store's get/put surface.
+
+    One persistent connection per instance (so per process: workers each
+    build their own from the ``memo://`` URL the pool initializer hands
+    them), serialised by a lock.  Every operation tolerates a dead or
+    misbehaving server: one reconnect is attempted, then the server is
+    considered down for ``retry_delay`` seconds and operations return
+    misses instantly — the run degrades to recomputing, never crashes.
+    """
+
+    def __init__(self, url: str, *, timeout: float = 5.0, retry_delay: float = 0.5) -> None:
+        self.host, self.port = parse_memo_url(url)
+        self.url = f"{MEMO_URL_SCHEME}{self.host}:{self.port}"
+        self.timeout = timeout
+        self.retry_delay = retry_delay
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._conn_lock = threading.Lock()
+        self._down_until = 0.0
+        self._window_failures = 0
+        self._counter_lock = threading.Lock()
+        self._last_flush = 0.0
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
+        self.errors = 0
+
+    # ---------------------------------------------------------- connection
+
+    @property
+    def location(self) -> str:
+        """The ``memo://`` URL (what workers are initialised with)."""
+        return self.url
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+
+    def _teardown(self) -> None:
+        for closer in (self._rfile, self._wfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def close(self) -> None:
+        """Drop the connection (the store stays usable; it reconnects lazily)."""
+        with self._conn_lock:
+            self._teardown()
+
+    def _request(self, payload: bytes) -> Optional[tuple[bytes, bytes]]:
+        """One request/response round trip, or ``None`` on any failure.
+
+        A failure mid-exchange gets one reconnect-and-retry (the server may
+        simply have restarted); a second failure marks the server down so a
+        dead service costs a fast local check per operation, not a connect
+        timeout.  The down window starts at ``retry_delay`` and doubles per
+        consecutive failed window (capped at 30s): a server that *times
+        out* rather than refusing — a blackholing firewall, a hung host —
+        costs two connect timeouts per window, not per operation, so even
+        a many-thousand-op sweep stalls for bounded time.
+        """
+        if len(payload) > _MAX_FRAME:
+            # One oversized value must fail alone (a local error for the
+            # caller), not tear the connection down and poison the
+            # back-off window for every other key.
+            return None
+        with self._conn_lock:
+            if time.monotonic() < self._down_until:
+                return None
+            for attempt in (0, 1):
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    _write_frame(self._wfile, payload)
+                    response = _read_frame(self._rfile)
+                    if not response:
+                        raise _ProtocolError("empty response")
+                    self._window_failures = 0
+                    return response[:1], response[1:]
+                except (OSError, _ProtocolError, struct.error):
+                    self._teardown()
+            self._window_failures += 1
+            backoff = min(
+                self.retry_delay * (2 ** (self._window_failures - 1)), 30.0
+            )
+            self._down_until = time.monotonic() + backoff
+            return None
+
+    # ------------------------------------------------------------- get / put
+
+    def _count(self, **deltas: int) -> None:
+        with self._counter_lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
+
+    @staticmethod
+    def _check_namespace(namespace: str) -> None:
+        """Reject namespaces the server would refuse — loudly.
+
+        A namespace is a compile-time constant of the caching layer, not
+        runtime data: one the server-side regex rejects would silently turn
+        the service store into a 100%-miss cache for that layer, so it is a
+        programming error (like a malformed URL), not a degradable fault.
+        """
+        if not _NAMESPACE_RE.match(namespace):
+            raise ValueError(
+                f"Namespace {namespace!r} is not servable over memo:// "
+                f"(must match {_NAMESPACE_RE.pattern})."
+            )
+
+    def get(self, namespace: str, key: Any, default: Any = None) -> Any:
+        """Retrieve a memoised value, or ``default`` on any kind of miss.
+
+        Transport failures and corrupt payloads count as ``errors`` (and
+        misses); ndarrays in a hit are returned read-only, exactly like the
+        disk store.
+        """
+        self._check_namespace(namespace)
+        try:
+            request = _OP_GET + _pack_str(namespace) + _pack_str(key_digest(key))
+        except _ProtocolError:
+            self._count(misses=1, errors=1)
+            return default
+        response = self._request(request)
+        if response is None:
+            self._count(misses=1, errors=1)
+            return default
+        status, body = response
+        if status == _ST_MISS:
+            self._count(misses=1)
+            return default
+        if status != _ST_OK or not body.startswith(_MAGIC):
+            self._count(misses=1, errors=1)
+            return default
+        try:
+            value = pickle.loads(body[len(_MAGIC):])
+        except Exception:
+            self._count(misses=1, errors=1)
+            return default
+        self._count(hits=1)
+        return _freeze_nested(value)
+
+    def put(self, namespace: str, key: Any, value: Any) -> None:
+        """Publish a memoised value; failures degrade to a no-op cache."""
+        self._check_namespace(namespace)
+        try:
+            blob = _MAGIC + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+            request = _OP_PUT + _pack_str(namespace) + _pack_str(key_digest(key)) + blob
+        except Exception:
+            self._count(errors=1)
+            return
+        response = self._request(request)
+        if response is not None and response[0] == _ST_OK:
+            self._count(puts=1)
+        else:
+            self._count(errors=1)
+        if time.monotonic() - self._last_flush > 1.0:
+            self.flush_stats()
+
+    # ------------------------------------------------------------ statistics
+
+    def _local_counters(self) -> dict[str, int]:
+        with self._counter_lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "errors": self.errors,
+            }
+
+    def stats(self) -> dict[str, int]:
+        """This process's counters (plus the server-side object count)."""
+        out = self._local_counters()
+        out["objects"] = self.object_count()
+        return out
+
+    def object_count(self) -> int:
+        response = self._request(_OP_COUNT)
+        if response is None or response[0] != _ST_OK:
+            return 0
+        try:
+            return int(response[1])
+        except ValueError:
+            return 0
+
+    def flush_stats(self) -> None:
+        """Publish this process's counters as a snapshot on the server.
+
+        Failures are swallowed: statistics must never break the computation
+        they describe.
+        """
+        snapshot = json.dumps(build_stats_snapshot(self._local_counters()))
+        self._request(_OP_SNAP + _pack_str(_process_token()) + snapshot.encode("utf-8"))
+        self._last_flush = time.monotonic()
+
+    def aggregated_stats(self) -> dict[str, Any]:
+        """Sum the snapshots of every process that used the service."""
+        self.flush_stats()
+        response = self._request(_OP_SNAPS)
+        snapshots: list[dict] = []
+        if response is not None and response[0] == _ST_OK:
+            try:
+                loaded = json.loads(response[1])
+                if isinstance(loaded, list):
+                    snapshots = loaded
+            except ValueError:
+                pass
+        if not snapshots:
+            # Unreachable server: report at least this process's view.
+            snapshots = [build_stats_snapshot(self._local_counters())]
+        return sum_snapshots(snapshots, objects=self.object_count())
+
+    def reset_stats(self) -> None:
+        """Zero this process's counters and drop the server's snapshots."""
+        with self._counter_lock:
+            self.hits = self.misses = self.puts = self.errors = 0
+        self._request(_OP_RESET)
+
+    def clear(self) -> None:
+        """Delete every stored object and snapshot on the server."""
+        self._request(_OP_CLEAR)
+        with self._counter_lock:
+            self.hits = self.misses = self.puts = self.errors = 0
+
+    def ping(self) -> bool:
+        """True when the server answers the protocol handshake."""
+        response = self._request(_OP_PING)
+        return response is not None and response[0] == _ST_OK

@@ -64,13 +64,18 @@ import numpy as np
 __all__ = [
     "MemoStore",
     "key_digest",
+    "make_store",
     "configure_store",
     "get_store",
     "active_memo_dir",
     "record_fit",
     "fit_count",
     "reset_fit_count",
+    "MEMO_URL_SCHEME",
 ]
+
+#: URL scheme that routes :func:`make_store` to the service-backed client.
+MEMO_URL_SCHEME = "memo://"
 
 #: Bump to invalidate every previously written payload.
 STORE_FORMAT_VERSION = 1
@@ -198,7 +203,9 @@ class MemoStore:
     """
 
     def __init__(self, root: str | os.PathLike) -> None:
-        self.root = Path(root)
+        # ``~`` is expanded and missing parents are created, so a CLI
+        # ``--memo-dir ~/.cache/repro-memo`` works on a fresh machine.
+        self.root = Path(root).expanduser()
         self._objects = self.root / "objects"
         self._stats_dir = self.root / "stats"
         self._objects.mkdir(parents=True, exist_ok=True)
@@ -213,8 +220,15 @@ class MemoStore:
 
     # ------------------------------------------------------------------ paths
 
+    @property
+    def location(self) -> str:
+        """The string a worker/client needs to attach to this store."""
+        return str(self.root)
+
     def path_for(self, namespace: str, key: Any) -> Path:
-        digest = key_digest(key)
+        return self.digest_path(namespace, key_digest(key))
+
+    def digest_path(self, namespace: str, digest: str) -> Path:
         return self._objects / namespace / digest[:2] / (digest[2:] + ".pkl")
 
     def _stats_path(self) -> Path:
@@ -294,6 +308,72 @@ class MemoStore:
         except OSError:
             pass
 
+    # ------------------------------------------------------------- blob layer
+    #
+    # The memo service (repro.parallel.service) moves whole payload blobs —
+    # the same magic-prefixed versioned pickles this class writes — without
+    # ever unpickling them; these methods are its storage backend.  They do
+    # not touch the hit/miss counters: those count *client* operations, and
+    # the remote client keeps its own.
+
+    def get_blob(self, namespace: str, digest: str) -> Optional[bytes]:
+        """Raw payload bytes for a digest, or ``None`` on any kind of miss.
+
+        A payload that lost its magic/version prefix (corruption, stale
+        format) is discarded so the next put heals it.
+        """
+        path = self.digest_path(namespace, digest)
+        try:
+            with open(path, "rb") as fh:
+                blob = fh.read()
+        except OSError:
+            return None
+        if not blob.startswith(_MAGIC):
+            self._discard(path)
+            return None
+        return blob
+
+    def put_blob(self, namespace: str, digest: str, blob: bytes) -> bool:
+        """Atomically publish raw payload bytes; ``False`` if it failed."""
+        if not blob.startswith(_MAGIC_PREFIX):
+            return False
+        path = self.digest_path(namespace, digest)
+        with self._lock:
+            self._tmp_seq += 1
+            seq = self._tmp_seq
+        tmp = path.parent / f".{path.name}.{os.getpid()}.{seq}.tmp"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+            os.replace(tmp, path)
+        except OSError:
+            self._discard(tmp)
+            return False
+        return True
+
+    def write_snapshot(self, token: str, data: bytes) -> bool:
+        """Atomically publish a remote process's stats snapshot JSON."""
+        path = self._stats_dir / f"{token}.json"
+        tmp = path.parent / f".{path.name}.tmp"
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError:
+            self._discard(tmp)
+            return False
+        return True
+
+    def read_snapshots(self) -> list[dict]:
+        """Every parseable stats snapshot in the store (unparseable skipped)."""
+        snapshots = []
+        for path in sorted(self._stats_dir.glob("*.json")):
+            try:
+                snapshots.append(json.loads(path.read_text()))
+            except (OSError, ValueError):
+                continue
+        return snapshots
+
     # ------------------------------------------------------------ statistics
 
     def stats(self) -> dict[str, int]:
@@ -324,23 +404,14 @@ class MemoStore:
         a coherent cross-process view.  Failures are swallowed: statistics
         must never break the computation they describe.
         """
-        from repro.parallel.cache import cache_stats
-
         with self._lock:
-            snapshot = {
-                "pid": os.getpid(),
-                "store": {
-                    "hits": self.hits,
-                    "misses": self.misses,
-                    "puts": self.puts,
-                    "errors": self.errors,
-                },
-                "fits": fit_count(),
-                "caches": {
-                    name: {"hits": c["hits"], "misses": c["misses"]}
-                    for name, c in cache_stats(include_store=False).items()
-                },
+            counters = {
+                "hits": self.hits,
+                "misses": self.misses,
+                "puts": self.puts,
+                "errors": self.errors,
             }
+        snapshot = build_stats_snapshot(counters)
         path = self._stats_path()
         tmp = path.parent / f".{path.name}.tmp"
         try:
@@ -353,26 +424,7 @@ class MemoStore:
     def aggregated_stats(self) -> dict[str, Any]:
         """Sum the stats snapshots of every process that used this store."""
         self.flush_stats()
-        totals: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
-        caches: dict[str, dict[str, int]] = {}
-        fits = 0
-        processes = 0
-        for path in sorted(self._stats_dir.glob("*.json")):
-            try:
-                snapshot = json.loads(path.read_text())
-            except (OSError, ValueError):
-                continue
-            processes += 1
-            fits += int(snapshot.get("fits", 0))
-            for field, value in snapshot.get("store", {}).items():
-                if field in totals:
-                    totals[field] += int(value)
-            for name, counters in snapshot.get("caches", {}).items():
-                bucket = caches.setdefault(name, {"hits": 0, "misses": 0})
-                bucket["hits"] += int(counters.get("hits", 0))
-                bucket["misses"] += int(counters.get("misses", 0))
-        totals["objects"] = self.object_count()
-        return {"store": totals, "caches": caches, "fits": fits, "processes": processes}
+        return sum_snapshots(self.read_snapshots(), objects=self.object_count())
 
     def reset_stats(self) -> None:
         """Zero this process's counters and drop every stats snapshot file."""
@@ -389,6 +441,49 @@ class MemoStore:
         self.reset_stats()
 
 
+# ------------------------------------------------------- snapshot aggregation
+#
+# Shared by the disk store and the service-backed client so both report the
+# same coherent cross-process view.
+
+
+def build_stats_snapshot(counters: dict[str, int]) -> dict[str, Any]:
+    """This process's stats snapshot around ``counters`` (hits/misses/...)."""
+    from repro.parallel.cache import cache_stats
+
+    return {
+        "pid": os.getpid(),
+        "store": dict(counters),
+        "fits": fit_count(),
+        "caches": {
+            name: {"hits": c["hits"], "misses": c["misses"]}
+            for name, c in cache_stats(include_store=False).items()
+        },
+    }
+
+
+def sum_snapshots(snapshots: list[dict], *, objects: int) -> dict[str, Any]:
+    """Sum per-process stats snapshots into one aggregated view."""
+    totals: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
+    caches: dict[str, dict[str, int]] = {}
+    fits = 0
+    processes = 0
+    for snapshot in snapshots:
+        if not isinstance(snapshot, dict):
+            continue
+        processes += 1
+        fits += int(snapshot.get("fits", 0))
+        for field, value in snapshot.get("store", {}).items():
+            if field in totals:
+                totals[field] += int(value)
+        for name, counters in snapshot.get("caches", {}).items():
+            bucket = caches.setdefault(name, {"hits": 0, "misses": 0})
+            bucket["hits"] += int(counters.get("hits", 0))
+            bucket["misses"] += int(counters.get("misses", 0))
+    totals["objects"] = objects
+    return {"store": totals, "caches": caches, "fits": fits, "processes": processes}
+
+
 # --------------------------------------------------------- module-level state
 
 _STORE: Optional[MemoStore] = None
@@ -396,16 +491,48 @@ _CONFIGURED = False  # an explicit configure_store() overrides the env var
 _STATE_LOCK = threading.Lock()
 
 
-def configure_store(path: Optional[str | os.PathLike]) -> Optional[MemoStore]:
-    """Activate a memo store rooted at ``path`` (``None`` disables it).
+def make_store(spec: Optional[str | os.PathLike]) -> Optional["MemoStore"]:
+    """Build a store from a location spec: a path, or a ``memo://`` URL.
 
-    Explicit configuration wins over ``REPRO_MEMO_DIR``; passing ``None``
-    turns the store off even when the environment variable is set.
+    ``None``/empty disables the store; ``memo://host:port`` attaches the
+    service-backed :class:`~repro.parallel.service.RemoteMemoStore`; any
+    other value is a disk directory (``~`` expanded, parents created).
+    Disk and remote stores expose the same get/put/stats surface.
+    """
+    if spec is None:
+        return None
+    spec = os.fspath(spec)
+    if isinstance(spec, bytes):  # os.fspath may hand back bytes paths
+        spec = os.fsdecode(spec)
+    # Strip stray whitespace (a YAML env block or shell export easily adds
+    # it): ' memo://...' must reach the URL branch, not become a relative
+    # disk directory literally named ' memo:'.
+    spec = spec.strip()
+    if not spec:
+        return None
+    if spec.startswith(MEMO_URL_SCHEME):
+        from repro.parallel.service import RemoteMemoStore
+
+        return RemoteMemoStore(spec)
+    return MemoStore(spec)
+
+
+def configure_store(spec: Optional[str | os.PathLike]) -> Optional[MemoStore]:
+    """Activate the memo store at ``spec`` (``None`` disables it).
+
+    ``spec`` is a disk directory or a ``memo://host:port`` service URL (see
+    :func:`make_store`).  Explicit configuration wins over
+    ``REPRO_MEMO_DIR``; passing ``None`` turns the store off even when the
+    environment variable is set.
     """
     global _STORE, _CONFIGURED
     with _STATE_LOCK:
-        _STORE = MemoStore(path) if path is not None else None
+        previous, _STORE = _STORE, make_store(spec)
         _CONFIGURED = True
+        if previous is not None and previous is not _STORE:
+            close = getattr(previous, "close", None)
+            if close is not None:
+                close()
         return _STORE
 
 
@@ -414,13 +541,17 @@ def get_store() -> Optional[MemoStore]:
     global _STORE, _CONFIGURED
     with _STATE_LOCK:
         if not _CONFIGURED:
-            env = os.environ.get(_ENV_VAR, "").strip()
-            _STORE = MemoStore(env) if env else None
+            _STORE = make_store(os.environ.get(_ENV_VAR))
             _CONFIGURED = True
         return _STORE
 
 
 def active_memo_dir() -> Optional[str]:
-    """Directory of the active store (what workers are initialised with)."""
+    """Location of the active store (what workers are initialised with).
+
+    A disk directory for :class:`MemoStore`, a ``memo://`` URL for the
+    service-backed client — either way, the exact string a worker process
+    passes back to :func:`configure_store`.
+    """
     store = get_store()
-    return str(store.root) if store is not None else None
+    return store.location if store is not None else None

@@ -1,0 +1,142 @@
+"""Tests for the named executor registry (``repro.parallel.executors``).
+
+Covers the ISSUE 3 contract: ``serial`` and ``process`` are registered,
+selection goes explicit argument > ``REPRO_EXECUTOR`` > ``process`` default,
+unknown names fail loudly, third-party executors can be registered without
+touching ``ParallelMap`` call sites, and infrastructure failures
+(``ExecutorUnavailableError``) fall back to the bit-identical serial path.
+"""
+
+import os
+
+import pytest
+
+from repro.parallel import available_executors, get_executor, parallel_map, register_executor
+from repro.parallel.backend import ParallelMap
+from repro.parallel.executors import (
+    _REGISTRY,
+    DEFAULT_EXECUTOR,
+    EXECUTOR_ENV_VAR,
+    Executor,
+    ExecutorUnavailableError,
+    ProcessExecutor,
+    SerialExecutor,
+    resolve_executor,
+)
+
+
+def _pid_task(_):
+    return os.getpid()
+
+
+class TestRegistry:
+    def test_builtins_are_registered(self):
+        names = available_executors()
+        assert "serial" in names and "process" in names
+
+    def test_get_executor_instantiates(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_unknown_name_fails_loudly_listing_choices(self):
+        with pytest.raises(ValueError, match="serial"):
+            get_executor("sharded-quantum")
+
+    def test_register_requires_a_name(self):
+        class Nameless(Executor):
+            pass
+
+        with pytest.raises(ValueError, match="name"):
+            register_executor(Nameless)
+
+    def test_custom_executor_registration(self):
+        @register_executor
+        class Tagging(Executor):
+            name = "tagging-test"
+
+            def map(self, fn, tasks, *, order, n_workers):
+                return [("tagged", fn(task)) for task in tasks]
+
+        try:
+            result = parallel_map(abs, [-1, -2], n_jobs=2, executor="tagging-test")
+            assert result == [("tagged", 1), ("tagged", 2)]
+        finally:
+            del _REGISTRY["tagging-test"]
+
+
+class TestSelection:
+    def test_default_is_process(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        assert DEFAULT_EXECUTOR == "process"
+        assert isinstance(resolve_executor(), ProcessExecutor)
+
+    def test_env_var_selects(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        assert isinstance(resolve_executor(), SerialExecutor)
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        assert isinstance(resolve_executor("process"), ProcessExecutor)
+        assert isinstance(resolve_executor(SerialExecutor()), SerialExecutor)
+
+    def test_env_typo_fails_loudly_when_parallel_region_entered(self, monkeypatch):
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "rya")  # typo'd "ray"
+        # Serial regions never consult the registry...
+        assert parallel_map(abs, [-1, -2], n_jobs=1) == [1, 2]
+        # ...but a parallel region must surface the typo, not run with it.
+        with pytest.raises(ValueError, match="rya"):
+            parallel_map(abs, [-1, -2], n_jobs=2)
+
+    def test_invalid_priority_rejected_under_every_executor(self, monkeypatch):
+        # The permutation check is executor-independent: a buggy priority
+        # list cannot hide behind REPRO_EXECUTOR=serial.
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        with pytest.raises(ValueError, match="permutation"):
+            parallel_map(abs, [-1, -2], n_jobs=2, priority=[0, 0])
+
+    def test_env_serial_keeps_n_jobs_in_process(self, monkeypatch):
+        """REPRO_EXECUTOR=serial swaps the backend under every call site:
+        n_jobs=2 work stays in this process."""
+        monkeypatch.setenv(EXECUTOR_ENV_VAR, "serial")
+        pids = parallel_map(_pid_task, [None] * 3, n_jobs=2)
+        assert set(pids) == {os.getpid()}
+
+    def test_process_executor_leaves_this_process(self, monkeypatch):
+        monkeypatch.delenv(EXECUTOR_ENV_VAR, raising=False)
+        pids = parallel_map(_pid_task, [None] * 3, n_jobs=2)
+        assert os.getpid() not in set(pids)
+
+
+class TestFallbacks:
+    def test_unavailable_executor_falls_back_to_serial(self):
+        class Flaky(Executor):
+            name = "flaky-test"
+
+            def map(self, fn, tasks, *, order, n_workers):
+                raise ExecutorUnavailableError("cluster unreachable")
+
+        result = ParallelMap(n_jobs=2, executor=Flaky()).map(abs, [-1, -2, -3])
+        assert result == [1, 2, 3]
+
+    def test_unsupported_tasks_fall_back_to_serial(self):
+        captured = []
+
+        def closure(x):  # un-picklable: ProcessExecutor.supports is False
+            captured.append(x)
+            return x + 1
+
+        assert parallel_map(closure, [1, 2, 3], n_jobs=2) == [2, 3, 4]
+        assert captured == [1, 2, 3]
+
+    def test_task_exceptions_still_propagate(self):
+        class Faithful(Executor):
+            name = "faithful-test"
+
+            def map(self, fn, tasks, *, order, n_workers):
+                return [fn(task) for task in tasks]
+
+        def boom(x):
+            raise RuntimeError(f"task {x} exploded")
+
+        with pytest.raises(RuntimeError, match="task 1 exploded"):
+            ParallelMap(n_jobs=2, executor=Faithful()).map(boom, [1, 2])

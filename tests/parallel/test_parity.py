@@ -1,13 +1,14 @@
-"""Bit-parity matrix for the memo store (ISSUE 2 acceptance).
+"""Bit-parity matrix for the memo store (ISSUE 2 + ISSUE 3 acceptance).
 
 For sampled seeds, ``run_model_comparison`` on a tiny dataset must return
 identical results (modulo wall-time fields) whether it runs serially, on a
-process pool, against a warm memo store, or resumed after an interrupt —
-and a fully warm rerun must perform **zero** model fits.
+process pool, against a warm memo store — disk *or* service-backed — or
+resumed after an interrupt; and a fully warm rerun must perform **zero**
+model fits.
 
 The suite configures its own store directories explicitly, so it is
 deterministic whether or not an ambient ``REPRO_MEMO_DIR`` is set (CI runs
-it both ways).
+it both ways, including ``memo://`` service URLs).
 """
 
 import pytest
@@ -15,6 +16,7 @@ import pytest
 import repro.core.hyperopt as hyperopt
 from repro.core.hyperopt import run_model_comparison
 from repro.parallel import clear_caches, configure_store, get_store
+from repro.parallel.service import MemoServer
 
 #: A sweep small enough for tier-1 but wide enough to cross model/strategy
 #: boundaries (grid + randomized over a deterministic and a seeded model).
@@ -85,6 +87,56 @@ def test_warm_store_run_performs_zero_fits(small_aurora_dataset, tmp_path):
         hyperopt._make_search = hyperopt_make_search
     assert get_store().aggregated_stats()["fits"] == 0
     assert [r.as_dict() for r in warm] == [r.as_dict() for r in cold]
+
+
+def test_memo_service_parity_and_zero_fits(small_aurora_dataset, tmp_path):
+    """ISSUE 3 acceptance: a run against a warm memo *service* is
+    byte-identical to a cold serial run for the same seed, with zero model
+    fits.  The server is spun up in-process on an ephemeral localhost port
+    and fronts an ordinary disk store directory."""
+    cold_serial = _run(small_aurora_dataset, 0)  # no store at all
+
+    with MemoServer(tmp_path / "served") as server:
+        service_cold = _run(small_aurora_dataset, 0, memo_dir=server.url)
+        assert _comparable(cold_serial) == _comparable(service_cold)
+        assert get_store().aggregated_stats()["fits"] > 0
+
+        # Pool workers are initialised with the memo:// URL and build their
+        # own client connections; results stay identical.
+        service_pool = _run(small_aurora_dataset, 0, n_jobs=2, memo_dir=server.url)
+        assert _comparable(service_pool) == _comparable(cold_serial)
+
+        def no_search_allowed(*args, **kwargs):
+            raise AssertionError("a warm memo-service sweep must never construct a search")
+
+        configure_store(server.url)
+        clear_caches()
+        hyperopt_make_search = hyperopt._make_search
+        hyperopt._make_search = no_search_allowed
+        try:
+            service_warm = run_model_comparison(
+                small_aurora_dataset, n_jobs=1, seed=0, **SWEEP
+            )
+        finally:
+            hyperopt._make_search = hyperopt_make_search
+        assert get_store().aggregated_stats()["fits"] == 0
+        # Byte-identical replay, including the original run's wall-time
+        # fields, and identical (modulo wall time) to the storeless serial run.
+        assert [r.as_dict() for r in service_warm] == [r.as_dict() for r in service_cold]
+        assert _comparable(service_warm) == _comparable(cold_serial)
+
+
+def test_memo_service_killed_mid_sweep_still_finishes(small_aurora_dataset, tmp_path):
+    """Killing the memo service between runs degrades the client to a plain
+    recompute: same results, no crash."""
+    baseline = _run(small_aurora_dataset, 0)
+    server = MemoServer(tmp_path / "served").start()
+    configure_store(server.url)
+    clear_caches()
+    server.shutdown()  # dies before the sweep ever reaches it
+    survived = run_model_comparison(small_aurora_dataset, n_jobs=1, seed=0, **SWEEP)
+    assert _comparable(survived) == _comparable(baseline)
+    assert get_store().stats()["errors"] > 0
 
 
 def test_resume_after_interrupt(small_aurora_dataset, tmp_path, monkeypatch):

@@ -10,6 +10,7 @@ aggregation.
 import json
 import os
 import threading
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -22,6 +23,7 @@ from repro.parallel.store import (
     configure_store,
     get_store,
     key_digest,
+    make_store,
 )
 from repro.parallel import store as store_module
 
@@ -276,6 +278,31 @@ class TestActivation:
         monkeypatch.setattr(store_module, "_PROC_PID", 0)  # simulate a new process
         assert store._stats_path().name != name
         assert store._stats_path().name.startswith(f"{os.getpid()}-")
+
+    def test_tilde_and_missing_parents_are_handled(self, tmp_path, monkeypatch):
+        # ``--memo-dir ~/.cache/...`` must expand the tilde and create every
+        # missing parent instead of erroring (or literally mkdir-ing "~").
+        monkeypatch.setenv("HOME", str(tmp_path))
+        store = configure_store("~/deeply/nested/memo")
+        assert store.root == tmp_path / "deeply" / "nested" / "memo"
+        store.put("unit", "k", 1)
+        assert store.get("unit", "k") == 1
+        assert not (Path.cwd() / "~").exists()
+        configure_store(None)
+
+    def test_env_var_tilde_expands(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        monkeypatch.setenv("REPRO_MEMO_DIR", "~/env-memo")
+        monkeypatch.setattr(store_module, "_STORE", None)
+        monkeypatch.setattr(store_module, "_CONFIGURED", False)
+        store = get_store()
+        assert store.root == tmp_path / "env-memo"
+        configure_store(None)
+
+    def test_make_store_blank_spec_disables(self):
+        assert make_store(None) is None
+        assert make_store("") is None
+        assert make_store("   ") is None
 
     def test_cache_stats_gains_store_entry_only_when_active(self, tmp_path):
         configure_store(None)

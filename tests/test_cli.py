@@ -1,9 +1,16 @@
 """Tests for the repro-chem command-line interface."""
 
+import os
+import subprocess
+import sys
+from pathlib import Path
+
 import pytest
 
+import repro
 from repro.cli import build_parser, main
 from repro.parallel import clear_caches, configure_store
+from repro.parallel.service import RemoteMemoStore
 
 
 class TestParser:
@@ -69,6 +76,15 @@ class TestMemoFlags:
         args = build_parser().parse_args(["compare-models"])
         assert args.memo_dir is None
 
+    def test_memo_dir_tilde_expands(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("HOME", str(tmp_path))
+        from repro.parallel.store import make_store
+
+        store = make_store(
+            build_parser().parse_args(["compare-models", "--memo-dir", "~/m"]).memo_dir
+        )
+        assert store.root == tmp_path / "m"
+
     def test_compare_models_memo_dir_makes_second_run_fit_free(
         self, tmp_path, capsys, monkeypatch, small_aurora_dataset
     ):
@@ -99,3 +115,51 @@ class TestMemoFlags:
         # Identical results, replayed from the store.
         strip = lambda out: [line for line in out.splitlines() if "[memo]" not in line]
         assert strip(first) == strip(second)
+
+
+class TestMemoServe:
+    """The ``memo-serve`` subcommand: the operational front of the memo service."""
+
+    def test_parser_accepts_memo_serve(self):
+        args = build_parser().parse_args(
+            ["memo-serve", "--memo-dir", "/tmp/m", "--port", "0"]
+        )
+        assert args.command == "memo-serve"
+        assert args.host == "127.0.0.1" and args.port == 0
+
+    def test_memo_serve_end_to_end(self, tmp_path):
+        """Run the real subcommand in a subprocess (--port 0), parse the
+        announced URL, and exercise the store through it."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1]) + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+        )
+        proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "memo-serve",
+                "--memo-dir",
+                str(tmp_path / "served"),
+                "--port",
+                "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=env,
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on memo://" in banner, banner
+            url = banner.rsplit("listening on ", 1)[1].strip()
+            store = RemoteMemoStore(url)
+            assert store.ping()
+            store.put("cli", ("k", 1), {"v": [1, 2, 3]})
+            assert store.get("cli", ("k", 1)) == {"v": [1, 2, 3]}
+            store.close()
+            assert (tmp_path / "served" / "objects").is_dir()
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
