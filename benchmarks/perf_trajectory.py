@@ -1,0 +1,147 @@
+"""Perf-trajectory artifact for the packed ensemble prediction engine.
+
+Times the paper's deployed Gradient Boosting configuration (750 trees,
+depth 10 by default) end to end — fit cold (empty presort cache) vs fit warm
+(cache hot), and predict via the historical per-tree object path vs the
+packed flat-array engine (cold = first call, including the one-off
+traversal-table build; warm = steady state) — and writes the measurements to
+a JSON artifact (``BENCH_PR4.json`` by convention).  Bit-parity between the
+two predict paths is asserted before anything is recorded.
+
+CI runs this from the memo-service job and uploads the JSON, building a
+perf trajectory across PRs; run it locally with::
+
+    PYTHONPATH=src python benchmarks/perf_trajectory.py --output BENCH_PR4.json
+
+The ``--trees/--depth/--repeats`` flags shrink the experiment for quick
+smoke runs (e.g. ``--trees 50 --repeats 1``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pickle
+import platform
+import sys
+import time
+
+import numpy as np
+
+
+def _best_of(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    return min(times)
+
+
+def _object_path_predict(gb, X: np.ndarray) -> np.ndarray:
+    """The historical per-tree prediction loop (the pre-packed code path)."""
+    preds = np.full(X.shape[0], gb.init_)
+    for tree in gb.estimators_:
+        preds += gb.learning_rate * tree.predict(X)
+    return preds
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--output", default="BENCH_PR4.json", help="JSON artifact path")
+    parser.add_argument("--trees", type=int, default=750, help="GB n_estimators")
+    parser.add_argument("--depth", type=int, default=10, help="GB max_depth")
+    parser.add_argument("--repeats", type=int, default=5, help="timing repeats (best-of)")
+    parser.add_argument("--dataset", default="aurora", help="dataset name (Table 1)")
+    args = parser.parse_args(argv)
+
+    from repro.data.datasets import build_dataset
+    from repro.ml.gradient_boosting import GradientBoostingRegressor
+    from repro.parallel.cache import clear_caches
+
+    dataset = build_dataset(args.dataset, seed=0)
+    X_train, y_train = dataset.X_train, dataset.y_train
+    X_test = np.ascontiguousarray(dataset.X_test)
+    X_pool = np.ascontiguousarray(np.vstack([dataset.X_train, dataset.X_test]))
+
+    def make_model():
+        return GradientBoostingRegressor(
+            n_estimators=args.trees, max_depth=args.depth, random_state=0
+        )
+
+    # ------------------------------------------------------------------ fit
+    clear_caches()
+    start = time.perf_counter()
+    gb = make_model().fit(X_train, y_train)
+    fit_cold_s = time.perf_counter() - start
+    start = time.perf_counter()
+    make_model().fit(X_train, y_train)  # presort cache now hot
+    fit_warm_s = time.perf_counter() - start
+
+    # ------------------------------------------------------------------ predict
+    # Cold packed predict pays the one-off arena + traversal-table build.
+    start = time.perf_counter()
+    packed_test_cold = gb.predict(X_test)
+    predict_packed_cold_s = time.perf_counter() - start
+
+    object_test = _object_path_predict(gb, X_test)
+    if not np.array_equal(packed_test_cold, object_test):
+        raise SystemExit("parity violation: packed != per-tree object path")
+    if not np.array_equal(gb.predict(X_pool), _object_path_predict(gb, X_pool)):
+        raise SystemExit("parity violation: packed != per-tree object path (pool)")
+
+    predict = {}
+    for name, X in [("test_split", X_test), ("full_pool", X_pool)]:
+        object_s = _best_of(lambda X=X: _object_path_predict(gb, X), args.repeats)
+        packed_s = _best_of(lambda X=X: gb.predict(X), args.repeats)
+        predict[name] = {
+            "n_samples": int(X.shape[0]),
+            "object_path_s": object_s,
+            "packed_s": packed_s,
+            "speedup": object_s / packed_s,
+        }
+
+    # ------------------------------------------------------------------ payloads
+    packed_blob = len(pickle.dumps(gb, protocol=pickle.HIGHEST_PROTOCOL))
+    object_state = dict(gb.__dict__)
+    object_state.pop("_packed", None)
+    object_blob = len(pickle.dumps(object_state, protocol=pickle.HIGHEST_PROTOCOL))
+
+    report = {
+        "benchmark": "packed ensemble prediction engine (PR 4)",
+        "config": {
+            "dataset": args.dataset,
+            "n_estimators": args.trees,
+            "max_depth": args.depth,
+            "repeats": args.repeats,
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "fit": {"cold_s": fit_cold_s, "warm_s": fit_warm_s},
+        "predict": predict,
+        "predict_packed_cold_s": predict_packed_cold_s,
+        "pickle_payload_bytes": {
+            "packed": packed_blob,
+            "object_graph": object_blob,
+            "ratio": packed_blob / object_blob,
+        },
+        "parity": "byte-identical (asserted on test split and full pool)",
+    }
+    with open(args.output, "w") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    deploy = predict["test_split"]
+    print(
+        f"fit cold {fit_cold_s:.2f}s / warm {fit_warm_s:.2f}s | "
+        f"predict[test_split] object {deploy['object_path_s']:.4f}s -> "
+        f"packed {deploy['packed_s']:.4f}s ({deploy['speedup']:.2f}x) | "
+        f"payload {packed_blob}/{object_blob} bytes "
+        f"({report['pickle_payload_bytes']['ratio']:.2f}x)"
+    )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,7 @@ from repro.core.evaluation import question_loss_report
 from repro.ml.base import check_random_state, clone
 from repro.ml.gaussian_process import GaussianProcessRegressor
 from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.packed import committee_predictions
 from repro.parallel.backend import parallel_map
 from repro.ml.metrics import (
     mean_absolute_error,
@@ -257,7 +258,10 @@ class QueryByCommittee(QueryStrategy):
         return self._committee[-1]
 
     def select(self, model, X_labeled, y_labeled, X_unlabeled, query_size, rng) -> np.ndarray:
-        predictions = np.column_stack([m.predict(X_unlabeled) for m in self._committee])
+        # All member arenas are stacked and traversed in one batched pass
+        # (repro.ml.packed); each column is byte-identical to m.predict(...),
+        # so the disagreement ranking matches the per-member loop exactly.
+        predictions = committee_predictions(self._committee, X_unlabeled)
         variance = predictions.var(axis=1)
         query_size = min(query_size, X_unlabeled.shape[0])
         return np.argsort(-variance, kind="stable")[:query_size]

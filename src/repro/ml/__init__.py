@@ -38,6 +38,7 @@ from repro.ml.linear import (
 )
 from repro.ml.kernel_ridge import KernelRidge
 from repro.ml.tree import DecisionTreeRegressor
+from repro.ml.packed import PackedEnsemble, committee_predictions
 from repro.ml.forest import RandomForestRegressor
 from repro.ml.gradient_boosting import GradientBoostingRegressor
 from repro.ml.adaboost import AdaBoostRegressor
@@ -72,6 +73,8 @@ __all__ = [
     "PolynomialRegression",
     "KernelRidge",
     "DecisionTreeRegressor",
+    "PackedEnsemble",
+    "committee_predictions",
     "RandomForestRegressor",
     "GradientBoostingRegressor",
     "AdaBoostRegressor",

@@ -4,11 +4,18 @@ Implements Drucker's AdaBoost.R2: each boosting round fits a base tree on a
 weighted bootstrap of the data, computes a loss-dependent confidence, updates
 the sample weights so poorly predicted points receive more attention, and the
 final prediction is the weighted *median* of the base predictions.
+
+When every base estimator is a :class:`~repro.ml.tree.DecisionTreeRegressor`
+(the default), the per-round prediction matrix comes from the packed
+flat-array engine (:mod:`repro.ml.packed`) in one batched traversal, and the
+arena is the pickle form of the fitted ensemble; the weighted-median
+aggregation is unchanged, so predictions are byte-identical to the per-tree
+object path.  Arbitrary base estimators keep the historical per-member loop.
 """
 
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any
 
 import numpy as np
 
@@ -20,12 +27,13 @@ from repro.ml.base import (
     check_X_y,
     clone,
 )
+from repro.ml.packed import PackedTreesMixin
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = ["AdaBoostRegressor"]
 
 
-class AdaBoostRegressor(BaseEstimator, RegressorMixin):
+class AdaBoostRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin):
     """AdaBoost.R2 with configurable base estimator (default: depth-3 CART)."""
 
     def __init__(
@@ -65,6 +73,7 @@ class AdaBoostRegressor(BaseEstimator, RegressorMixin):
 
         weights = np.full(n_samples, 1.0 / n_samples)
         self.estimators_: list[Any] = []
+        self._packed = None  # drop any arena from a previous fit
         self.estimator_weights_: list[float] = []
         self.estimator_errors_: list[float] = []
 
@@ -108,7 +117,11 @@ class AdaBoostRegressor(BaseEstimator, RegressorMixin):
         """Weighted median of the base predictions (AdaBoost.R2 aggregation)."""
         self._check_is_fitted()
         X = check_array(X)
-        preds = np.column_stack([m.predict(X) for m in self.estimators_])
+        packed = self._packed_ensemble()
+        if packed is not None:
+            preds = packed.leaf_values(X)
+        else:
+            preds = np.column_stack([m.predict(X) for m in self.estimators_])
         weights = np.asarray(self.estimator_weights_)
         if np.all(weights <= 0):
             return preds.mean(axis=1)

@@ -8,6 +8,12 @@ out-of-bag scoring for quick generalisation estimates without a held-out set.
 Every tree's seed and bootstrap indices are drawn *sequentially* from the
 forest RNG before the fan-out, so serial and parallel fits (and the
 historical single-loop implementation) are bit-identical.
+
+Prediction (including OOB scoring) runs on the packed flat-array engine
+(:mod:`repro.ml.packed`): one batched traversal yields the per-tree
+leaf-value matrix, which is averaged in the historical member order so
+packed predictions are byte-identical to the per-tree object path.  The
+arena is also the pickle form of a fitted forest (see ``__getstate__``).
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ from repro.ml.base import (
     check_X_y,
 )
 from repro.ml.metrics import r2_score
+from repro.ml.packed import PackedTreesMixin
 from repro.ml.tree import DecisionTreeRegressor
 from repro.parallel.backend import parallel_map, resolve_n_jobs
 
@@ -42,7 +49,7 @@ def _fit_tree_chunk(task: tuple) -> list[DecisionTreeRegressor]:
     return [tree.fit(X[idx], y[idx], use_presort_cache=False) for tree, idx in members]
 
 
-class RandomForestRegressor(BaseEstimator, RegressorMixin):
+class RandomForestRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin):
     """Averaging ensemble of CART trees on bootstrap samples."""
 
     def __init__(
@@ -107,15 +114,20 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         ]
         chunks = parallel_map(_fit_tree_chunk, tasks, n_jobs=self.n_jobs)
         self.estimators_ = [tree for chunk in chunks for tree in chunk]
+        self._packed = None  # drop any arena from a previous fit
 
         oob_sum = np.zeros(n_samples)
         oob_count = np.zeros(n_samples)
         if self.oob_score and self.bootstrap:
-            for tree, (_, idx) in zip(self.estimators_, members):
+            # One batched traversal over the whole forest; each tree then
+            # contributes its out-of-bag column slice in member order, which
+            # matches the historical per-tree masked predict loop bit for bit.
+            leaves = self._packed_ensemble().leaf_values(X)
+            for i, (_, idx) in enumerate(members):
                 mask = np.ones(n_samples, dtype=bool)
                 mask[np.unique(idx)] = False
                 if np.any(mask):
-                    oob_sum[mask] += tree.predict(X[mask])
+                    oob_sum[mask] += leaves[mask, i]
                     oob_count[mask] += 1
 
         if self.oob_score and self.bootstrap:
@@ -131,9 +143,9 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
     def predict(self, X: Any) -> np.ndarray:
         self._check_is_fitted()
         X = check_array(X)
-        preds = np.zeros(X.shape[0])
-        for tree in self.estimators_:
-            preds += tree.predict(X)
+        # Batched traversal + member-order accumulation: the same float-op
+        # sequence as the historical per-tree sum, bit for bit.
+        preds = self._packed_ensemble().accumulate(X)
         return preds / len(self.estimators_)
 
     def predict_all(self, X: Any) -> np.ndarray:
@@ -143,7 +155,7 @@ class RandomForestRegressor(BaseEstimator, RegressorMixin):
         """
         self._check_is_fitted()
         X = check_array(X)
-        return np.column_stack([tree.predict(X) for tree in self.estimators_])
+        return self._packed_ensemble().leaf_values(X)
 
     def predict_std(self, X: Any) -> np.ndarray:
         """Standard deviation of per-tree predictions (ensemble disagreement)."""

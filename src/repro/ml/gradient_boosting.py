@@ -9,6 +9,13 @@ When ``subsample == 1.0`` every stage fits on the training matrix itself,
 so the sorted-feature-index cache (:func:`repro.parallel.cache.feature_presort`)
 is hit once per stage and the per-stage column sorts disappear; stages are
 sequential by construction, so boosting itself takes no ``n_jobs``.
+
+Prediction runs on the packed flat-array engine (:mod:`repro.ml.packed`):
+one batched traversal produces the ``(n_samples, n_stages)`` leaf-value
+matrix, which is then accumulated in stage order with the historical
+``init + lr * stage_0 + lr * stage_1 + ...`` float-op sequence, so packed
+predictions are byte-identical to the per-tree object path.  The arena is
+also the pickle form of a fitted model (see ``__getstate__``).
 """
 
 from __future__ import annotations
@@ -24,12 +31,13 @@ from repro.ml.base import (
     check_random_state,
     check_X_y,
 )
+from repro.ml.packed import PackedTreesMixin
 from repro.ml.tree import DecisionTreeRegressor
 
 __all__ = ["GradientBoostingRegressor"]
 
 
-class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
+class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin):
     """Sequential ensemble where each tree fits the residuals of the current model.
 
     Parameters
@@ -88,11 +96,24 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
 
     def _update_leaves_absolute(self, tree: DecisionTreeRegressor, X: np.ndarray,
                                 residual: np.ndarray) -> None:
-        """For absolute-error loss, re-value each leaf with the median residual."""
+        """For absolute-error loss, re-value each leaf with the median residual.
+
+        One argsort-and-segment pass: residuals are lexsorted within leaf
+        groups, so each leaf's median is its middle order statistic (or the
+        mean of the two middle ones — the exact ``np.median`` computation, so
+        re-valued leaves are bit-identical to the per-leaf masked loop).
+        """
         leaves = tree.apply(X)
-        for leaf in np.unique(leaves):
-            mask = leaves == leaf
-            tree.value_[leaf] = float(np.median(residual[mask]))
+        order = np.lexsort((residual, leaves))
+        sorted_leaves = leaves[order]
+        sorted_residual = residual[order]
+        starts = np.flatnonzero(np.r_[True, sorted_leaves[1:] != sorted_leaves[:-1]])
+        counts = np.diff(np.r_[starts, sorted_leaves.size])
+        mid = starts + counts // 2
+        upper = sorted_residual[mid]
+        lower = sorted_residual[mid - 1]
+        medians = np.where(counts % 2 == 1, upper, (lower + upper) / 2.0)
+        tree.value_[sorted_leaves[starts]] = medians
 
     def fit(self, X: Any, y: Any) -> "GradientBoostingRegressor":
         if self.n_estimators < 1:
@@ -121,6 +142,7 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         val_pred = np.full(len(y_val), self.init_) if y_val is not None else None
 
         self.estimators_: list[DecisionTreeRegressor] = []
+        self._packed = None  # drop any arena from a previous fit
         self.train_score_: list[float] = []
         self.validation_score_: list[float] = []
         best_val = np.inf
@@ -171,11 +193,17 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         return self
 
     def _raw_predict(self, X: np.ndarray, n_estimators: Optional[int] = None) -> np.ndarray:
-        preds = np.full(X.shape[0], self.init_)
-        estimators = self.estimators_ if n_estimators is None else self.estimators_[:n_estimators]
-        for tree in estimators:
-            preds += self.learning_rate * tree.predict(X)
-        return preds
+        n_stages = len(self.estimators_) if n_estimators is None else min(
+            int(n_estimators), len(self.estimators_)
+        )
+        if n_stages < 1:
+            return np.full(X.shape[0], self.init_)
+        # One batched traversal for every stage; leaf values accumulate in
+        # stage order, reproducing the sequential shrinkage float-op sequence
+        # of the per-tree loop bit for bit.
+        return self._packed_ensemble().accumulate(
+            X, init=self.init_, scale=self.learning_rate, n_trees=n_stages
+        )
 
     def predict(self, X: Any) -> np.ndarray:
         self._check_is_fitted()
@@ -186,9 +214,10 @@ class GradientBoostingRegressor(BaseEstimator, RegressorMixin):
         """Yield predictions after each boosting stage (for learning curves)."""
         self._check_is_fitted()
         X = check_array(X)
+        leaves = self._packed_ensemble().leaf_values(X, tree_major=True)
         preds = np.full(X.shape[0], self.init_)
-        for tree in self.estimators_:
-            preds = preds + self.learning_rate * tree.predict(X)
+        for stage in range(leaves.shape[0]):
+            preds = preds + self.learning_rate * leaves[stage]
             yield preds.copy()
 
     @property

@@ -330,17 +330,24 @@ class DecisionTreeRegressor(BaseEstimator, RegressorMixin):
         return self.value_[self.apply(X)]
 
     def get_depth(self) -> int:
-        """Depth of the fitted tree (root-only trees have depth 0)."""
+        """Depth of the fitted tree (root-only trees have depth 0).
+
+        Level-order array passes over ``children_left_``/``children_right_``:
+        each iteration replaces the frontier with all of its children, so the
+        cost is one vectorised gather per level instead of a Python loop over
+        every node.
+        """
         self._check_is_fitted()
-        depth = np.zeros(self.n_nodes_, dtype=np.int64)
-        max_depth = 0
-        for node in range(self.n_nodes_):
-            left, right = self.children_left_[node], self.children_right_[node]
-            if left != _TREE_LEAF:
-                depth[left] = depth[node] + 1
-                depth[right] = depth[node] + 1
-                max_depth = max(max_depth, depth[node] + 1)
-        return int(max_depth)
+        frontier = np.zeros(1, dtype=np.int64)
+        depth = 0
+        while True:
+            internal = frontier[self.feature_[frontier] != _TREE_UNDEFINED]
+            if internal.size == 0:
+                return depth
+            frontier = np.concatenate(
+                (self.children_left_[internal], self.children_right_[internal])
+            )
+            depth += 1
 
     def get_n_leaves(self) -> int:
         self._check_is_fitted()
