@@ -1,0 +1,103 @@
+#!/usr/bin/env python
+"""Serving quickstart: keep a fitted model hot and answer queries online.
+
+The batch workflow (``examples/quickstart.py``) pays a dataset build and a
+model fit for every question.  The serving layer pays them **once**:
+
+1. fit the runtime model and publish it to a content-addressed model
+   registry (restarts warm-load it in milliseconds instead of refitting);
+2. start an in-process serve server hosting the fitted advisor — exactly
+   what ``repro-chem serve`` runs as a standalone process;
+3. fire predict and shortest-time/budget queries at it from concurrent
+   clients — micro-batching coalesces them into single packed traversals,
+   and every answer is byte-identical to calling the model locally;
+4. read the server's statistics (requests, coalescing, registry activity).
+
+Run with::
+
+    python examples/serving_quickstart.py
+
+The equivalent operational setup on two shells::
+
+    repro-chem serve --registry ~/.cache/repro-models   # shell 1
+    repro-chem query stq -O 99 -V 718                   # shell 2
+    repro-chem query predict --features 99,718,40,80
+    repro-chem query stats
+"""
+
+import tempfile
+import threading
+
+import numpy as np
+
+from repro.core.advisor import ResourceAdvisor
+from repro.data.datasets import build_dataset
+from repro.serve import ModelRegistry, ServeClient, ServeServer
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ fit once
+    print("Fitting the Aurora runtime model (fast preset)...")
+    dataset = build_dataset("aurora", seed=0, n_total=600)
+    advisor = ResourceAdvisor.from_dataset(dataset, preset="fast")
+
+    # ------------------------------------------------------------ publish + load
+    with tempfile.TemporaryDirectory() as tmp:
+        registry = ModelRegistry(tmp)
+        digest = registry.publish(advisor, name="aurora-fast", meta={"seed": 0})
+        print(f"Published to the registry as aurora-fast ({digest[:12]}...)")
+
+        # A later server start skips the fit: warm-load by name (arenas and
+        # traversal tables are built before the first request).
+        served_model = registry.load("aurora-fast")
+
+        # ------------------------------------------------------------- serve it
+        with ServeServer(served_model, registry=registry) as server:
+            print(f"Serving on {server.url}\n")
+
+            client = ServeClient(server.url)
+            X = np.ascontiguousarray(dataset.X_test[:4])
+            served = client.predict(X)
+            local = advisor.estimator.predict(X)
+            print("Served predictions :", np.round(served, 3))
+            print("Local predictions  :", np.round(local, 3))
+            print("Byte-identical     :", bool(np.array_equal(served, local)))
+
+            answer = client.ask("stq", 99, 718)
+            print(
+                f"\nSTQ for (O=99, V=718): nodes={answer['n_nodes']} "
+                f"tile={answer['tile_size']} "
+                f"runtime={answer['predicted_runtime_s']:.1f}s"
+            )
+
+            # -------------------------------------- concurrent, micro-batched
+            print("\nFiring 4 concurrent clients (micro-batching coalesces them)...")
+
+            def worker(offset: int) -> None:
+                c = ServeClient(server.url)
+                try:
+                    for i in range(offset, len(dataset.X_test), 4):
+                        c.predict(dataset.X_test[i])
+                finally:
+                    c.close()
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+
+            stats = client.stats()
+            batcher = stats["models"]["default"]["batcher"]
+            print(
+                f"Server stats: {stats['requests']['predict']} predict requests, "
+                f"{batcher['batches']} packed traversals "
+                f"({batcher['requests_per_batch_mean']:.1f} requests/traversal, "
+                f"largest coalition {batcher['batched_requests_max']})"
+            )
+            print(f"Registry stats: {stats['registry']}")
+            client.close()
+
+
+if __name__ == "__main__":
+    main()

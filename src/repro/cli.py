@@ -16,16 +16,26 @@ Sub-commands
 ``memo-serve``
     Serve a disk memo store over TCP so multiple processes/hosts share one
     memo (point runs at it with ``--memo-dir memo://host:port``).
+``serve``
+    Keep a fitted runtime model hot behind a socket and answer
+    prediction/advisor queries online (micro-batched packed prediction;
+    warm-loads from / publishes to a model registry).
+``query``
+    Fire predict/stq/bq/health/stats queries at a running ``serve``
+    process.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from typing import Optional, Sequence
 
 import numpy as np
+
+from repro._version import __version__
 
 __all__ = ["main", "build_parser"]
 
@@ -90,6 +100,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-chem",
         description="ML-guided estimation of computational resources for CCSD computations.",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -162,6 +175,78 @@ def build_parser() -> argparse.ArgumentParser:
         default=7501,
         help="TCP port to listen on (0 picks a free port; printed at startup).",
     )
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="Serve a fitted runtime model online (micro-batched packed prediction).",
+    )
+    p_serve.add_argument("--machine", choices=["aurora", "frontier"], default="aurora")
+    p_serve.add_argument("--preset", choices=["fast", "paper"], default="fast")
+    p_serve.add_argument("--seed", type=int, default=0)
+    p_serve.add_argument(
+        "--rows", type=int, default=None, help="Dataset size for the fit (default: paper size)."
+    )
+    p_serve.add_argument(
+        "--trees", type=int, default=None, help="Override GB n_estimators (default: preset)."
+    )
+    p_serve.add_argument(
+        "--depth", type=int, default=None, help="Override GB max_depth (default: preset)."
+    )
+    p_serve.add_argument(
+        "--registry",
+        default=os.environ.get("REPRO_MODEL_REGISTRY") or None,
+        help=(
+            "Model registry directory (default: $REPRO_MODEL_REGISTRY). When set, "
+            "the server warm-loads the named artifact instead of refitting, and "
+            "publishes fresh fits back, so restarts skip the fit entirely."
+        ),
+    )
+    p_serve.add_argument(
+        "--model-name",
+        default=None,
+        help="Registry alias to serve (default: derived from machine/preset/seed).",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1", help="Interface to bind.")
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=7601,
+        help="TCP port to listen on (0 picks a free port; printed at startup).",
+    )
+    p_serve.add_argument(
+        "--max-batch",
+        type=int,
+        default=1024,
+        help="Micro-batcher cap on rows per packed traversal.",
+    )
+    p_serve.add_argument(
+        "--single-flight",
+        action="store_true",
+        help="Disable micro-batching: one model call per request (benchmark baseline).",
+    )
+
+    p_query = sub.add_parser(
+        "query", help="Query a running `repro-chem serve` server."
+    )
+    p_query.add_argument(
+        "action", choices=["predict", "stq", "bq", "health", "stats", "ping"]
+    )
+    p_query.add_argument(
+        "--url",
+        default=os.environ.get("REPRO_SERVE_URL") or "serve://127.0.0.1:7601",
+        help="Server URL (default: $REPRO_SERVE_URL or serve://127.0.0.1:7601).",
+    )
+    p_query.add_argument("--model", default="default", help="Served model name.")
+    p_query.add_argument(
+        "--features",
+        action="append",
+        default=None,
+        metavar="O,V,NODES,TILE",
+        help="One feature row per flag (repeatable); required for predict.",
+    )
+    p_query.add_argument("-O", "--occupied", type=int, default=None)
+    p_query.add_argument("-V", "--virtual", type=int, default=None)
+    p_query.add_argument("--timeout", type=float, default=10.0)
 
     return parser
 
@@ -300,6 +385,170 @@ def _cmd_memo_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_model_name(args: argparse.Namespace) -> str:
+    """Default registry alias: the fit is a pure function of these knobs."""
+    if args.model_name:
+        return args.model_name
+    name = f"{args.machine}-{args.preset}-seed{args.seed}"
+    if args.trees is not None or args.depth is not None:
+        name += f"-gb{args.trees or 'p'}x{args.depth or 'p'}"
+    if args.rows is not None:
+        name += f"-rows{args.rows}"
+    return name
+
+
+def _serve_fit_advisor(args: argparse.Namespace):
+    """Fit the advisor the ``serve`` subcommand hosts (no registry involved)."""
+    from repro.core.advisor import ResourceAdvisor
+    from repro.core.estimator import (
+        FAST_GB_PARAMS,
+        PAPER_GB_PARAMS,
+        ResourceEstimator,
+    )
+    from repro.data.datasets import build_dataset
+
+    dataset = build_dataset(args.machine, seed=args.seed, n_total=args.rows)
+    estimator = None
+    if args.trees is not None or args.depth is not None:
+        from repro.ml.gradient_boosting import GradientBoostingRegressor
+
+        params = dict(PAPER_GB_PARAMS if args.preset == "paper" else FAST_GB_PARAMS)
+        if args.trees is not None:
+            params["n_estimators"] = args.trees
+        if args.depth is not None:
+            params["max_depth"] = args.depth
+        # random_state=0 matches what ResourceEstimator builds by default,
+        # so a --trees/--depth fit is reproducible from its name alone.
+        estimator = ResourceEstimator(
+            model=GradientBoostingRegressor(random_state=0, **params)
+        )
+    return ResourceAdvisor.from_dataset(
+        dataset, estimator=estimator, preset=args.preset
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve import ModelRegistry, ServeServer
+
+    name = _serve_model_name(args)
+    registry = ModelRegistry(args.registry) if args.registry else None
+    advisor = None
+    if registry is not None:
+        advisor = registry.load(name)
+        if advisor is not None:
+            print(
+                f"serve: warm-loaded model={name} digest={registry.resolve(name)[:12]} "
+                f"from {registry.location}",
+                flush=True,
+            )
+    if advisor is None:
+        print(
+            f"serve: fitting model={name} (machine={args.machine}, preset={args.preset})...",
+            flush=True,
+        )
+        advisor = _serve_fit_advisor(args)
+        if registry is not None:
+            digest = registry.publish(
+                advisor,
+                name=name,
+                meta={
+                    "machine": args.machine,
+                    "preset": args.preset,
+                    "seed": args.seed,
+                    "rows": args.rows,
+                    "trees": args.trees,
+                    "depth": args.depth,
+                },
+            )
+            print(
+                f"serve: published model={name} digest={digest[:12]} "
+                f"to {registry.location}",
+                flush=True,
+            )
+    server = ServeServer(
+        {name: advisor, "default": advisor},
+        host=args.host,
+        port=args.port,
+        micro_batch=not args.single_flight,
+        max_batch_rows=args.max_batch,
+        registry=registry,
+    )
+    mode = "single-flight" if args.single_flight else f"micro-batch(max {args.max_batch} rows)"
+    # The exact "listening on serve://host:port" line is the startup
+    # handshake scripts wait for (and parse the ephemeral port from, with
+    # --port 0) — same convention as memo-serve.
+    print(
+        f"serve: model={name} mode={mode} listening on {server.url}",
+        flush=True,
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down", flush=True)
+    finally:
+        server.shutdown()
+    return 0
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    from repro.serve import ServeClient, ServeError
+
+    client = ServeClient(args.url, timeout=args.timeout)
+    try:
+        if args.action == "ping":
+            ok = client.ping()
+            print(f"{args.url}: {'ok' if ok else 'no response'}")
+            return 0 if ok else 1
+        if args.action in ("health", "stats"):
+            doc = client.health() if args.action == "health" else client.stats()
+            print(json.dumps(doc, indent=2))
+            return 0
+        if args.action == "predict":
+            if not args.features:
+                print(
+                    "query predict needs at least one --features O,V,NODES,TILE",
+                    file=sys.stderr,
+                )
+                return 2
+            try:
+                rows = [[float(x) for x in spec.split(",")] for spec in args.features]
+            except ValueError:
+                print(
+                    f"could not parse --features {args.features!r} as numeric rows",
+                    file=sys.stderr,
+                )
+                return 2
+            if len({len(row) for row in rows}) > 1:
+                print(
+                    "every --features row must have the same number of values",
+                    file=sys.stderr,
+                )
+                return 2
+            y = client.predict(rows, model=args.model)
+            for spec, pred in zip(args.features, y):
+                print(f"predict({spec}) = {pred} s")
+            return 0
+        # stq / bq
+        if args.occupied is None or args.virtual is None:
+            print(f"query {args.action} needs -O and -V", file=sys.stderr)
+            return 2
+        answer = client.ask(args.action, args.occupied, args.virtual, model=args.model)
+        print(
+            f"{args.action.upper()} answer for (O={args.occupied}, V={args.virtual}): "
+            f"nodes={answer['n_nodes']}, tile={answer['tile_size']}, "
+            f"predicted runtime={answer['predicted_runtime_s']:.2f} s, "
+            f"predicted node-hours={answer['predicted_node_hours']:.3f}"
+        )
+        return 0
+    except ServeError as exc:
+        # Dead server, protocol failure or request error: the contract is a
+        # clean message and a non-zero exit, never a traceback or a hang.
+        print(f"query: {exc}", file=sys.stderr)
+        return 1
+    finally:
+        client.close()
+
+
 _DISPATCH = {
     "generate-data": _cmd_generate_data,
     "simulate": _cmd_simulate,
@@ -307,6 +556,8 @@ _DISPATCH = {
     "compare-models": _cmd_compare_models,
     "active-learn": _cmd_active_learn,
     "memo-serve": _cmd_memo_serve,
+    "serve": _cmd_serve,
+    "query": _cmd_query,
 }
 
 

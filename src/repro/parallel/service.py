@@ -19,12 +19,11 @@ filesystem) can share one memo:
   end: point it at a store directory and point every run at
   ``memo://host:port``.
 
-Wire protocol (version 1): length-prefixed binary frames.  Every frame is a
-4-byte big-endian payload length followed by the payload; requests start
-with a 1-byte opcode, responses with a 1-byte status.  Strings are
-length-prefixed (``!H``); the value blob, when present, is the remainder of
-the frame.  Frames above 1 GiB are rejected outright — a garbled length
-must not turn into a giant allocation.
+Wire protocol (version 1): the shared length-prefixed binary framing of
+:mod:`repro.parallel.wire` (one 4-byte big-endian length + payload per
+frame, ``!H``-prefixed strings, 1 GiB frame cap).  Requests start with a
+1-byte opcode, responses with a 1-byte status; the value blob, when
+present, is the remainder of the frame.
 
 Failure contract (mirrors the disk store's corruption tolerance): *any*
 protocol error — dead or unreachable server, connection reset mid-frame,
@@ -42,12 +41,22 @@ import os
 import pickle
 import re
 import socket
-import socketserver
 import struct
 import threading
 import time
 from typing import Any, Optional
 
+from repro.parallel.wire import (
+    LEN,
+    MAX_FRAME,
+    FrameService,
+    ProtocolError,
+    pack_str,
+    parse_hostport_url,
+    read_frame,
+    unpack_str,
+    write_frame,
+)
 from repro.parallel.store import (
     _MAGIC,
     MEMO_URL_SCHEME,
@@ -63,12 +72,12 @@ __all__ = ["MemoServer", "RemoteMemoStore", "parse_memo_url", "PROTOCOL_VERSION"
 
 PROTOCOL_VERSION = 1
 
-_LEN = struct.Struct("!I")
-_STR_LEN = struct.Struct("!H")
-
-#: Upper bound on a single frame; a corrupt length prefix reads as garbage,
-#: not as a multi-gigabyte allocation.
-_MAX_FRAME = 1 << 30
+# Framing contract lives in repro.parallel.wire (shared with repro.serve);
+# the historical private names stay importable for existing callers/tests.
+_LEN = LEN
+_MAX_FRAME = MAX_FRAME
+_pack_str = pack_str
+_unpack_str = unpack_str
 
 # Request opcodes.
 _OP_GET = b"G"
@@ -94,8 +103,7 @@ _DIGEST_RE = re.compile(r"^[0-9a-f]{6,64}$")
 _TOKEN_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
 
 
-class _ProtocolError(Exception):
-    """A malformed frame or field; the connection/operation is abandoned."""
+_ProtocolError = ProtocolError
 
 
 def parse_memo_url(url: str) -> tuple[str, int]:
@@ -104,125 +112,13 @@ def parse_memo_url(url: str) -> tuple[str, int]:
     A malformed URL is a configuration typo and must fail loudly — unlike
     runtime protocol failures, which degrade to misses.
     """
-    if not url.startswith(MEMO_URL_SCHEME):
-        raise ValueError(f"memo URL must start with {MEMO_URL_SCHEME!r}: {url!r}")
-    rest = url[len(MEMO_URL_SCHEME):].rstrip("/")
-    host, sep, port_s = rest.rpartition(":")
-    if not sep or not host or not port_s.isdigit():
-        raise ValueError(f"memo URL must be memo://host:port, got {url!r}")
-    port = int(port_s)
-    if not 0 < port < 65536:
-        raise ValueError(f"memo URL port out of range: {url!r}")
-    return host, port
-
-
-# ------------------------------------------------------------- frame helpers
-
-
-def _pack_str(value: str) -> bytes:
-    raw = value.encode("utf-8")
-    if len(raw) > 0xFFFF:
-        raise _ProtocolError("string field too long")
-    return _STR_LEN.pack(len(raw)) + raw
-
-
-def _unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
-    end = offset + _STR_LEN.size
-    if end > len(payload):
-        raise _ProtocolError("truncated string field")
-    (length,) = _STR_LEN.unpack_from(payload, offset)
-    if end + length > len(payload):
-        raise _ProtocolError("truncated string field")
-    return payload[end:end + length].decode("utf-8"), end + length
-
-
-def _read_exact(rfile, n: int) -> bytes:
-    """Read exactly ``n`` bytes or raise; a short read is a dead peer."""
-    chunks = []
-    remaining = n
-    while remaining > 0:
-        chunk = rfile.read(remaining)
-        if not chunk:
-            raise _ProtocolError("connection closed mid-frame")
-        chunks.append(chunk)
-        remaining -= len(chunk)
-    return b"".join(chunks)
-
-
-def _read_frame(rfile) -> bytes:
-    header = _read_exact(rfile, _LEN.size)
-    (length,) = _LEN.unpack(header)
-    if length == 0 or length > _MAX_FRAME:
-        raise _ProtocolError(f"invalid frame length {length}")
-    return _read_exact(rfile, length)
-
-
-def _write_frame(wfile, payload: bytes) -> None:
-    wfile.write(_LEN.pack(len(payload)) + payload)
-    wfile.flush()
+    return parse_hostport_url(url, MEMO_URL_SCHEME)
 
 
 # ------------------------------------------------------------------- server
 
 
-class _MemoRequestHandler(socketserver.StreamRequestHandler):
-    """One client connection: a loop of request/response frames."""
-
-    def handle(self) -> None:  # pragma: no cover - exercised via MemoServer
-        while True:
-            try:
-                request = _read_frame(self.rfile)
-            except (OSError, _ProtocolError):
-                return  # EOF, reset or garbage: drop the connection
-            try:
-                status, body = self.server.memo_server._dispatch(request)
-            except _ProtocolError:
-                status, body = _ST_ERR, b"malformed request"
-            except Exception:
-                status, body = _ST_ERR, b"internal error"
-            try:
-                _write_frame(self.wfile, status + body)
-            except OSError:
-                return
-
-
-class _MemoTCPServer(socketserver.ThreadingTCPServer):
-    allow_reuse_address = True
-    daemon_threads = True
-
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
-        super().__init__(*args, **kwargs)
-        # Open client connections, so shutdown can sever them like a real
-        # process kill would (handler threads otherwise outlive shutdown and
-        # keep serving their connected client).
-        self._connections: set[socket.socket] = set()
-        self._connections_lock = threading.Lock()
-
-    def process_request(self, request: socket.socket, client_address: Any) -> None:
-        with self._connections_lock:
-            self._connections.add(request)
-        super().process_request(request, client_address)
-
-    def shutdown_request(self, request: socket.socket) -> None:
-        with self._connections_lock:
-            self._connections.discard(request)
-        super().shutdown_request(request)
-
-    def close_all_connections(self) -> None:
-        with self._connections_lock:
-            connections = list(self._connections)
-        for conn in connections:
-            try:
-                conn.shutdown(socket.SHUT_RDWR)
-            except OSError:
-                pass
-            try:
-                conn.close()
-            except OSError:
-                pass
-
-
-class MemoServer:
+class MemoServer(FrameService):
     """Serve a disk :class:`MemoStore` to ``RemoteMemoStore`` clients.
 
     ``port=0`` binds an ephemeral port (see :attr:`port`/:attr:`url` for
@@ -232,69 +128,31 @@ class MemoServer:
     of the same key safe, exactly as it does for local multi-process use.
     """
 
+    scheme = MEMO_URL_SCHEME
+
     def __init__(
         self, root: "str | os.PathLike", host: str = "127.0.0.1", port: int = 0
     ) -> None:
         self.store = MemoStore(root)
-        self._tcp = _MemoTCPServer((host, port), _MemoRequestHandler)
-        self._tcp.memo_server = self
-        self._thread: Optional[threading.Thread] = None
-        self._started = False
-
-    # ------------------------------------------------------------- lifecycle
-
-    @property
-    def host(self) -> str:
-        return self._tcp.server_address[0]
-
-    @property
-    def port(self) -> int:
-        return self._tcp.server_address[1]
-
-    @property
-    def url(self) -> str:
-        return f"{MEMO_URL_SCHEME}{self.host}:{self.port}"
-
-    def serve_forever(self) -> None:
-        """Serve on the calling thread until :meth:`shutdown` (or interrupt)."""
-        self._started = True
-        self._tcp.serve_forever(poll_interval=0.1)
-
-    def start(self) -> "MemoServer":
-        """Serve on a daemon background thread (in-process test mode)."""
-        self._started = True
-        self._thread = threading.Thread(
-            target=self._tcp.serve_forever,
-            kwargs={"poll_interval": 0.1},
-            name="memo-server",
-            daemon=True,
-        )
-        self._thread.start()
-        return self
-
-    def shutdown(self) -> None:
-        """Stop serving and sever every client connection (idempotent).
-
-        Severing in-flight connections is deliberate: it makes an orderly
-        shutdown indistinguishable from a process kill, which is exactly
-        the failure clients promise to tolerate.
-        """
-        if self._started:
-            self._started = False
-            self._tcp.shutdown()
-        if self._thread is not None:
-            self._thread.join(timeout=5.0)
-            self._thread = None
-        self._tcp.close_all_connections()
-        self._tcp.server_close()
+        super().__init__(host=host, port=port)
 
     def __enter__(self) -> "MemoServer":
-        return self.start()
-
-    def __exit__(self, *exc_info: Any) -> None:
-        self.shutdown()
+        self.start()
+        return self
 
     # -------------------------------------------------------------- dispatch
+
+    def _handle_frame(self, request: bytes) -> bytes:
+        try:
+            status, body = self._dispatch(request)
+        except ProtocolError:
+            status, body = _ST_ERR, b"malformed request"
+        except Exception:
+            status, body = _ST_ERR, b"internal error"
+        return status + body
+
+    def _internal_error_frame(self) -> bytes:
+        return _ST_ERR + b"internal error"
 
     def _dispatch(self, request: bytes) -> tuple[bytes, bytes]:
         op = request[:1]
@@ -307,7 +165,7 @@ class MemoServer:
             ok = self.store.put_blob(namespace, digest, blob)
             return (_ST_OK, b"") if ok else (_ST_ERR, b"store write failed")
         if op == _OP_SNAP:
-            token, offset = _unpack_str(request, 1)
+            token, offset = unpack_str(request, 1)
             if not _TOKEN_RE.match(token):
                 raise _ProtocolError("bad snapshot token")
             snapshot = request[offset:]
@@ -331,8 +189,8 @@ class MemoServer:
 
     @staticmethod
     def _parse_object_fields(request: bytes, *, expect_blob: bool) -> Any:
-        namespace, offset = _unpack_str(request, 1)
-        digest, offset = _unpack_str(request, offset)
+        namespace, offset = unpack_str(request, 1)
+        digest, offset = unpack_str(request, offset)
         if not _NAMESPACE_RE.match(namespace) or not _DIGEST_RE.match(digest):
             raise _ProtocolError("bad namespace or digest")
         if expect_blob:
@@ -426,8 +284,8 @@ class RemoteMemoStore:
                 try:
                     if self._sock is None:
                         self._connect()
-                    _write_frame(self._wfile, payload)
-                    response = _read_frame(self._rfile)
+                    write_frame(self._wfile, payload)
+                    response = read_frame(self._rfile)
                     if not response:
                         raise _ProtocolError("empty response")
                     self._window_failures = 0
@@ -472,7 +330,7 @@ class RemoteMemoStore:
         """
         self._check_namespace(namespace)
         try:
-            request = _OP_GET + _pack_str(namespace) + _pack_str(key_digest(key))
+            request = _OP_GET + pack_str(namespace) + pack_str(key_digest(key))
         except _ProtocolError:
             self._count(misses=1, errors=1)
             return default
@@ -500,7 +358,7 @@ class RemoteMemoStore:
         self._check_namespace(namespace)
         try:
             blob = _MAGIC + pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
-            request = _OP_PUT + _pack_str(namespace) + _pack_str(key_digest(key)) + blob
+            request = _OP_PUT + pack_str(namespace) + pack_str(key_digest(key)) + blob
         except Exception:
             self._count(errors=1)
             return
@@ -545,7 +403,7 @@ class RemoteMemoStore:
         they describe.
         """
         snapshot = json.dumps(build_stats_snapshot(self._local_counters()))
-        self._request(_OP_SNAP + _pack_str(_process_token()) + snapshot.encode("utf-8"))
+        self._request(_OP_SNAP + pack_str(_process_token()) + snapshot.encode("utf-8"))
         self._last_flush = time.monotonic()
 
     def aggregated_stats(self) -> dict[str, Any]:

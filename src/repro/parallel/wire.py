@@ -1,0 +1,275 @@
+"""Shared length-prefixed binary framing for repro's TCP services.
+
+The memo service (:mod:`repro.parallel.service`, PR 3) and the online
+inference service (:mod:`repro.serve`, PR 5) speak the same wire substrate:
+every frame is a 4-byte big-endian payload length followed by the payload;
+requests start with a 1-byte opcode, responses with a 1-byte status byte.
+Strings inside a frame are ``!H`` length-prefixed.  Frames above
+:data:`MAX_FRAME` (1 GiB) are rejected outright — a garbled length prefix
+must read as a protocol error, never as a multi-gigabyte allocation.
+
+This module is the single source of truth for that contract: the frame
+read/write helpers, the size guard, and the server scaffolding (a
+``ThreadingTCPServer`` that tracks open connections so shutdown severs them
+like a real process kill, plus the request-loop handler) live here and are
+consumed by both services.  Anything protocol-*semantic* — opcodes, status
+bytes, body encodings, failure policies — stays with each service.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any, Optional
+
+__all__ = [
+    "MAX_FRAME",
+    "LEN",
+    "STR_LEN",
+    "ProtocolError",
+    "pack_str",
+    "unpack_str",
+    "read_exact",
+    "read_frame",
+    "write_frame",
+    "parse_hostport_url",
+    "FrameService",
+]
+
+#: Upper bound on a single frame (request or response), shared by every
+#: framed service.  A corrupt length prefix reads as garbage, not as a giant
+#: allocation.
+MAX_FRAME = 1 << 30
+
+#: Frame length prefix: 4-byte big-endian unsigned.
+LEN = struct.Struct("!I")
+
+#: In-frame string length prefix: 2-byte big-endian unsigned.
+STR_LEN = struct.Struct("!H")
+
+
+class ProtocolError(Exception):
+    """A malformed frame or field; the connection/operation is abandoned."""
+
+
+def parse_hostport_url(url: str, scheme: str) -> tuple[str, int]:
+    """``<scheme>host:port`` -> ``(host, port)``; raises ``ValueError`` on junk.
+
+    A malformed URL is a configuration typo and must fail loudly — unlike
+    runtime protocol failures, which each service degrades per its own
+    failure contract.
+    """
+    if not url.startswith(scheme):
+        raise ValueError(f"URL must start with {scheme!r}: {url!r}")
+    rest = url[len(scheme):].rstrip("/")
+    host, sep, port_s = rest.rpartition(":")
+    if not sep or not host or not port_s.isdigit():
+        raise ValueError(f"URL must be {scheme}host:port, got {url!r}")
+    port = int(port_s)
+    if not 0 < port < 65536:
+        raise ValueError(f"URL port out of range: {url!r}")
+    return host, port
+
+
+# ------------------------------------------------------------- frame helpers
+
+
+def pack_str(value: str) -> bytes:
+    """Encode a ``!H`` length-prefixed UTF-8 string field."""
+    raw = value.encode("utf-8")
+    if len(raw) > 0xFFFF:
+        raise ProtocolError("string field too long")
+    return STR_LEN.pack(len(raw)) + raw
+
+
+def unpack_str(payload: bytes, offset: int) -> tuple[str, int]:
+    """Decode a string field at ``offset``; returns ``(value, next_offset)``."""
+    end = offset + STR_LEN.size
+    if end > len(payload):
+        raise ProtocolError("truncated string field")
+    (length,) = STR_LEN.unpack_from(payload, offset)
+    if end + length > len(payload):
+        raise ProtocolError("truncated string field")
+    return payload[end:end + length].decode("utf-8"), end + length
+
+
+def read_exact(rfile, n: int) -> bytes:
+    """Read exactly ``n`` bytes or raise; a short read is a dead peer."""
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        chunk = rfile.read(remaining)
+        if not chunk:
+            raise ProtocolError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def read_frame(rfile) -> bytes:
+    """Read one length-prefixed frame, enforcing the :data:`MAX_FRAME` guard."""
+    header = read_exact(rfile, LEN.size)
+    (length,) = LEN.unpack(header)
+    if length == 0 or length > MAX_FRAME:
+        raise ProtocolError(f"invalid frame length {length}")
+    return read_exact(rfile, length)
+
+
+def write_frame(wfile, payload: bytes) -> None:
+    """Write one length-prefixed frame and flush it."""
+    wfile.write(LEN.pack(len(payload)) + payload)
+    wfile.flush()
+
+
+# ------------------------------------------------------------------- server
+
+
+class _FrameRequestHandler(socketserver.StreamRequestHandler):
+    """One client connection: a loop of request/response frames.
+
+    Frame semantics are delegated to the owning :class:`FrameService`:
+    ``_handle_frame`` maps a request frame to a full response frame
+    (status byte + body) and must not raise for request-level errors —
+    an exception that escapes it is answered with the service's
+    ``_internal_error_frame`` so one bad request never kills the server.
+    """
+
+    def handle(self) -> None:  # pragma: no cover - exercised via FrameService
+        service: "FrameService" = self.server.frame_service
+        while True:
+            try:
+                request = read_frame(self.rfile)
+            except (OSError, ProtocolError):
+                return  # EOF, reset or garbage: drop the connection
+            try:
+                response = service._handle_frame(request)
+            except Exception:
+                response = service._internal_error_frame()
+            try:
+                write_frame(self.wfile, response)
+            except OSError:
+                return
+
+
+class _TrackingTCPServer(socketserver.ThreadingTCPServer):
+    """Threading TCP server that can sever every open client connection.
+
+    Handler threads otherwise outlive ``shutdown()`` and keep serving their
+    connected client; severing makes an orderly shutdown indistinguishable
+    from a process kill — exactly the failure clients promise to tolerate.
+    """
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._connections: set[socket.socket] = set()
+        self._connections_lock = threading.Lock()
+
+    def process_request(self, request: socket.socket, client_address: Any) -> None:
+        with self._connections_lock:
+            self._connections.add(request)
+        super().process_request(request, client_address)
+
+    def shutdown_request(self, request: socket.socket) -> None:
+        with self._connections_lock:
+            self._connections.discard(request)
+        super().shutdown_request(request)
+
+    def close_all_connections(self) -> None:
+        with self._connections_lock:
+            connections = list(self._connections)
+        for conn in connections:
+            try:
+                conn.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                conn.close()
+            except OSError:
+                pass
+
+
+class FrameService:
+    """Lifecycle scaffolding for a thread-per-connection framed TCP service.
+
+    Subclasses implement :meth:`_handle_frame` (request frame -> response
+    frame) and set :attr:`scheme` so :attr:`url` renders the right URL
+    flavour.  ``port=0`` binds an ephemeral port (see :attr:`port`/:attr:`url`
+    for the actual address) — what in-process tests use.
+    """
+
+    #: URL scheme rendered by :attr:`url` (e.g. ``"memo://"``).
+    scheme = "tcp://"
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        self._tcp = _TrackingTCPServer((host, port), _FrameRequestHandler)
+        self._tcp.frame_service = self
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # ------------------------------------------------------------- lifecycle
+
+    @property
+    def host(self) -> str:
+        return self._tcp.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._tcp.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"{self.scheme}{self.host}:{self.port}"
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until :meth:`shutdown` (or interrupt)."""
+        self._started = True
+        self._tcp.serve_forever(poll_interval=0.1)
+
+    def start(self) -> "FrameService":
+        """Serve on a daemon background thread (in-process test mode)."""
+        self._started = True
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name=type(self).__name__.lower(),
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving and sever every client connection (idempotent).
+
+        Severing in-flight connections is deliberate: it makes an orderly
+        shutdown indistinguishable from a process kill, which is exactly
+        the failure clients promise to tolerate.
+        """
+        if self._started:
+            self._started = False
+            self._tcp.shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        self._tcp.close_all_connections()
+        self._tcp.server_close()
+
+    def __enter__(self) -> "FrameService":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    # -------------------------------------------------------------- dispatch
+
+    def _handle_frame(self, request: bytes) -> bytes:
+        """Map one request frame to one response frame (status + body)."""
+        raise NotImplementedError
+
+    def _internal_error_frame(self) -> bytes:
+        """Response frame sent when :meth:`_handle_frame` raises."""
+        return b"!internal error"

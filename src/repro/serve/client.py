@@ -1,0 +1,224 @@
+"""Blocking client for the serve service, with the clean-failure contract.
+
+:class:`ServeClient` is the user-facing handle on a running
+:class:`~repro.serve.server.ServeServer`: ``predict`` rows, ``ask`` the
+STQ/BQ questions, probe ``health``/``stats``.  One persistent connection
+per instance, serialised by a lock (one client per thread is the cheap way
+to fan out — see ``benchmarks/serve_throughput.py``).
+
+Failure contract (the serve flavour of the PR 3 wire discipline): the memo
+client degrades failures to cache misses because a miss is recomputable;
+an inference query has no local fallback, so here every failure is a
+**clean, immediate error** — never a hang, never a crash, never a silently
+wrong answer:
+
+* A dead/unreachable server, a connection reset, a truncated or oversized
+  frame, or an undecodable response gets **one** reconnect-and-retry (the
+  server may simply have restarted); a second failure raises
+  :class:`ServeUnavailableError` and opens a back-off window (doubling,
+  capped at 30s) during which calls fail fast instead of re-paying connect
+  timeouts.
+* A server-side *request* error — unknown model, wrong feature count,
+  non-finite values, bad question — raises :class:`ServeError` with the
+  server's message; the connection stays up and is not penalised.
+* All socket operations carry a timeout, so a black-holed host costs a
+  bounded wait, not a hang.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.parallel.wire import (
+    MAX_FRAME,
+    ProtocolError,
+    parse_hostport_url,
+    read_frame,
+    write_frame,
+)
+from repro.serve.server import (
+    OP_ASK,
+    OP_HEALTH,
+    OP_PING,
+    OP_PREDICT,
+    OP_STATS,
+    PING_BANNER,
+    SERVE_URL_SCHEME,
+    ST_OK,
+)
+
+__all__ = [
+    "ServeClient",
+    "ServeError",
+    "ServeUnavailableError",
+    "parse_serve_url",
+]
+
+
+class ServeError(RuntimeError):
+    """The server answered with a request error (bad model, bad input, ...)."""
+
+
+class ServeUnavailableError(ServeError):
+    """No usable server: dead, unreachable, or speaking a broken protocol."""
+
+
+def parse_serve_url(url: str) -> tuple[str, int]:
+    """``serve://host:port`` -> ``(host, port)``; raises ``ValueError`` on junk."""
+    return parse_hostport_url(url, SERVE_URL_SCHEME)
+
+
+class ServeClient:
+    """Blocking client for one serve server."""
+
+    def __init__(self, url: str, *, timeout: float = 10.0, retry_delay: float = 0.5) -> None:
+        self.host, self.port = parse_serve_url(url)
+        self.url = f"{SERVE_URL_SCHEME}{self.host}:{self.port}"
+        self.timeout = timeout
+        self.retry_delay = retry_delay
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+        self._wfile = None
+        self._conn_lock = threading.Lock()
+        self._down_until = 0.0
+        self._window_failures = 0
+
+    # ---------------------------------------------------------- connection
+
+    def _connect(self) -> None:
+        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
+        sock.settimeout(self.timeout)
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self._wfile = sock.makefile("wb")
+
+    def _teardown(self) -> None:
+        for closer in (self._rfile, self._wfile, self._sock):
+            if closer is not None:
+                try:
+                    closer.close()
+                except OSError:
+                    pass
+        self._sock = self._rfile = self._wfile = None
+
+    def close(self) -> None:
+        """Drop the connection (the client stays usable; it reconnects lazily)."""
+        with self._conn_lock:
+            self._teardown()
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _request(self, payload: bytes) -> tuple[bytes, bytes]:
+        """One round trip; raises :class:`ServeUnavailableError` on failure."""
+        if len(payload) > MAX_FRAME:
+            # A local mistake, not a server fault: fail this call alone
+            # without tearing down the connection or opening the back-off.
+            raise ServeError(f"request of {len(payload)} bytes exceeds the frame cap")
+        with self._conn_lock:
+            if time.monotonic() < self._down_until:
+                raise ServeUnavailableError(
+                    f"serve server {self.url} is down (backing off)"
+                )
+            for attempt in (0, 1):
+                try:
+                    if self._sock is None:
+                        self._connect()
+                    write_frame(self._wfile, payload)
+                    response = read_frame(self._rfile)
+                    self._window_failures = 0
+                    return response[:1], response[1:]
+                except (OSError, ProtocolError, struct.error):
+                    self._teardown()
+            self._window_failures += 1
+            backoff = min(
+                self.retry_delay * (2 ** (self._window_failures - 1)), 30.0
+            )
+            self._down_until = time.monotonic() + backoff
+            raise ServeUnavailableError(
+                f"serve server {self.url} is unreachable or misbehaving "
+                f"(retried once; backing off {backoff:.1f}s)"
+            )
+
+    def _call(self, op: bytes, fields: Optional[dict] = None) -> dict:
+        payload = op if fields is None else op + json.dumps(fields).encode("utf-8")
+        status, body = self._request(payload)
+        if status != ST_OK:
+            raise ServeError(body.decode("utf-8", "replace") or "request failed")
+        try:
+            out = json.loads(body)
+        except ValueError:
+            raise ServeUnavailableError("server returned an undecodable response")
+        if not isinstance(out, dict):
+            raise ServeUnavailableError("server returned a malformed response")
+        return out
+
+    # ------------------------------------------------------------- endpoints
+
+    def predict(self, X: Any, model: str = "default") -> np.ndarray:
+        """Predict rows of ``X`` (a single feature vector is auto-wrapped).
+
+        The result is byte-identical to ``model.predict(X)`` on the fitted
+        model the server hosts: features and predictions cross the wire as
+        JSON numbers, which round-trip float64 exactly.
+        """
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim == 1:
+            X = X.reshape(1, -1)
+        out = self._call(OP_PREDICT, {"model": model, "X": X.tolist()})
+        # A version-skewed or rogue server answering OK without one numeric
+        # prediction per requested row: a loud error, never a silently
+        # short, empty or non-numeric result.
+        y = out.get("y")
+        if isinstance(y, list) and len(y) == X.shape[0]:
+            try:
+                arr = np.asarray(y, dtype=np.float64)
+            except (TypeError, ValueError):
+                arr = None
+            if arr is not None and arr.shape == (X.shape[0],):
+                return arr
+        raise ServeUnavailableError("server returned a malformed prediction")
+
+    def ask(
+        self, question: str, n_occupied: int, n_virtual: int, model: str = "default"
+    ) -> dict:
+        """Answer STQ/BQ for a problem size; returns the answer dict."""
+        out = self._call(
+            OP_ASK,
+            {
+                "model": model,
+                "question": question,
+                "n_occupied": int(n_occupied),
+                "n_virtual": int(n_virtual),
+            },
+        )
+        answer = out.get("answer")
+        if not isinstance(answer, dict):
+            raise ServeUnavailableError("server returned a malformed answer")
+        return answer
+
+    def health(self) -> dict:
+        """The server's liveness document."""
+        return self._call(OP_HEALTH)
+
+    def stats(self) -> dict:
+        """The server's counters (requests, batching, registry, uptime)."""
+        return self._call(OP_STATS)
+
+    def ping(self) -> bool:
+        """True when a serve server answers the protocol handshake."""
+        try:
+            status, body = self._request(OP_PING)
+        except ServeError:
+            return False
+        return status == ST_OK and body == PING_BANNER

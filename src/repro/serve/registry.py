@@ -1,0 +1,249 @@
+"""Content-addressed registry of fitted models for the serving layer.
+
+Today every cost-prediction or advisor query pays a full dataset build and
+model fit (~20s for the paper's deployed GB-750×depth-10 configuration).
+:class:`ModelRegistry` snapshots a *fitted* estimator once and lets every
+subsequent server start warm-load it in milliseconds:
+
+* **Content-addressed artifacts** — an artifact is the pickled model (which
+  for tree ensembles is the packed-arena form of :mod:`repro.ml.packed`, a
+  fraction of the object-graph size) wrapped in a magic-prefixed, versioned
+  payload, stored under the SHA-1 of its own bytes.  Equal fits produce
+  equal blobs produce equal digests: publishing the same model twice is a
+  no-op, and a digest uniquely identifies the exact bytes that will be
+  served.
+* **Atomic publication** — the memo store's write-then-rename discipline: a
+  reader never observes a partial artifact, and concurrent publishers of
+  the same content are last-writer-wins on identical bytes.
+* **Named aliases** — a human name (``aurora-fast-seed0``) maps to a digest
+  through a small JSON file, republished atomically on every publish, so
+  "the deployed aurora model" is one stable handle whose target digest
+  moves only when a new fit is published.
+* **Corruption-tolerant loads** — a truncated, garbled, version-stale or
+  digest-mismatched artifact reads as a miss (the caller refits and
+  republishes), never as a crash or a silently wrong model: the payload's
+  SHA-1 is re-verified against its address on every load.
+* **Warm loading** — :func:`warm_model` forces the packed arenas *and*
+  their lazily-built traversal tables into existence before the first
+  request, so serving latency never pays the one-off table build.
+
+Layout::
+
+    <root>/artifacts/<aa>/<digest[2:]>.pkl
+    <root>/aliases/<name>.json
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import time
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ModelRegistry", "warm_model", "REGISTRY_FORMAT_VERSION"]
+
+#: Bump to invalidate every previously published artifact.
+REGISTRY_FORMAT_VERSION = 1
+
+_MAGIC_PREFIX = b"RPMODEL"
+_MAGIC = _MAGIC_PREFIX + bytes([REGISTRY_FORMAT_VERSION]) + b"\n"
+
+#: Alias names become file names; anything fancier is rejected before it can
+#: escape the registry directory (same discipline as memo-store namespaces).
+_ALIAS_RE = re.compile(r"^[A-Za-z0-9_][A-Za-z0-9_.-]{0,63}$")
+_DIGEST_RE = re.compile(r"^[0-9a-f]{40}$")
+
+
+def warm_model(model: Any) -> Any:
+    """Force packed arenas and traversal tables hot; returns ``model``.
+
+    Walks the estimator shapes the serving layer hosts — a
+    :class:`~repro.core.advisor.ResourceAdvisor` (``.estimator``), a
+    :class:`~repro.core.estimator.ResourceEstimator` (``.model_``), or a
+    bare ensemble with the ``_packed_ensemble()`` surface — and builds the
+    arena plus its level-major traversal tables now, so the first request
+    against a freshly (warm-)loaded model costs a steady-state traversal,
+    not the one-off table build.
+    """
+    seen = set()
+    node = model
+    while id(node) not in seen and node is not None:
+        seen.add(id(node))
+        build = getattr(node, "_packed_ensemble", None)
+        if callable(build):
+            packed = build()
+            if packed is not None:
+                packed._traversal()
+        node = getattr(node, "estimator", None) or getattr(node, "model_", None)
+    return model
+
+
+class ModelRegistry:
+    """A directory of fitted-model artifacts shared by server starts.
+
+    The registry never *fits* anything: callers publish models they fitted
+    and load models somebody published.  All counters are per-instance
+    (``publishes``/``loads``/``misses``/``errors``) and surface through the
+    serve server's ``stats`` endpoint.
+    """
+
+    def __init__(self, root: "str | os.PathLike") -> None:
+        self.root = Path(root).expanduser()
+        self._artifacts = self.root / "artifacts"
+        self._aliases = self.root / "aliases"
+        self._artifacts.mkdir(parents=True, exist_ok=True)
+        self._aliases.mkdir(parents=True, exist_ok=True)
+        self.publishes = 0
+        self.loads = 0
+        self.misses = 0
+        self.errors = 0
+
+    # ------------------------------------------------------------------ paths
+
+    @property
+    def location(self) -> str:
+        return str(self.root)
+
+    def artifact_path(self, digest: str) -> Path:
+        return self._artifacts / digest[:2] / (digest[2:] + ".pkl")
+
+    def _alias_path(self, name: str) -> Path:
+        if not _ALIAS_RE.match(name):
+            raise ValueError(
+                f"Registry alias {name!r} is not a valid name "
+                f"(must match {_ALIAS_RE.pattern})."
+            )
+        return self._aliases / (name + ".json")
+
+    @staticmethod
+    def _atomic_write(path: Path, blob: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.parent / f".{path.name}.{os.getpid()}.tmp"
+        try:
+            tmp.write_bytes(blob)
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ---------------------------------------------------------------- publish
+
+    def publish(
+        self, model: Any, name: Optional[str] = None, meta: Optional[dict] = None
+    ) -> str:
+        """Snapshot a fitted model; returns its content digest.
+
+        The artifact is the versioned pickle of ``model`` (tree ensembles
+        ride the packed-arena pickle form automatically), addressed by the
+        SHA-1 of the payload bytes and published atomically.  When ``name``
+        is given, the alias is (re)pointed at the new digest afterwards —
+        readers see either the old complete artifact or the new one, never
+        a half state.
+        """
+        blob = _MAGIC + pickle.dumps(model, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha1(blob).hexdigest()
+        path = self.artifact_path(digest)
+        if not path.exists():
+            self._atomic_write(path, blob)
+        if name is not None:
+            alias = {
+                "digest": digest,
+                "meta": dict(meta or {}),
+                "published_unix": time.time(),
+            }
+            self._atomic_write(
+                self._alias_path(name), json.dumps(alias, indent=2).encode("utf-8")
+            )
+        self.publishes += 1
+        return digest
+
+    # ------------------------------------------------------------------- load
+
+    def resolve(self, ref: str) -> Optional[str]:
+        """Alias name or digest -> digest (``None`` when unknown)."""
+        if _DIGEST_RE.match(ref):
+            return ref
+        try:
+            payload = json.loads(self._alias_path(ref).read_text())
+            digest = payload.get("digest", "")
+        except (OSError, ValueError):
+            return None
+        return digest if _DIGEST_RE.match(digest) else None
+
+    def load(self, ref: str, *, warm: bool = True) -> Optional[Any]:
+        """Load a model by alias or digest, or ``None`` on any kind of miss.
+
+        A missing, truncated, version-stale or content-mismatched artifact
+        is a miss (counted; mismatches also count as ``errors`` and the
+        poisoned file is best-effort discarded) — the caller refits and
+        republishes, mirroring the memo store's corruption tolerance.
+        """
+        digest = self.resolve(ref)
+        if digest is None:
+            self.misses += 1
+            return None
+        path = self.artifact_path(digest)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            self.misses += 1
+            return None
+        if not blob.startswith(_MAGIC) or hashlib.sha1(blob).hexdigest() != digest:
+            self.misses += 1
+            self.errors += 1
+            self._discard(path)
+            return None
+        try:
+            model = pickle.loads(blob[len(_MAGIC):])
+        except Exception:
+            self.misses += 1
+            self.errors += 1
+            self._discard(path)
+            return None
+        self.loads += 1
+        return warm_model(model) if warm else model
+
+    @staticmethod
+    def _discard(path: Path) -> None:
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+
+    # ----------------------------------------------------------- introspection
+
+    def aliases(self) -> dict[str, dict]:
+        """Every parseable alias record, keyed by name (unparseable skipped)."""
+        out: dict[str, dict] = {}
+        for path in sorted(self._aliases.glob("*.json")):
+            try:
+                out[path.stem] = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+        return out
+
+    def artifacts(self) -> list[str]:
+        """Digests of every artifact currently on disk."""
+        out = []
+        for prefix in sorted(self._artifacts.iterdir()) if self._artifacts.is_dir() else []:
+            if not prefix.is_dir():
+                continue
+            for path in sorted(prefix.glob("*.pkl")):
+                out.append(prefix.name + path.name[: -len(".pkl")])
+        return out
+
+    def stats(self) -> dict[str, int]:
+        return {
+            "publishes": self.publishes,
+            "loads": self.loads,
+            "misses": self.misses,
+            "errors": self.errors,
+            "artifacts": len(self.artifacts()),
+        }

@@ -1,0 +1,337 @@
+"""Online inference server: fitted models answering queries over a socket.
+
+:class:`ServeServer` keeps fitted models hot in one process and answers
+prediction/advisor queries over the shared frame protocol of
+:mod:`repro.parallel.wire` (the PR 3 wire substrate).  Request bodies and
+responses are JSON — the server never unpickles client bytes and the client
+never unpickles server bytes, so neither side can execute the other's code;
+floats survive the JSON round trip exactly (``repr`` round-trips float64),
+which is what lets the served path meet the byte-parity bar.
+
+Endpoints (1-byte opcode + JSON body):
+
+``predict``
+    ``{"model": name, "X": [[...], ...]}`` -> ``{"y": [...]}``.  Requests
+    ride the per-model :class:`~repro.serve.batcher.MicroBatcher` (unless
+    the server was built single-flight): concurrent queries coalesce into
+    one packed traversal, and every answer is byte-identical to predicting
+    that request alone on the local model.
+``ask``
+    ``{"model": name, "question": "stq"|"bq", "n_occupied": O,
+    "n_virtual": V}`` -> the :class:`~repro.core.questions.QuestionAnswer`
+    dict, via the hosted :class:`~repro.core.advisor.ResourceAdvisor`.
+``health`` / ``stats``
+    Liveness probe, and the server's counters (requests per endpoint,
+    batcher coalescing stats, registry counters, uptime).
+
+Failure contract (server side): a malformed request — undecodable JSON,
+unknown opcode or model, wrong feature count, non-finite values, empty
+``X`` — is answered with an error frame carrying a message; the connection
+stays up and the server keeps serving.  Nothing a client sends can crash
+the process.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from typing import Any, Mapping, Optional
+
+import numpy as np
+
+from repro.parallel.wire import FrameService, ProtocolError
+from repro.serve.batcher import MicroBatcher
+from repro.serve.registry import ModelRegistry, warm_model
+
+__all__ = ["ServeServer", "SERVE_URL_SCHEME", "SERVE_PROTOCOL_VERSION"]
+
+#: URL scheme of the serve service (``serve://host:port``).
+SERVE_URL_SCHEME = "serve://"
+
+SERVE_PROTOCOL_VERSION = 1
+
+# Request opcodes.
+OP_PREDICT = b"p"
+OP_ASK = b"q"
+OP_HEALTH = b"h"
+OP_STATS = b"s"
+OP_PING = b"?"
+
+# Response statuses.
+ST_OK = b"+"
+ST_ERR = b"!"
+
+PING_BANNER = f"repro-serve/{SERVE_PROTOCOL_VERSION}".encode("ascii")
+
+_OP_NAMES = {
+    OP_PREDICT: "predict",
+    OP_ASK: "ask",
+    OP_HEALTH: "health",
+    OP_STATS: "stats",
+    OP_PING: "ping",
+}
+
+
+class _RequestError(Exception):
+    """A malformed or unanswerable request; becomes an error frame."""
+
+
+class _HostedModel:
+    """One served model: resolved predict path, advisor, optional batcher."""
+
+    def __init__(self, name: str, model: Any, *, batcher: bool, max_batch_rows: int) -> None:
+        self.name = name
+        self.model = model
+        # A ResourceAdvisor hosts its estimator; a bare estimator hosts
+        # itself.  ``predict`` always resolves to the *local* single-call
+        # entry point — the exact function a user would call directly,
+        # which is what the parity bar is measured against.
+        estimator = getattr(model, "estimator", None) if not hasattr(model, "predict") else model
+        if estimator is None or not callable(getattr(estimator, "predict", None)):
+            raise TypeError(
+                f"Model {name!r} has neither .predict nor .estimator.predict."
+            )
+        self.estimator = estimator
+        self.predict = estimator.predict
+        self.advisor = model if callable(getattr(model, "answer", None)) else None
+        n_features = getattr(estimator, "n_features_in_", None)
+        if n_features is None:
+            raise TypeError(
+                f"Model {name!r} is not fitted (no n_features_in_); "
+                "serve only hosts fitted models."
+            )
+        self.n_features = int(n_features)
+        self.batcher: Optional[MicroBatcher] = (
+            MicroBatcher(
+                self.predict, n_features=self.n_features, max_batch_rows=max_batch_rows
+            )
+            if batcher
+            else None
+        )
+
+    def close(self) -> None:
+        if self.batcher is not None:
+            self.batcher.close()
+
+
+class ServeServer(FrameService):
+    """Serve fitted models to :class:`~repro.serve.client.ServeClient` users.
+
+    Parameters
+    ----------
+    models:
+        A single fitted model, or a mapping ``name -> model``.  A lone model
+        is hosted as ``"default"``.  Each model must expose ``predict``
+        (directly or via ``.estimator``); models exposing ``answer`` (the
+        :class:`ResourceAdvisor` surface) additionally serve ``ask``.
+    micro_batch:
+        When true (default), predict requests coalesce through a per-model
+        :class:`MicroBatcher`; when false every request runs its own model
+        call (the single-flight baseline the benchmark compares against).
+    registry:
+        Optional :class:`ModelRegistry` whose counters are included in
+        ``stats`` (the CLI passes the registry it warm-loaded from).
+    """
+
+    scheme = SERVE_URL_SCHEME
+
+    def __init__(
+        self,
+        models: "Any | Mapping[str, Any]",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        micro_batch: bool = True,
+        max_batch_rows: int = 1024,
+        registry: Optional[ModelRegistry] = None,
+        warm: bool = True,
+    ) -> None:
+        if not isinstance(models, Mapping):
+            models = {"default": models}
+        if not models:
+            raise ValueError("ServeServer needs at least one model.")
+        self.micro_batch = bool(micro_batch)
+        self.registry = registry
+        self.models: dict[str, _HostedModel] = {}
+        # Several names may alias one model object (the CLI serves the
+        # registry alias and "default" as the same model); they share one
+        # hosted entry so coalescing is not split across names.
+        hosted_by_id: dict[int, _HostedModel] = {}
+        for name, model in models.items():
+            hosted = hosted_by_id.get(id(model))
+            if hosted is None:
+                if warm:
+                    warm_model(model)
+                hosted = _HostedModel(
+                    name, model, batcher=self.micro_batch, max_batch_rows=max_batch_rows
+                )
+                hosted_by_id[id(model)] = hosted
+            self.models[name] = hosted
+        self._counters = {name: 0 for name in _OP_NAMES.values()}
+        self._counter_lock = threading.Lock()
+        self._error_count = 0
+        self._started_at = time.monotonic()
+        try:
+            super().__init__(host=host, port=port)
+        except Exception:
+            # A failed bind (port in use, bad interface) must not leak the
+            # already-started batcher worker threads.
+            for hosted in self.models.values():
+                hosted.close()
+            raise
+
+    def __enter__(self) -> "ServeServer":
+        self.start()
+        return self
+
+    def shutdown(self) -> None:
+        super().shutdown()
+        for hosted in self.models.values():
+            hosted.close()
+
+    # -------------------------------------------------------------- dispatch
+
+    def _handle_frame(self, request: bytes) -> bytes:
+        try:
+            body = self._dispatch(request)
+            return ST_OK + body
+        except (_RequestError, ProtocolError) as exc:
+            with self._counter_lock:
+                self._error_count += 1
+            return ST_ERR + str(exc).encode("utf-8", "replace")
+        except Exception:
+            with self._counter_lock:
+                self._error_count += 1
+            return self._internal_error_frame()
+
+    def _internal_error_frame(self) -> bytes:
+        return ST_ERR + b"internal error"
+
+    def _dispatch(self, request: bytes) -> bytes:
+        op = request[:1]
+        name = _OP_NAMES.get(op)
+        if name is None:
+            raise _RequestError(f"unknown opcode {op!r}")
+        with self._counter_lock:
+            self._counters[name] += 1
+        if op == OP_PING:
+            return PING_BANNER
+        if op == OP_HEALTH:
+            return self._json(self._health())
+        if op == OP_STATS:
+            return self._json(self.stats())
+        fields = self._parse_body(request[1:])
+        if op == OP_PREDICT:
+            return self._json(self._predict(fields))
+        return self._json(self._ask(fields))
+
+    @staticmethod
+    def _json(obj: Any) -> bytes:
+        return json.dumps(obj).encode("utf-8")
+
+    @staticmethod
+    def _parse_body(body: bytes) -> dict:
+        try:
+            fields = json.loads(body)
+        except ValueError:
+            raise _RequestError("request body is not valid JSON")
+        if not isinstance(fields, dict):
+            raise _RequestError("request body must be a JSON object")
+        return fields
+
+    def _hosted(self, fields: dict) -> tuple[str, _HostedModel]:
+        """Resolve the requested model; returns the *requested* name too
+        (aliases share one hosted entry, but responses must echo the name
+        the client asked for)."""
+        name = fields.get("model", "default")
+        hosted = self.models.get(name)
+        if hosted is None:
+            raise _RequestError(
+                f"unknown model {name!r} (serving: {sorted(self.models)})"
+            )
+        return name, hosted
+
+    # ------------------------------------------------------------- endpoints
+
+    def _predict(self, fields: dict) -> dict:
+        name, hosted = self._hosted(fields)
+        rows = fields.get("X")
+        if not isinstance(rows, list):
+            raise _RequestError("predict needs X: a list of feature rows")
+        try:
+            X = np.asarray(rows, dtype=np.float64)
+        except (TypeError, ValueError):
+            raise _RequestError("X must be numeric feature rows")
+        if X.ndim == 1 and X.size == 0:
+            raise _RequestError("Empty input array.")
+        if X.ndim != 2:
+            raise _RequestError(f"X must be 2-D (n_rows, n_features), got shape {X.shape}")
+        try:
+            if hosted.batcher is not None:
+                y = hosted.batcher.submit(X)
+            else:
+                self._validate(X, hosted.n_features)
+                y = hosted.predict(X)
+        except ValueError as exc:
+            raise _RequestError(str(exc))
+        return {"model": name, "n_rows": int(X.shape[0]), "y": y.tolist()}
+
+    @staticmethod
+    def _validate(X: np.ndarray, n_features: int) -> None:
+        # Mirrors MicroBatcher.submit's gate so single-flight mode rejects
+        # exactly what batched mode rejects (and with the check_array
+        # wording the local path uses).
+        if X.shape[1] != n_features:
+            raise ValueError(f"Expected shape (n, {n_features}), got {X.shape}.")
+        if X.shape[0] == 0:
+            raise ValueError("Empty input array.")
+        if not np.all(np.isfinite(X)):
+            raise ValueError("Input contains NaN or infinity.")
+
+    def _ask(self, fields: dict) -> dict:
+        name, hosted = self._hosted(fields)
+        if hosted.advisor is None:
+            raise _RequestError(f"model {name!r} does not host an advisor")
+        question = fields.get("question")
+        if question not in ("stq", "bq"):
+            raise _RequestError(f"question must be 'stq' or 'bq', got {question!r}")
+        try:
+            n_occupied = int(fields["n_occupied"])
+            n_virtual = int(fields["n_virtual"])
+        except (KeyError, TypeError, ValueError):
+            raise _RequestError("ask needs integer n_occupied and n_virtual")
+        try:
+            answer = hosted.advisor.answer(question, n_occupied, n_virtual)
+        except ValueError as exc:
+            raise _RequestError(str(exc))
+        return {"model": name, "answer": answer.as_dict()}
+
+    def _health(self) -> dict:
+        return {
+            "status": "ok",
+            "protocol": SERVE_PROTOCOL_VERSION,
+            "models": sorted(self.models),
+            "micro_batch": self.micro_batch,
+            "uptime_s": time.monotonic() - self._started_at,
+            "pid": os.getpid(),
+        }
+
+    def stats(self) -> dict:
+        """Server counters; also what the ``stats`` endpoint returns."""
+        models = {}
+        for name, hosted in self.models.items():
+            models[name] = {
+                "n_features": hosted.n_features,
+                "advisor": hosted.advisor is not None,
+                "batcher": hosted.batcher.stats() if hosted.batcher else None,
+            }
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "micro_batch": self.micro_batch,
+            "requests": dict(self._counters),
+            "errors": self._error_count,
+            "models": models,
+            "registry": self.registry.stats() if self.registry else None,
+        }

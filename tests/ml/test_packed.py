@@ -368,3 +368,101 @@ class TestPackedPickleForm:
             assert np.array_equal(ours.predict(X_new), theirs.predict(X_new))
         with pytest.raises(ValueError, match="version"):
             unpack_trees_state({"version": 999, "packed": packed, "tree_params": []})
+
+
+class TestServingEdgeCases:
+    """Edge cases the online serving path (PR 5) hits: 0-row inputs,
+    single-sample batches, and leaf-only (depth-0) trees — all pinned
+    bit-identical to the per-tree object path."""
+
+    def test_zero_row_X_through_the_engine(self):
+        trees, _, _ = _fit_random_trees(seed=71)
+        packed = PackedEnsemble.from_trees(trees)
+        X0 = np.empty((0, trees[0].n_features_in_))
+        assert packed.apply(X0).shape == (0, len(trees))
+        assert packed.leaf_values(X0).shape == (0, len(trees))
+        assert packed.leaf_values(X0, tree_major=True).shape == (len(trees), 0)
+        assert packed.accumulate(X0, init=1.5, scale=0.1).shape == (0,)
+
+    def test_zero_row_X_rejected_identically_at_the_estimator(self):
+        X, y, _ = _make_data(seed=72)
+        gb = GradientBoostingRegressor(n_estimators=4, max_depth=3, random_state=0).fit(X, y)
+        X0 = np.empty((0, X.shape[1]))
+        # The packed-backed predict and the historical per-tree object path
+        # share check_array's gate: both refuse an empty matrix, loudly.
+        with pytest.raises(ValueError, match="Empty input"):
+            gb.predict(X0)
+        with pytest.raises(ValueError, match="Empty input"):
+            gb.estimators_[0].predict(X0)
+
+    @pytest.mark.parametrize("seed", [73, 74])
+    def test_single_sample_batches_match_full_matrix(self, seed):
+        """The micro-batching decomposition property at the engine level:
+        predicting row i alone is byte-identical to row i of any batch."""
+        trees, _, X_new = _fit_random_trees(seed=seed)
+        packed = PackedEnsemble.from_trees(trees)
+        full_leaves = packed.leaf_values(X_new)
+        full_acc = packed.accumulate(X_new, init=2.0, scale=0.05)
+        for i in range(len(X_new)):
+            row = X_new[i:i + 1]
+            assert np.array_equal(packed.leaf_values(row)[0], full_leaves[i])
+            assert packed.accumulate(row, init=2.0, scale=0.05)[0] == full_acc[i]
+
+    def test_single_sample_gb_predict_matches_object_path(self):
+        X, y, X_new = _make_data(seed=75)
+        gb = GradientBoostingRegressor(n_estimators=8, max_depth=3, random_state=0).fit(X, y)
+        batch = gb.predict(X_new)
+        for i in range(0, len(X_new), 7):
+            row = X_new[i:i + 1]
+            reference = np.full(1, gb.init_)
+            for tree in gb.estimators_:
+                reference += gb.learning_rate * tree.predict(row)
+            assert gb.predict(row)[0] == reference[0]
+            assert gb.predict(row)[0] == batch[i]
+
+    def test_leaf_only_trees_traverse_and_aggregate(self):
+        X, y, X_new = _make_data(seed=76)
+        # min_samples_split beyond n forbids any split: every member is a
+        # single root leaf, the depth-0 extreme of the traversal.
+        trees = [
+            DecisionTreeRegressor(min_samples_split=10**9, random_state=i).fit(X, y + i)
+            for i in range(3)
+        ]
+        assert all(t.n_nodes_ == 1 for t in trees)
+        packed = PackedEnsemble.from_trees(trees)
+        assert packed._traversal().max_depth == 0
+        assert np.array_equal(
+            packed.apply(X_new),
+            np.tile(packed.offsets[:-1], (len(X_new), 1)),
+        )
+        assert np.array_equal(
+            packed.leaf_values(X_new),
+            np.column_stack([t.predict(X_new) for t in trees]),
+        )
+        reference = np.full(len(X_new), 0.5)
+        for tree in trees:
+            reference += 0.1 * tree.predict(X_new)
+        assert np.array_equal(packed.accumulate(X_new, init=0.5, scale=0.1), reference)
+
+    def test_mixed_depths_share_one_arena(self):
+        """Root-only members riding alongside deep members: the self-looping
+        leaves must park finished pairs while deep trees keep routing."""
+        deep_trees, X, X_new = _fit_random_trees(seed=77)
+        stumps = [DecisionTreeRegressor(min_samples_split=10**9).fit(X, X[:, 0])]
+        trees = [deep_trees[0], stumps[0], deep_trees[1]]
+        packed = PackedEnsemble.from_trees(trees)
+        assert np.array_equal(
+            packed.leaf_values(X_new),
+            np.column_stack([t.predict(X_new) for t in trees]),
+        )
+
+    def test_leaf_only_gb_ensemble_matches_object_path(self):
+        X, y, X_new = _make_data(seed=78)
+        gb = GradientBoostingRegressor(
+            n_estimators=5, min_samples_split=10**9, random_state=0
+        ).fit(X, y)
+        assert all(t.n_nodes_ == 1 for t in gb.estimators_)
+        reference = np.full(len(X_new), gb.init_)
+        for tree in gb.estimators_:
+            reference += gb.learning_rate * tree.predict(X_new)
+        assert np.array_equal(gb.predict(X_new), reference)

@@ -1,0 +1,112 @@
+"""Tests for the shared framing module (``repro.parallel.wire``).
+
+The framing contract has a single source of truth consumed by both the memo
+service and the serve service; these tests pin the helpers directly, plus
+the fact that both services actually import them (no drifted copies).
+"""
+
+import io
+
+import pytest
+
+from repro.parallel import service, wire
+from repro.parallel.wire import (
+    LEN,
+    MAX_FRAME,
+    ProtocolError,
+    pack_str,
+    parse_hostport_url,
+    read_exact,
+    read_frame,
+    unpack_str,
+    write_frame,
+)
+
+
+class TestStrFields:
+    def test_round_trip(self):
+        payload = pack_str("hello") + pack_str("wörld")
+        value, offset = unpack_str(payload, 0)
+        assert value == "hello"
+        value, offset = unpack_str(payload, offset)
+        assert value == "wörld"
+        assert offset == len(payload)
+
+    def test_truncated_length_prefix_raises(self):
+        with pytest.raises(ProtocolError):
+            unpack_str(b"\x00", 0)
+
+    def test_truncated_body_raises(self):
+        blob = pack_str("hello")[:-2]
+        with pytest.raises(ProtocolError):
+            unpack_str(blob, 0)
+
+    def test_oversized_string_raises(self):
+        with pytest.raises(ProtocolError):
+            pack_str("x" * 0x10000)
+
+
+class TestFrames:
+    def test_round_trip(self):
+        buf = io.BytesIO()
+        write_frame(buf, b"payload-bytes")
+        buf.seek(0)
+        assert read_frame(buf) == b"payload-bytes"
+
+    def test_short_read_is_a_dead_peer(self):
+        buf = io.BytesIO(LEN.pack(100) + b"only-a-few")
+        with pytest.raises(ProtocolError):
+            read_frame(buf)
+
+    def test_zero_length_frame_rejected(self):
+        buf = io.BytesIO(LEN.pack(0))
+        with pytest.raises(ProtocolError):
+            read_frame(buf)
+
+    def test_oversized_length_rejected_before_allocation(self):
+        buf = io.BytesIO(LEN.pack(MAX_FRAME + 1))
+        with pytest.raises(ProtocolError):
+            read_frame(buf)
+
+    def test_read_exact_reassembles_chunks(self):
+        class Dribble:
+            def __init__(self, data):
+                self.data = data
+
+            def read(self, n):
+                take, self.data = self.data[:1], self.data[1:]
+                return take
+
+        assert read_exact(Dribble(b"abcdef"), 6) == b"abcdef"
+
+
+class TestUrlParsing:
+    def test_round_trip(self):
+        assert parse_hostport_url("x://h:80", "x://") == ("h", 80)
+        assert parse_hostport_url("x://h:80/", "x://") == ("h", 80)
+
+    @pytest.mark.parametrize(
+        "bad", ["x://", "x://hostonly", "x://h:nan", "x://h:0", "x://h:99999", "y://h:80"]
+    )
+    def test_junk_is_a_loud_config_error(self, bad):
+        with pytest.raises(ValueError):
+            parse_hostport_url(bad, "x://")
+
+
+class TestSingleSourceOfTruth:
+    def test_memo_service_consumes_wire(self):
+        # The memo service's historical private names must be the wire
+        # objects themselves, not drifted copies of the framing contract.
+        assert service._LEN is wire.LEN
+        assert service._MAX_FRAME == wire.MAX_FRAME
+        assert service._pack_str is wire.pack_str
+        assert service._ProtocolError is wire.ProtocolError
+
+    def test_serve_service_consumes_wire(self):
+        from repro.serve import client as serve_client
+        from repro.serve import server as serve_server
+
+        assert serve_server.FrameService is wire.FrameService
+        assert serve_client.read_frame is wire.read_frame
+        assert serve_client.write_frame is wire.write_frame
+        assert serve_client.MAX_FRAME == wire.MAX_FRAME

@@ -1,0 +1,30 @@
+"""Shared fixtures for the serving-layer tests: one tiny fitted advisor.
+
+The serving contracts (parity, batching, registry round-trips) are
+model-size-independent, so the suite runs them against a deliberately small
+GB ensemble fitted once per session.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import ResourceAdvisor
+from repro.core.estimator import ResourceEstimator
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+
+
+@pytest.fixture(scope="session")
+def tiny_advisor(small_aurora_dataset) -> ResourceAdvisor:
+    """A fitted advisor over a 12-tree GB — small, but the real serving shape."""
+    estimator = ResourceEstimator(
+        model=GradientBoostingRegressor(n_estimators=12, max_depth=3, random_state=0)
+    )
+    return ResourceAdvisor.from_dataset(small_aurora_dataset, estimator=estimator)
+
+
+@pytest.fixture(scope="session")
+def probe_X(small_aurora_dataset) -> np.ndarray:
+    """A handful of real feature rows to predict on."""
+    return np.ascontiguousarray(small_aurora_dataset.X_test[:16])

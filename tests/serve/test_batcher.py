@@ -1,0 +1,162 @@
+"""Tests for the micro-batcher (``repro.serve.batcher``).
+
+The headline contract: a micro-batched prediction is byte-identical to
+predicting that request alone, for any interleaving of concurrent
+requests; a malformed request fails alone; a model error fails its batch
+and nothing else.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+
+
+class CountingPredict:
+    """Wrap a predict fn, counting calls and rows (thread-safe enough: the
+    batcher serialises all calls through one worker)."""
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+        self.rows = 0
+
+    def __call__(self, X):
+        self.calls += 1
+        self.rows += X.shape[0]
+        return self.fn(X)
+
+
+@pytest.fixture()
+def predict(tiny_advisor):
+    return CountingPredict(tiny_advisor.estimator.predict)
+
+
+class TestParity:
+    def test_single_request_matches_direct_call(self, predict, probe_X, tiny_advisor):
+        with MicroBatcher(predict, n_features=4) as batcher:
+            got = batcher.submit(probe_X)
+        assert np.array_equal(got, tiny_advisor.estimator.predict(probe_X))
+
+    def test_concurrent_single_rows_are_byte_identical(
+        self, predict, probe_X, tiny_advisor
+    ):
+        local = tiny_advisor.estimator.predict(probe_X)
+        results = {}
+        with MicroBatcher(predict, n_features=4) as batcher:
+            def worker(i):
+                out = []
+                for j in range(i, len(probe_X), 4):
+                    out.append((j, batcher.submit(probe_X[j:j + 1])[0]))
+                results[i] = out
+
+            threads = [threading.Thread(target=worker, args=(i,)) for i in range(4)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        for out in results.values():
+            for j, y in out:
+                assert y == local[j]
+
+    def test_coalesced_batch_is_byte_identical(self, tiny_advisor, probe_X):
+        """Force a known coalition: requests queued while the worker is busy
+        ride one batch, and each answer still equals the lone-request one."""
+        local = tiny_advisor.estimator.predict(probe_X)
+        release = threading.Event()
+        first_entered = threading.Event()
+
+        def gated_predict(X):
+            first_entered.set()
+            release.wait(timeout=10.0)
+            return tiny_advisor.estimator.predict(X)
+
+        batcher = MicroBatcher(gated_predict, n_features=4)
+        try:
+            results = [None] * 6
+
+            def submit(i):
+                results[i] = batcher.submit(probe_X[i:i + 1])[0]
+
+            threads = [threading.Thread(target=submit, args=(0,))]
+            threads[0].start()
+            assert first_entered.wait(timeout=10.0)
+            # These five arrive while request 0 is mid-traversal: they must
+            # coalesce into the next batch.
+            for i in range(1, 6):
+                threads.append(threading.Thread(target=submit, args=(i,)))
+                threads[-1].start()
+            while batcher._queue.qsize() < 5:  # noqa: SLF001 - deterministic gate
+                pass
+            release.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            stats = batcher.stats()
+            assert stats["requests"] == 6
+            assert stats["batches"] == 2
+            assert stats["batched_requests_max"] == 5
+            for i in range(6):
+                assert results[i] == local[i]
+        finally:
+            release.set()
+            batcher.close()
+
+
+class TestValidation:
+    def test_bad_requests_fail_alone_before_the_queue(self, predict):
+        with MicroBatcher(predict, n_features=4) as batcher:
+            with pytest.raises(ValueError, match="Expected shape"):
+                batcher.submit(np.zeros((2, 3)))
+            with pytest.raises(ValueError, match="Empty input"):
+                batcher.submit(np.zeros((0, 4)))
+            with pytest.raises(ValueError, match="NaN"):
+                batcher.submit(np.array([[1.0, 2.0, np.nan, 4.0]]))
+            with pytest.raises(ValueError):
+                batcher.submit(np.zeros(4))  # 1-D
+        assert predict.calls == 0  # nothing malformed ever reached the model
+
+    def test_model_error_hits_every_rider_and_worker_survives(self, tiny_advisor, probe_X):
+        fail = threading.Event()
+
+        def flaky_predict(X):
+            if fail.is_set():
+                raise RuntimeError("model exploded")
+            return tiny_advisor.estimator.predict(X)
+
+        with MicroBatcher(flaky_predict, n_features=4) as batcher:
+            fail.set()
+            with pytest.raises(RuntimeError, match="model exploded"):
+                batcher.submit(probe_X[:2])
+            fail.clear()
+            # The worker is still alive and serving.
+            got = batcher.submit(probe_X[:2])
+            assert np.array_equal(got, tiny_advisor.estimator.predict(probe_X[:2]))
+            assert batcher.stats()["errors"] == 1
+
+    def test_submit_after_close_raises(self, predict, probe_X):
+        batcher = MicroBatcher(predict, n_features=4)
+        batcher.close()
+        batcher.close()  # idempotent
+        with pytest.raises(RuntimeError, match="closed"):
+            batcher.submit(probe_X[:1])
+
+    def test_oversized_single_request_still_runs_alone(self, predict, probe_X, tiny_advisor):
+        with MicroBatcher(predict, n_features=4, max_batch_rows=4) as batcher:
+            got = batcher.submit(probe_X)  # 16 rows > cap of 4
+        assert np.array_equal(got, tiny_advisor.estimator.predict(probe_X))
+
+    def test_stats_are_coherent(self, predict, probe_X):
+        with MicroBatcher(predict, n_features=4) as batcher:
+            batcher.submit(probe_X[:3])
+            batcher.submit(probe_X[:1])
+        stats = batcher.stats()
+        assert stats["requests"] == 2
+        assert stats["rows"] == 4
+        assert stats["batches"] >= 1
+        assert stats["requests_per_batch_mean"] == pytest.approx(
+            stats["requests"] / stats["batches"]
+        )

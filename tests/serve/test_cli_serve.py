@@ -1,0 +1,147 @@
+"""End-to-end test of the ``repro-chem serve`` / ``repro-chem query`` CLI.
+
+One real server subprocess serves one reduced-size fit; the test pins the
+served-vs-local parity bar against an identically-configured local fit and
+drives the ``query`` subcommand against the same process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+import repro
+from repro.cli import _serve_fit_advisor
+from repro.serve import ServeClient
+
+_SERVE_ARGS = dict(
+    machine="aurora", preset="fast", seed=0, rows=150, trees=12, depth=3
+)
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(Path(repro.__file__).resolve().parents[1]) + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    return env
+
+
+@pytest.fixture(scope="module")
+def serve_proc(tmp_path_factory):
+    """A real `repro-chem serve` process on an ephemeral port."""
+    registry = tmp_path_factory.mktemp("registry")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--rows", str(_SERVE_ARGS["rows"]),
+            "--trees", str(_SERVE_ARGS["trees"]),
+            "--depth", str(_SERVE_ARGS["depth"]),
+            "--port", "0",
+            "--registry", str(registry),
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=_env(),
+    )
+    url = None
+    lines = []
+    try:
+        for line in proc.stdout:
+            lines.append(line)
+            if "listening on serve://" in line:
+                url = line.rsplit("listening on ", 1)[1].strip()
+                break
+        assert url, "".join(lines)
+        assert any("published model=" in line for line in lines), "".join(lines)
+        yield url
+    finally:
+        proc.terminate()
+        proc.wait(timeout=10)
+
+
+@pytest.fixture(scope="module")
+def local_advisor():
+    """The same fit the server performed, built locally through the same path."""
+    return _serve_fit_advisor(argparse.Namespace(**_SERVE_ARGS))
+
+
+class TestServeProcess:
+    def test_served_predictions_match_local_fit_byte_for_byte(
+        self, serve_proc, local_advisor
+    ):
+        X = np.array(
+            [[44.0, 260.0, 5.0, 40.0], [99.0, 718.0, 40.0, 80.0], [134.0, 951.0, 80.0, 60.0]]
+        )
+        client = ServeClient(serve_proc)
+        try:
+            assert np.array_equal(
+                client.predict(X), local_advisor.estimator.predict(X)
+            )
+            served = client.ask("bq", 99, 718)
+            assert served == local_advisor.answer("bq", 99, 718).as_dict()
+        finally:
+            client.close()
+
+    def test_query_subcommand_round_trip(self, serve_proc, local_advisor):
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "query", "predict",
+                "--url", serve_proc, "--features", "44,260,5,40",
+            ],
+            capture_output=True, text=True, env=_env(), timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        expected = local_advisor.estimator.predict(np.array([[44.0, 260.0, 5.0, 40.0]]))[0]
+        # The CLI prints the full-precision repr: parity survives the text.
+        assert repr(float(expected)) in out.stdout
+
+        out = subprocess.run(
+            [
+                sys.executable, "-m", "repro.cli", "query", "stq",
+                "--url", serve_proc, "-O", "99", "-V", "718",
+            ],
+            capture_output=True, text=True, env=_env(), timeout=60,
+        )
+        assert out.returncode == 0, out.stderr
+        answer = local_advisor.answer("stq", 99, 718)
+        assert f"nodes={answer.n_nodes}, tile={answer.tile_size}" in out.stdout
+
+    def test_query_health_and_dead_server_error(self, serve_proc, capsys):
+        # In-process main() keeps these paths cheap; the subprocess spawn
+        # above already proved the real-process wiring.
+        from repro.cli import main
+
+        assert main(["query", "health", "--url", serve_proc]) == 0
+        assert '"status": "ok"' in capsys.readouterr().out
+
+        assert main(["query", "stats", "--url", serve_proc]) == 0
+        assert '"requests"' in capsys.readouterr().out
+
+        assert main(["query", "ping", "--url", "serve://127.0.0.1:1", "--timeout", "1"]) == 1
+        assert "no response" in capsys.readouterr().out
+
+        code = main(["query", "stq", "--url", "serve://127.0.0.1:1", "--timeout", "1"])
+        captured = capsys.readouterr()
+        assert code == 2 and "needs -O and -V" in captured.err
+
+        code = main(
+            ["query", "predict", "--url", serve_proc,
+             "--features", "44,260,5,40", "--features", "1,2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 2 and "same number of values" in captured.err
+
+        code = main(
+            ["query", "stq", "--url", "serve://127.0.0.1:1", "--timeout", "1",
+             "-O", "99", "-V", "718"]
+        )
+        captured = capsys.readouterr()
+        assert code == 1 and "query:" in captured.err  # clean error, no traceback

@@ -1,0 +1,122 @@
+"""Tests for the content-addressed model registry (``repro.serve.registry``)."""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.serve.registry import (
+    REGISTRY_FORMAT_VERSION,
+    _MAGIC,
+    ModelRegistry,
+    warm_model,
+)
+
+
+@pytest.fixture()
+def registry(tmp_path) -> ModelRegistry:
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublishLoad:
+    def test_round_trip_predictions_are_bit_identical(
+        self, registry, tiny_advisor, probe_X
+    ):
+        digest = registry.publish(tiny_advisor, name="aurora-tiny")
+        loaded = registry.load("aurora-tiny")
+        assert loaded is not None
+        assert np.array_equal(
+            loaded.estimator.predict(probe_X), tiny_advisor.estimator.predict(probe_X)
+        )
+        # The advisor surface survives too.
+        assert loaded.answer("stq", 99, 718) == tiny_advisor.answer("stq", 99, 718)
+        assert registry.resolve("aurora-tiny") == digest
+
+    def test_artifacts_are_content_addressed(self, registry, tiny_advisor):
+        first = registry.publish(tiny_advisor, name="a")
+        second = registry.publish(tiny_advisor, name="b")
+        # Same fitted bytes -> same digest, one artifact, two aliases.
+        assert first == second
+        assert registry.artifacts() == [first]
+        assert set(registry.aliases()) == {"a", "b"}
+
+    def test_load_by_digest(self, registry, tiny_advisor, probe_X):
+        digest = registry.publish(tiny_advisor)
+        loaded = registry.load(digest)
+        assert np.array_equal(
+            loaded.estimator.predict(probe_X), tiny_advisor.estimator.predict(probe_X)
+        )
+
+    def test_alias_repoints_atomically(self, registry, tiny_advisor):
+        d1 = registry.publish(tiny_advisor, name="deployed", meta={"gen": 1})
+        d2 = registry.publish({"other": "model-like"}, name="deployed", meta={"gen": 2})
+        assert d1 != d2
+        assert registry.resolve("deployed") == d2
+        # The superseded artifact stays addressable by digest.
+        assert sorted(registry.artifacts()) == sorted([d1, d2])
+        assert registry.aliases()["deployed"]["meta"] == {"gen": 2}
+
+    def test_unknown_alias_is_a_miss(self, registry):
+        assert registry.load("never-published") is None
+        assert registry.stats()["misses"] == 1
+
+    def test_bad_alias_name_is_a_loud_error(self, registry, tiny_advisor):
+        with pytest.raises(ValueError, match="alias"):
+            registry.publish(tiny_advisor, name="../escape")
+        with pytest.raises(ValueError, match="alias"):
+            registry._alias_path("a/b")
+
+
+class TestCorruptionTolerance:
+    def test_truncated_artifact_reads_as_miss_and_is_discarded(
+        self, registry, tiny_advisor
+    ):
+        digest = registry.publish(tiny_advisor, name="m")
+        path = registry.artifact_path(digest)
+        path.write_bytes(path.read_bytes()[: len(_MAGIC) + 10])
+        assert registry.load("m") is None
+        assert registry.stats()["errors"] == 1
+        assert not path.exists()
+
+    def test_version_stale_artifact_reads_as_miss(self, registry, tiny_advisor):
+        digest = registry.publish(tiny_advisor, name="m")
+        path = registry.artifact_path(digest)
+        stale = bytes([REGISTRY_FORMAT_VERSION + 1])
+        path.write_bytes(b"RPMODEL" + stale + b"\n" + b"x" * 32)
+        assert registry.load("m") is None
+
+    def test_content_digest_mismatch_reads_as_miss(self, registry):
+        # A well-formed payload parked at the wrong address must not load:
+        # the digest is re-verified against the bytes on every read.
+        digest = "ab" * 20
+        blob = _MAGIC + pickle.dumps({"valid": "pickle"})
+        path = registry.artifact_path(digest)
+        path.parent.mkdir(parents=True)
+        path.write_bytes(blob)
+        assert registry.load(digest) is None
+        assert registry.stats()["errors"] == 1
+
+    def test_garbled_alias_reads_as_miss(self, registry, tiny_advisor):
+        registry.publish(tiny_advisor, name="m")
+        (registry.root / "aliases" / "m.json").write_text("{not json")
+        assert registry.load("m") is None
+
+
+class TestWarmLoading:
+    def test_load_warms_packed_arena_and_traversal(self, registry, tiny_advisor):
+        registry.publish(tiny_advisor, name="m")
+        loaded = registry.load("m")
+        gb = loaded.estimator.model_
+        # The arena and its lazily-built traversal tables exist before the
+        # first request, so serving never pays the one-off build.
+        assert gb._packed is not None
+        assert gb._packed._trav is not None
+
+    def test_warm_model_tolerates_unpackable_models(self):
+        class Bare:
+            pass
+
+        bare = Bare()
+        assert warm_model(bare) is bare

@@ -25,6 +25,22 @@ class TestParser:
         assert args.command == "simulate"
         assert args.occupied == 44 and args.virtual == 260
 
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert capsys.readouterr().out.strip() == f"repro-chem {repro.__version__}"
+
+    def test_serve_and_query_args(self):
+        args = build_parser().parse_args(["serve", "--port", "0", "--single-flight"])
+        assert args.command == "serve"
+        assert args.port == 0 and args.single_flight and args.preset == "fast"
+        args = build_parser().parse_args(
+            ["query", "predict", "--url", "serve://h:7601", "--features", "44,260,5,40"]
+        )
+        assert args.command == "query"
+        assert args.action == "predict" and args.features == ["44,260,5,40"]
+
 
 class TestCommands:
     def test_simulate_prints_breakdown(self, capsys):
