@@ -136,6 +136,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_cmp.add_argument("--seed", type=int, default=0)
     p_cmp.add_argument("--max-train", type=int, default=600)
     p_cmp.add_argument(
+        "--tree-method",
+        choices=["exact", "hist"],
+        default="exact",
+        help="Split-search engine for the tree-based models (DT/GB).",
+    )
+    p_cmp.add_argument(
         "--jobs",
         type=_jobs_spec,
         default=1,
@@ -191,6 +197,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_serve.add_argument(
         "--depth", type=int, default=None, help="Override GB max_depth (default: preset)."
+    )
+    p_serve.add_argument(
+        "--tree-method",
+        choices=["exact", "hist"],
+        default="exact",
+        help="Split-search engine for the GB fit (hist cuts cold-start fit time).",
     )
     p_serve.add_argument(
         "--registry",
@@ -327,6 +339,7 @@ def _cmd_compare_models(args: argparse.Namespace) -> int:
         seed=args.seed,
         max_train_samples=args.max_train,
         n_jobs=args.jobs,
+        tree_method=args.tree_method,
     )
     print(format_model_comparison(results))
     best = max(results, key=lambda r: r.r2)
@@ -394,6 +407,10 @@ def _serve_model_name(args: argparse.Namespace) -> str:
         name += f"-gb{args.trees or 'p'}x{args.depth or 'p'}"
     if args.rows is not None:
         name += f"-rows{args.rows}"
+    if getattr(args, "tree_method", "exact") != "exact":
+        # Hist-fitted trees are not guaranteed byte-identical to exact ones,
+        # so the artifacts get distinct registry aliases.
+        name += f"-{args.tree_method}"
     return name
 
 
@@ -409,7 +426,10 @@ def _serve_fit_advisor(args: argparse.Namespace):
 
     dataset = build_dataset(args.machine, seed=args.seed, n_total=args.rows)
     estimator = None
-    if args.trees is not None or args.depth is not None:
+    # Scripted callers (tests, CI snippets) build bare Namespaces; missing
+    # knobs mean the exact-engine default.
+    tree_method = getattr(args, "tree_method", "exact")
+    if args.trees is not None or args.depth is not None or tree_method != "exact":
         from repro.ml.gradient_boosting import GradientBoostingRegressor
 
         params = dict(PAPER_GB_PARAMS if args.preset == "paper" else FAST_GB_PARAMS)
@@ -417,6 +437,8 @@ def _serve_fit_advisor(args: argparse.Namespace):
             params["n_estimators"] = args.trees
         if args.depth is not None:
             params["max_depth"] = args.depth
+        if tree_method != "exact":
+            params["tree_method"] = tree_method
         # random_state=0 matches what ResourceEstimator builds by default,
         # so a --trees/--depth fit is reproducible from its name alone.
         estimator = ResourceEstimator(
@@ -458,6 +480,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                     "rows": args.rows,
                     "trees": args.trees,
                     "depth": args.depth,
+                    "tree_method": args.tree_method,
                 },
             )
             print(

@@ -173,22 +173,45 @@ def _compare_one_model(task: tuple) -> list[ModelComparisonResult]:
     """
     from repro.parallel.store import get_store
 
-    (machine, key, strategies, scale, cv, seed, search_jobs, X_train, y_train, X_test, y_test) = task
+    (
+        machine,
+        key,
+        strategies,
+        scale,
+        cv,
+        seed,
+        search_jobs,
+        tree_method,
+        X_train,
+        y_train,
+        X_test,
+        y_test,
+    ) = task
     spec = get_model_spec(key)
     grid = spec.grid(scale)
     store = get_store()
     results: list[ModelComparisonResult] = []
     for strategy in strategies:
+        estimator = spec.factory()
+        # Tree-based models opt into the requested split-search engine; the
+        # rest of the zoo has no such knob and runs unchanged.
+        applies = tree_method != "exact" and "tree_method" in estimator.get_params()
+        if applies:
+            estimator.set_params(tree_method=tree_method)
         memo_key = None
         if store is not None:
             memo_key = _sweep_memo_key(
                 machine, key, strategy, grid, scale, cv, seed, X_train, y_train, X_test, y_test
             )
+            if applies:
+                # Appended only for non-default engines so results memoised
+                # before the knob existed stay addressable.
+                memo_key = memo_key + (("tree_method", tree_method),)
             stored = _load_sweep_result(store, memo_key)
             if stored is not None:
                 results.append(stored)
                 continue
-        search = _make_search(strategy, spec.factory(), grid, cv=cv, seed=seed, n_jobs=search_jobs)
+        search = _make_search(strategy, estimator, grid, cv=cv, seed=seed, n_jobs=search_jobs)
         t0 = time.perf_counter()
         search.fit(X_train, y_train)
         elapsed = time.perf_counter() - t0
@@ -220,6 +243,7 @@ def run_model_comparison(
     seed: int = 0,
     max_train_samples: Optional[int] = None,
     n_jobs: int = 1,
+    tree_method: str = "exact",
 ) -> list[ModelComparisonResult]:
     """Tune every model with every search strategy and score it on the test set.
 
@@ -245,7 +269,15 @@ def run_model_comparison(
         Worker processes for the sweep.  ``1`` runs serially; ``N > 1``
         distributes whole models (all their strategies) over a process pool;
         ``-1`` uses every CPU.  Results are identical for any ``n_jobs``.
+    tree_method:
+        Split-search engine for the tree-based models (``"exact"`` or
+        ``"hist"``, see :mod:`repro.ml.tree`); models without the knob
+        are unaffected.
     """
+    if tree_method not in ("exact", "hist"):
+        raise ValueError(
+            f"Unknown tree_method {tree_method!r}; expected 'exact' or 'hist'."
+        )
     model_keys = [m.upper() for m in (models if models is not None else MODEL_ZOO.keys())]
     X_train, y_train = dataset.X_train, dataset.y_train
     if max_train_samples is not None and max_train_samples < len(y_train):
@@ -268,6 +300,7 @@ def run_model_comparison(
             cv,
             seed,
             search_jobs,
+            tree_method,
             X_train,
             y_train,
             X_test,

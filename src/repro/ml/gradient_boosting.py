@@ -33,6 +33,7 @@ from repro.ml.base import (
 )
 from repro.ml.packed import PackedTreesMixin
 from repro.ml.tree import DecisionTreeRegressor
+from repro.parallel.cache import FeatureBins, feature_bins
 
 __all__ = ["GradientBoostingRegressor"]
 
@@ -52,6 +53,11 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
         When ``n_iter_no_change`` is set, a validation split is carved out and
         boosting stops once the validation loss has not improved by ``tol``
         for that many consecutive iterations.
+    tree_method, max_bins:
+        Split-search engine for the stage trees — ``"exact"`` (default) or
+        ``"hist"`` (see :mod:`repro.ml.tree`).  With ``"hist"`` the training
+        matrix is quantised once per fit and every boosting stage reuses the
+        same binning (subsampled stages take the row subset of the codes).
     """
 
     def __init__(
@@ -68,6 +74,8 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
         validation_fraction: float = 0.1,
         tol: float = 1e-4,
         random_state: Any = None,
+        tree_method: str = "exact",
+        max_bins: int = 255,
     ) -> None:
         self.n_estimators = n_estimators
         self.learning_rate = learning_rate
@@ -81,6 +89,8 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
         self.validation_fraction = validation_fraction
         self.tol = tol
         self.random_state = random_state
+        self.tree_method = tree_method
+        self.max_bins = max_bins
 
     def _negative_gradient(self, y: np.ndarray, pred: np.ndarray) -> np.ndarray:
         if self.loss == "squared_error":
@@ -122,6 +132,10 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
             raise ValueError("learning_rate must be positive.")
         if not 0.0 < self.subsample <= 1.0:
             raise ValueError("subsample must be in (0, 1].")
+        if self.tree_method not in ("exact", "hist"):
+            raise ValueError(
+                f"Unknown tree_method {self.tree_method!r}; expected 'exact' or 'hist'."
+            )
         X, y = check_X_y(X, y)
         rng = check_random_state(self.random_state)
 
@@ -137,6 +151,12 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
             X, y = X[train_idx], y[train_idx]
 
         n_samples = X.shape[0]
+        # With the hist method the (post-carve) training matrix is quantised
+        # exactly once; every stage — and, via the content-addressed cache,
+        # every repeated fit on the same matrix — reuses the binning.
+        bins: Optional[FeatureBins] = (
+            feature_bins(X, self.max_bins) if self.tree_method == "hist" else None
+        )
         self.init_ = float(np.mean(y)) if self.loss == "squared_error" else float(np.median(y))
         pred = np.full(n_samples, self.init_)
         val_pred = np.full(len(y_val), self.init_) if y_val is not None else None
@@ -165,14 +185,38 @@ class GradientBoostingRegressor(PackedTreesMixin, BaseEstimator, RegressorMixin)
                 min_samples_leaf=self.min_samples_leaf,
                 max_features=self.max_features,
                 random_state=int(rng.integers(0, 2**31 - 1)),
+                tree_method=self.tree_method,
+                max_bins=self.max_bins,
             )
             # Subsampled stages fit a fresh one-use matrix: bypass the presort
             # cache (no possible hit) so it keeps the reusable full matrices.
-            tree.fit(X_stage, residual_stage, use_presort_cache=idx is None)
+            # The hist binning survives subsampling — stages hand the tree the
+            # row subset of the once-computed codes instead of re-binning.
+            # Full-sample squared-error hist stages also capture the tree's
+            # training predictions during the build (bit-identical to
+            # ``tree.predict(X)``) so the stage update needs no traversal;
+            # absolute-error leaves are re-valued after the fit, so the
+            # captured values would be stale there.
+            capture = (
+                idx is None
+                and self.tree_method == "hist"
+                and self.loss == "squared_error"
+            )
+            tree.fit(
+                X_stage,
+                residual_stage,
+                use_presort_cache=idx is None,
+                bins=bins if idx is None else (None if bins is None else bins.take(idx)),
+                capture_train_prediction=capture,
+            )
             if self.loss == "absolute_error":
                 residual_abs = (y - pred) if idx is None else (y - pred)[idx]
                 self._update_leaves_absolute(tree, X_stage, residual_abs)
-            pred += self.learning_rate * tree.predict(X)
+            if capture:
+                pred += self.learning_rate * tree.train_prediction_
+                del tree.train_prediction_  # keep the pickled tree lean
+            else:
+                pred += self.learning_rate * tree.predict(X)
             self.estimators_.append(tree)
             self.train_score_.append(self._loss_value(y, pred))
 

@@ -32,7 +32,7 @@ from __future__ import annotations
 import hashlib
 import threading
 from collections import OrderedDict
-from typing import Any, Mapping, Optional
+from typing import Any, Mapping, NamedTuple, Optional
 
 import numpy as np
 
@@ -43,6 +43,9 @@ __all__ = [
     "cv_splits",
     "feature_moments",
     "feature_presort",
+    "FeatureBins",
+    "compute_feature_bins",
+    "feature_bins",
     "candidate_eval_get",
     "candidate_eval_put",
     "estimator_token",
@@ -96,6 +99,7 @@ class _LRUCache:
 _SPLIT_CACHE = _LRUCache(maxsize=32)
 _MOMENTS_CACHE = _LRUCache(maxsize=64)
 _PRESORT_CACHE = _LRUCache(maxsize=32)
+_BINS_CACHE = _LRUCache(maxsize=16)
 _CANDIDATE_CACHE = _LRUCache(maxsize=1024)
 
 
@@ -188,6 +192,99 @@ def feature_presort(X: np.ndarray) -> np.ndarray:
     return presort
 
 
+class FeatureBins(NamedTuple):
+    """Per-dataset feature quantisation backing the ``tree_method="hist"`` builder.
+
+    ``codes`` holds each sample's bin index per feature (``uint8``, so at most
+    255 bins); ``lower``/``upper`` record the smallest and largest *dataset*
+    value landing in each bin (``NaN``-padded to the widest feature), which is
+    what lets the histogram split scan place thresholds with the exact
+    builder's midpoint arithmetic.  When a feature has at most ``max_bins``
+    distinct values every value gets its own bin (``lower == upper``) and the
+    candidate thresholds are exactly the exact builder's candidate midpoints.
+    """
+
+    codes: np.ndarray  # (n_samples, n_features) uint8, read-only
+    n_bins: np.ndarray  # (n_features,) int64 — occupied bins per feature
+    lower: np.ndarray  # (n_features, max(n_bins)) float64, NaN-padded
+    upper: np.ndarray  # (n_features, max(n_bins)) float64, NaN-padded
+    max_bins: int
+
+    def take(self, rows: np.ndarray) -> "FeatureBins":
+        """Bins restricted to a row subset (same bin geometry, fewer codes).
+
+        Used by subsampled boosting stages: the dataset is binned once and
+        each stage's tree sees only its drawn rows.
+        """
+        return self._replace(codes=_freeze(self.codes[rows]))
+
+
+def compute_feature_bins(X: np.ndarray, max_bins: int = 255) -> FeatureBins:
+    """Quantile-bin every feature column of ``X`` into at most ``max_bins`` bins.
+
+    Features with at most ``max_bins`` distinct values get one bin per value;
+    wider features are cut at (sample-count) quantile boundaries between
+    distinct values, so no two samples sharing a value are ever separated.
+    """
+    if not 2 <= int(max_bins) <= 255:
+        raise ValueError("max_bins must be in [2, 255] (codes are uint8).")
+    max_bins = int(max_bins)
+    X = np.ascontiguousarray(np.asarray(X, dtype=np.float64))
+    n_samples, n_features = X.shape
+    codes = np.empty((n_samples, n_features), dtype=np.uint8)
+    lowers: list[np.ndarray] = []
+    uppers: list[np.ndarray] = []
+    for f in range(n_features):
+        col = X[:, f]
+        uniq, counts = np.unique(col, return_counts=True)
+        if uniq.size <= max_bins:
+            lo = hi = uniq
+        else:
+            # Cut between distinct values at equal-sample-count quantiles:
+            # ``cuts`` are the last distinct-value indices of all but the
+            # final bin.
+            cum = np.cumsum(counts)
+            targets = np.linspace(0.0, float(n_samples), max_bins + 1)[1:-1]
+            cuts = np.unique(np.searchsorted(cum, targets, side="left"))
+            cuts = cuts[cuts < uniq.size - 1]
+            lo = uniq[np.r_[0, cuts + 1]]
+            hi = uniq[np.r_[cuts, uniq.size - 1]]
+        # A value v belongs to the first bin whose upper bound is >= v.
+        codes[:, f] = np.searchsorted(hi, col, side="left")
+        lowers.append(lo)
+        uppers.append(hi)
+    n_bins = np.array([lo.size for lo in lowers], dtype=np.int64)
+    width = int(n_bins.max()) if n_features else 0
+    lower = np.full((n_features, width), np.nan)
+    upper = np.full((n_features, width), np.nan)
+    for f in range(n_features):
+        lower[f, : n_bins[f]] = lowers[f]
+        upper[f, : n_bins[f]] = uppers[f]
+    return FeatureBins(
+        codes=_freeze(codes),
+        n_bins=_freeze(n_bins),
+        lower=_freeze(lower),
+        upper=_freeze(upper),
+        max_bins=max_bins,
+    )
+
+
+def feature_bins(X: np.ndarray, max_bins: int = 255) -> FeatureBins:
+    """Cached :func:`compute_feature_bins`, keyed on content like ``feature_presort``.
+
+    Every boosting stage and every search candidate fitting a histogram tree
+    on the same matrix reuses one binning; the returned arrays are read-only.
+    """
+    X = np.ascontiguousarray(X)
+    key = (array_token(X), int(max_bins))
+    cached = _BINS_CACHE.get(key)
+    if cached is not None:
+        return cached
+    bins = compute_feature_bins(X, max_bins=max_bins)
+    _BINS_CACHE.put(key, bins)
+    return bins
+
+
 def estimator_token(estimator: Any, overrides: Optional[Mapping[str, Any]] = None) -> Optional[tuple]:
     """Stable memo token for an estimator's class and resolved parameters.
 
@@ -267,6 +364,7 @@ def clear_caches() -> None:
     _SPLIT_CACHE.clear()
     _MOMENTS_CACHE.clear()
     _PRESORT_CACHE.clear()
+    _BINS_CACHE.clear()
     _CANDIDATE_CACHE.clear()
     _store.reset_fit_count()
     store = _store.get_store()
@@ -289,6 +387,7 @@ def cache_stats(include_store: bool = True) -> dict[str, dict[str, int]]:
             ("cv_splits", _SPLIT_CACHE),
             ("feature_moments", _MOMENTS_CACHE),
             ("feature_presort", _PRESORT_CACHE),
+            ("feature_bins", _BINS_CACHE),
             ("candidate_eval", _CANDIDATE_CACHE),
         )
     }

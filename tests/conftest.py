@@ -59,6 +59,30 @@ def small_aurora_dataset(small_sweep_config) -> CCSDDataset:
 
 
 @pytest.fixture(scope="session")
+def fast_estimator_aurora(small_aurora_dataset):
+    """One fast-preset GB fit on the small Aurora train split.
+
+    Shared (read-only) by every test that just needs *a* fitted estimator:
+    ``ResourceEstimator(preset="fast").fit(X_train, y_train)`` is a pure
+    function of the dataset, so refitting it per test file only burns time.
+    Tests that exercise the fitting path itself still fit their own.
+    """
+    from repro.core.estimator import ResourceEstimator
+
+    return ResourceEstimator(preset="fast").fit(
+        small_aurora_dataset.X_train, small_aurora_dataset.y_train
+    )
+
+
+@pytest.fixture(scope="session")
+def fast_advisor_aurora(small_aurora_dataset):
+    """One fast-preset advisor over the small Aurora dataset (read-only)."""
+    from repro.core.advisor import ResourceAdvisor
+
+    return ResourceAdvisor.from_dataset(small_aurora_dataset, preset="fast")
+
+
+@pytest.fixture(scope="session")
 def small_frontier_dataset() -> CCSDDataset:
     config = SweepConfig(
         machine="frontier",

@@ -8,8 +8,9 @@ from repro.core.questions import ConfigurationSpace
 
 
 @pytest.fixture(scope="module")
-def advisor(small_aurora_dataset) -> ResourceAdvisor:
-    return ResourceAdvisor.from_dataset(small_aurora_dataset, preset="fast")
+def advisor(fast_advisor_aurora) -> ResourceAdvisor:
+    # The shared session-scoped advisor; these tests only read it.
+    return fast_advisor_aurora
 
 
 class TestAdvisor:
@@ -57,19 +58,17 @@ class TestAdvisor:
         assert len(answers) == 2
         assert {a.n_occupied for a in answers} == {44, 99}
 
-    def test_advisor_without_machine_uses_default_space(self, small_aurora_dataset):
-        est = ResourceEstimator(preset="fast").fit(
-            small_aurora_dataset.X_train, small_aurora_dataset.y_train
-        )
+    def test_advisor_without_machine_uses_default_space(self, fast_estimator_aurora):
         space = ConfigurationSpace(node_grid=[5, 20], tile_grid=[40, 80])
-        advisor = ResourceAdvisor(estimator=est, machine=None, default_space=space)
+        advisor = ResourceAdvisor(
+            estimator=fast_estimator_aurora, machine=None, default_space=space
+        )
         answer = advisor.shortest_time(99, 718)
         assert answer.n_nodes in (5, 20)
 
-    def test_advisor_without_machine_or_space_raises(self, small_aurora_dataset):
-        est = ResourceEstimator(preset="fast").fit(
-            small_aurora_dataset.X_train, small_aurora_dataset.y_train
+    def test_advisor_without_machine_or_space_raises(self, fast_estimator_aurora):
+        advisor = ResourceAdvisor(
+            estimator=fast_estimator_aurora, machine=None, default_space=None
         )
-        advisor = ResourceAdvisor(estimator=est, machine=None, default_space=None)
         with pytest.raises(ValueError):
             advisor.shortest_time(99, 718)

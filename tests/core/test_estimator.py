@@ -8,10 +8,9 @@ from repro.ml.linear import PolynomialRegression
 
 
 @pytest.fixture(scope="module")
-def fitted_estimator(small_aurora_dataset):
-    est = ResourceEstimator(preset="fast")
-    est.fit(small_aurora_dataset.X_train, small_aurora_dataset.y_train)
-    return est
+def fitted_estimator(fast_estimator_aurora):
+    # The shared session-scoped fit; these tests only read it.
+    return fast_estimator_aurora
 
 
 class TestFitting:

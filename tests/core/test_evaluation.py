@@ -92,11 +92,9 @@ class TestAggregation:
         with pytest.raises(ValueError):
             evaluate_question_predictions([])
 
-    def test_real_model_on_small_dataset(self, small_aurora_dataset):
-        from repro.core.estimator import ResourceEstimator
-
+    def test_real_model_on_small_dataset(self, fast_estimator_aurora, small_aurora_dataset):
         ds = small_aurora_dataset
-        est = ResourceEstimator(preset="fast").fit(ds.X_train, ds.y_train)
-        report = question_loss_report(ds.X_test, ds.y_test, est.predict(ds.X_test), "runtime")
+        preds = fast_estimator_aurora.predict(ds.X_test)
+        report = question_loss_report(ds.X_test, ds.y_test, preds, "runtime")
         assert report["r2"] > 0.8
         assert report["mape"] < 0.3

@@ -57,6 +57,28 @@ class TestModelComparison:
                 small_aurora_dataset, models=["DT"], strategies=("HalvingSearch",), cv=3
             )
 
+    def test_hist_tree_method_plumbs_through(self, small_aurora_dataset):
+        """``tree_method="hist"`` reaches the tree models and skips the rest."""
+        results = run_model_comparison(
+            small_aurora_dataset,
+            models=["DT", "BR"],
+            strategies=("GridSearchCV",),
+            scale="fast",
+            cv=3,
+            seed=0,
+            max_train_samples=80,
+            tree_method="hist",
+        )
+        assert {r.model for r in results} == {"DT", "BR"}
+        for r in results:
+            assert -1.0 <= r.r2 <= 1.0
+
+    def test_unknown_tree_method_rejected(self, small_aurora_dataset):
+        with pytest.raises(ValueError, match="tree_method"):
+            run_model_comparison(
+                small_aurora_dataset, models=["DT"], tree_method="approx"
+            )
+
     def test_strategy_constants_match_paper(self):
         assert SEARCH_STRATEGIES == ("GridSearchCV", "RandomizedSearchCV", "BayesSearchCV")
 

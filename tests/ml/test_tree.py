@@ -105,6 +105,64 @@ class TestSampleWeights:
         with pytest.raises(ValueError):
             DecisionTreeRegressor().fit(X, y, sample_weight=np.ones(2))
 
+    @pytest.mark.parametrize("method", ["exact", "hist"])
+    def test_zero_weight_run_does_not_mask_real_split(self, method):
+        """Regression: a leading zero-weight run made the left partition's
+        weight zero, the gain NaN, and NaN won ``argmax`` — silently
+        discarding the feature's real best split and leaving the node a leaf.
+        """
+        X = np.array([[0.0], [1.0], [2.0], [3.0], [4.0], [5.0]])
+        y = np.array([0.0, 0.0, 0.0, 10.0, 10.0, 10.0])
+        w = np.array([0.0, 0.0, 1.0, 1.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=1, tree_method=method).fit(
+            X, y, sample_weight=w
+        )
+        assert tree.n_nodes_ == 3
+        assert tree.threshold_[0] == 2.5
+        np.testing.assert_allclose(tree.predict(X), np.where(X.ravel() <= 2.5, 0.0, 10.0))
+
+    @pytest.mark.parametrize("method", ["exact", "hist"])
+    def test_interior_zero_weight_runs_still_split(self, method):
+        """Zero-weight runs in the middle of a feature's sort order must not
+        block splitting either side of them."""
+        X = np.arange(8, dtype=float).reshape(-1, 1)
+        y = np.array([0.0, 0.0, 3.0, 7.0, 0.0, 10.0, 10.0, 10.0])
+        w = np.array([1.0, 1.0, 0.0, 0.0, 0.0, 1.0, 1.0, 1.0])
+        tree = DecisionTreeRegressor(max_depth=1, tree_method=method).fit(
+            X, y, sample_weight=w
+        )
+        assert tree.n_nodes_ == 3
+        assert tree.predict(np.array([[0.0]]))[0] == pytest.approx(0.0)
+        assert tree.predict(np.array([[7.0]]))[0] == pytest.approx(10.0)
+
+
+class TestMinImpurityDecrease:
+    @pytest.mark.parametrize("method", ["exact", "hist"])
+    def test_threshold_gates_every_split(self, method):
+        """``min_impurity_decrease`` is consulted on every accepted split —
+        the historical ``node_sse <= 0`` escape hatch accepted positive-gain
+        splits without checking it."""
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.array([0.0, 0.0, 10.0, 10.0])
+        # Weighted SSE gain of the perfect split is 100 on these targets.
+        splits = DecisionTreeRegressor(
+            max_depth=1, min_impurity_decrease=99.0, tree_method=method
+        ).fit(X, y)
+        blocked = DecisionTreeRegressor(
+            max_depth=1, min_impurity_decrease=101.0, tree_method=method
+        ).fit(X, y)
+        assert splits.n_nodes_ == 3
+        assert blocked.n_nodes_ == 1
+
+    @pytest.mark.parametrize("method", ["exact", "hist"])
+    def test_zero_gain_split_rejected_even_without_threshold(self, method):
+        """A split must strictly reduce the SSE regardless of the setting."""
+        X = np.array([[0.0], [1.0], [2.0], [3.0]])
+        y = np.full(4, 2.0)
+        y[0] = 2.0  # constant target: every candidate split has zero gain
+        tree = DecisionTreeRegressor(max_depth=3, tree_method=method).fit(X, y)
+        assert tree.n_nodes_ == 1
+
 
 class TestIntrospection:
     def test_apply_returns_leaves(self, nonlinear_data):

@@ -1,0 +1,242 @@
+"""Contract tests for the histogram-binned split search (``tree_method="hist"``).
+
+The contract (see :mod:`repro.ml.tree`): on matrices whose features each take
+at most ``max_bins`` distinct values, every bin boundary is a real value gap,
+so the hist builder explores the exact builder's full candidate set and grows
+a **bit-identical** tree — same features, thresholds, node numbering, values.
+On genuinely continuous features the candidate set is coarser and the two
+trees may differ; there the contract is a bounded generalisation-quality gap,
+pinned here as an R² tolerance.
+
+One documented carve-out: when two different splits of a node have *exactly*
+equal weighted-SSE gains (identical induced partitions), float summation-order
+noise may break the tie differently in the two builders — both trees are
+equally optimal.  The fixtures below avoid manufactured exact ties, as any
+real dataset does with probability one.
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.ml.metrics import r2_score
+from repro.ml.tree import DecisionTreeRegressor
+from repro.parallel.cache import (
+    cache_stats,
+    clear_caches,
+    compute_feature_bins,
+    feature_bins,
+)
+
+
+def assert_trees_identical(a: DecisionTreeRegressor, b: DecisionTreeRegressor) -> None:
+    """Node-for-node structural equality (leaf thresholds are NaN == NaN)."""
+    assert np.array_equal(a.feature_, b.feature_)
+    assert np.array_equal(a.threshold_, b.threshold_, equal_nan=True)
+    assert np.array_equal(a.children_left_, b.children_left_)
+    assert np.array_equal(a.children_right_, b.children_right_)
+    assert np.array_equal(a.value_, b.value_)
+    assert np.array_equal(a.n_node_samples_, b.n_node_samples_)
+
+
+@pytest.fixture(scope="module")
+def discretised_data():
+    """Features with ~40 distinct values each: the bit-parity regime."""
+    rng = np.random.default_rng(42)
+    X = rng.integers(0, 40, size=(600, 5)).astype(float)
+    y = rng.normal(size=600) + 0.5 * X[:, 0] - 0.2 * X[:, 2]
+    w = rng.uniform(0.5, 2.0, size=600)
+    return X, y, w
+
+
+class TestBitParity:
+    @pytest.mark.parametrize("depth", [1, 2, 5, None])
+    def test_unweighted_tree_bit_identical(self, discretised_data, depth):
+        X, y, _ = discretised_data
+        exact = DecisionTreeRegressor(max_depth=depth).fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=depth, tree_method="hist").fit(X, y)
+        assert_trees_identical(exact, hist)
+
+    @pytest.mark.parametrize("depth", [1, 3, 6])
+    def test_weighted_tree_bit_identical(self, discretised_data, depth):
+        X, y, w = discretised_data
+        exact = DecisionTreeRegressor(max_depth=depth).fit(X, y, sample_weight=w)
+        hist = DecisionTreeRegressor(max_depth=depth, tree_method="hist").fit(
+            X, y, sample_weight=w
+        )
+        assert_trees_identical(exact, hist)
+
+    def test_min_samples_constraints_bit_identical(self, discretised_data):
+        X, y, _ = discretised_data
+        kwargs = dict(max_depth=None, min_samples_leaf=7, min_samples_split=20)
+        exact = DecisionTreeRegressor(**kwargs).fit(X, y)
+        hist = DecisionTreeRegressor(tree_method="hist", **kwargs).fit(X, y)
+        assert_trees_identical(exact, hist)
+
+    def test_predictions_bit_identical_off_training_grid(self, discretised_data):
+        X, y, _ = discretised_data
+        rng = np.random.default_rng(7)
+        X_new = rng.uniform(-1.0, 41.0, size=(300, 5))
+        exact = DecisionTreeRegressor(max_depth=6).fit(X, y)
+        hist = DecisionTreeRegressor(max_depth=6, tree_method="hist").fit(X, y)
+        assert np.array_equal(exact.predict(X_new), hist.predict(X_new))
+
+
+class TestContinuousTolerance:
+    def test_r2_gap_bounded_on_continuous_features(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(1500, 4))
+        f = lambda M: M[:, 0] ** 2 + np.sin(3.0 * M[:, 1]) + M[:, 2] * M[:, 3]
+        y = f(X) + 0.3 * rng.normal(size=len(X))
+        X_test = rng.normal(size=(500, 4))
+        y_test = f(X_test) + 0.3 * rng.normal(size=len(X_test))
+
+        exact = GradientBoostingRegressor(n_estimators=80, max_depth=6, random_state=0)
+        hist = GradientBoostingRegressor(
+            n_estimators=80, max_depth=6, random_state=0, tree_method="hist"
+        )
+        r2_exact = r2_score(y_test, exact.fit(X, y).predict(X_test))
+        r2_hist = r2_score(y_test, hist.fit(X, y).predict(X_test))
+        assert r2_hist > 0.75
+        # The documented tolerance: binning costs at most a few points of R²
+        # (it can also *gain* — coarser candidates act as a regulariser).
+        assert r2_hist > r2_exact - 0.05
+
+    def test_fewer_bins_degrade_gracefully(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(800, 3))
+        y = X[:, 0] + 0.5 * X[:, 1] ** 2 + 0.1 * rng.normal(size=len(X))
+        coarse = DecisionTreeRegressor(max_depth=6, tree_method="hist", max_bins=16)
+        r2 = r2_score(y, coarse.fit(X, y).predict(X))
+        assert r2 > 0.8
+
+
+class TestGradientBoostingParity:
+    def test_gb_bit_identical_on_discretised_data(self, discretised_data):
+        X, y, _ = discretised_data
+        exact = GradientBoostingRegressor(n_estimators=25, max_depth=4, random_state=0)
+        hist = GradientBoostingRegressor(
+            n_estimators=25, max_depth=4, random_state=0, tree_method="hist"
+        )
+        exact.fit(X, y)
+        hist.fit(X, y)
+        for te, th in zip(exact.estimators_, hist.estimators_):
+            assert_trees_identical(te, th)
+        assert np.array_equal(exact.predict(X), hist.predict(X))
+        assert exact.train_score_ == hist.train_score_
+
+    def test_gb_subsample_bit_identical(self, discretised_data):
+        """Subsampled stages run on row subsets of the once-computed codes."""
+        X, y, _ = discretised_data
+        exact = GradientBoostingRegressor(
+            n_estimators=20, max_depth=4, subsample=0.7, random_state=5
+        )
+        hist = GradientBoostingRegressor(
+            n_estimators=20, max_depth=4, subsample=0.7, random_state=5, tree_method="hist"
+        )
+        exact.fit(X, y)
+        hist.fit(X, y)
+        for te, th in zip(exact.estimators_, hist.estimators_):
+            assert_trees_identical(te, th)
+        assert np.array_equal(exact.predict(X), hist.predict(X))
+
+    def test_gb_absolute_loss_bit_identical(self, discretised_data):
+        """Leaf re-valuation happens after the build in both engines."""
+        X, y, _ = discretised_data
+        exact = GradientBoostingRegressor(
+            n_estimators=10, max_depth=3, loss="absolute_error", random_state=0
+        )
+        hist = GradientBoostingRegressor(
+            n_estimators=10,
+            max_depth=3,
+            loss="absolute_error",
+            random_state=0,
+            tree_method="hist",
+        )
+        exact.fit(X, y)
+        hist.fit(X, y)
+        for te, th in zip(exact.estimators_, hist.estimators_):
+            assert_trees_identical(te, th)
+
+    def test_captured_train_prediction_matches_predict(self, discretised_data):
+        """The build-time leaf capture is ``predict`` on the training matrix."""
+        X, y, _ = discretised_data
+        tree = DecisionTreeRegressor(max_depth=5, tree_method="hist").fit(
+            X, y, capture_train_prediction=True
+        )
+        assert np.array_equal(tree.train_prediction_, tree.predict(X))
+
+    def test_train_prediction_not_retained_on_fitted_ensemble(self, discretised_data):
+        X, y, _ = discretised_data
+        hist = GradientBoostingRegressor(
+            n_estimators=5, max_depth=3, random_state=0, tree_method="hist"
+        ).fit(X, y)
+        assert not any(hasattr(t, "train_prediction_") for t in hist.estimators_)
+
+    def test_hist_gb_pickle_round_trip(self, discretised_data):
+        """A hist-fitted ensemble survives the packed-arena pickle path."""
+        X, y, _ = discretised_data
+        model = GradientBoostingRegressor(
+            n_estimators=8, max_depth=4, random_state=0, tree_method="hist"
+        ).fit(X, y)
+        expected = model.predict(X)
+        clone = pickle.loads(pickle.dumps(model))
+        assert np.array_equal(clone.predict(X), expected)
+        assert clone.get_params()["tree_method"] == "hist"
+
+
+class TestValidation:
+    def test_unknown_tree_method_rejected(self, discretised_data):
+        X, y, _ = discretised_data
+        with pytest.raises(ValueError, match="tree_method"):
+            DecisionTreeRegressor(tree_method="approx").fit(X, y)
+        with pytest.raises(ValueError, match="tree_method"):
+            GradientBoostingRegressor(tree_method="approx").fit(X, y)
+
+    def test_mismatched_bins_shape_rejected(self, discretised_data):
+        X, y, _ = discretised_data
+        bins = compute_feature_bins(X[:100], 255)
+        with pytest.raises(ValueError, match="shape"):
+            DecisionTreeRegressor(tree_method="hist").fit(X, y, bins=bins)
+
+
+class TestFeatureBins:
+    def test_codes_cover_every_distinct_value(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 30, size=(200, 3)).astype(float)
+        bins = compute_feature_bins(X, 255)
+        for f in range(3):
+            n_distinct = len(np.unique(X[:, f]))
+            assert bins.n_bins[f] == n_distinct
+            # Code order must follow value order.
+            order = np.argsort(X[:, f], kind="stable")
+            assert np.all(np.diff(bins.codes[order, f].astype(int)) >= 0)
+
+    def test_take_subsets_rows(self):
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(50, 2))
+        bins = compute_feature_bins(X, 255)
+        rows = np.array([4, 9, 30])
+        sub = bins.take(rows)
+        assert np.array_equal(sub.codes, bins.codes[rows])
+        assert np.array_equal(sub.lower, bins.lower)
+        assert sub.n_bins is bins.n_bins
+
+    def test_feature_bins_cache_hits_on_same_matrix(self):
+        clear_caches()
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(100, 3))
+        first = feature_bins(X, 255)
+        second = feature_bins(X, 255)
+        assert second is first
+        stats = cache_stats(include_store=False)["feature_bins"]
+        assert stats["hits"] >= 1
+
+    def test_max_bins_respected_on_continuous_data(self):
+        rng = np.random.default_rng(3)
+        X = rng.normal(size=(4000, 2))
+        bins = compute_feature_bins(X, 64)
+        assert bins.codes.max() < 64
+        assert bins.n_bins.max() <= 64

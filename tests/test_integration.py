@@ -8,7 +8,6 @@ import numpy as np
 import pytest
 
 import repro
-from repro.core.advisor import ResourceAdvisor
 from repro.core.estimator import ResourceEstimator
 from repro.core.evaluation import question_loss_report
 from repro.ml.linear import LinearRegression
@@ -24,48 +23,47 @@ class TestPackageSurface:
 
 
 class TestEndToEnd:
-    def test_gb_model_predicts_runtime_well(self, small_aurora_dataset):
-        ds = small_aurora_dataset
-        est = ResourceEstimator(preset="fast").fit(ds)
-        report = est.evaluate_on(ds)
+    def test_gb_model_predicts_runtime_well(self, fast_estimator_aurora, small_aurora_dataset):
+        report = fast_estimator_aurora.evaluate_on(small_aurora_dataset)
         assert report["r2"] > 0.9
         assert report["mape"] < 0.2
 
-    def test_gb_beats_linear_baseline(self, small_aurora_dataset):
+    def test_gb_beats_linear_baseline(self, fast_estimator_aurora, small_aurora_dataset):
         ds = small_aurora_dataset
-        gb = ResourceEstimator(preset="fast").fit(ds.X_train, ds.y_train)
         lin = LinearRegression().fit(ds.X_train, ds.y_train)
-        r2_gb = r2_score(ds.y_test, gb.predict(ds.X_test))
+        r2_gb = r2_score(ds.y_test, fast_estimator_aurora.predict(ds.X_test))
         r2_lin = r2_score(ds.y_test, lin.predict(ds.X_test))
         assert r2_gb > r2_lin
 
-    def test_stq_vs_bq_node_count_contrast(self, small_aurora_dataset):
+    def test_stq_vs_bq_node_count_contrast(self, fast_advisor_aurora):
         """Key paper observation: STQ picks many nodes, BQ picks few."""
-        advisor = ResourceAdvisor.from_dataset(small_aurora_dataset, preset="fast")
         stq_nodes, bq_nodes = [], []
         for o, v in [(44, 260), (99, 718), (134, 951)]:
-            stq_nodes.append(advisor.shortest_time(o, v).n_nodes)
-            bq_nodes.append(advisor.budget(o, v).n_nodes)
+            stq_nodes.append(fast_advisor_aurora.shortest_time(o, v).n_nodes)
+            bq_nodes.append(fast_advisor_aurora.budget(o, v).n_nodes)
         assert np.mean(bq_nodes) < np.mean(stq_nodes)
 
-    def test_question_level_metrics_reasonable(self, small_aurora_dataset):
+    def test_question_level_metrics_reasonable(self, fast_estimator_aurora, small_aurora_dataset):
         ds = small_aurora_dataset
-        est = ResourceEstimator(preset="fast").fit(ds.X_train, ds.y_train)
-        stq = question_loss_report(ds.X_test, ds.y_test, est.predict(ds.X_test), "runtime")
-        bq = question_loss_report(ds.X_test, ds.y_test, est.predict(ds.X_test), "node_hours")
+        preds = fast_estimator_aurora.predict(ds.X_test)
+        stq = question_loss_report(ds.X_test, ds.y_test, preds, "runtime")
+        bq = question_loss_report(ds.X_test, ds.y_test, preds, "node_hours")
         assert stq["mape"] < 0.35
         assert bq["mape"] < 0.5
 
     def test_frontier_harder_to_predict_than_aurora(
-        self, small_aurora_dataset, small_frontier_dataset
+        self, fast_estimator_aurora, small_aurora_dataset, small_frontier_dataset
     ):
         """The paper reports higher MAPE on Frontier than Aurora for the same model."""
-        results = {}
-        for ds in (small_aurora_dataset, small_frontier_dataset):
-            est = ResourceEstimator(preset="fast", random_state=0).fit(ds.X_train, ds.y_train)
-            results[ds.machine] = mean_absolute_percentage_error(
-                ds.y_test, est.predict(ds.X_test)
-            )
+        ds_f = small_frontier_dataset
+        est_f = ResourceEstimator(preset="fast", random_state=0).fit(ds_f.X_train, ds_f.y_train)
+        results = {
+            "aurora": mean_absolute_percentage_error(
+                small_aurora_dataset.y_test,
+                fast_estimator_aurora.predict(small_aurora_dataset.X_test),
+            ),
+            "frontier": mean_absolute_percentage_error(ds_f.y_test, est_f.predict(ds_f.X_test)),
+        }
         assert results["frontier"] > results["aurora"] * 0.8  # noisier, generally harder
 
     def test_simulated_experiment_matches_dataset_schema(self, small_aurora_dataset):
