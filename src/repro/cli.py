@@ -16,6 +16,10 @@ Sub-commands
 ``memo-serve``
     Serve a disk memo store over TCP so multiple processes/hosts share one
     memo (point runs at it with ``--memo-dir memo://host:port``).
+``cluster-work``
+    Run a cluster worker agent: dial a run's ``cluster://host:port``
+    dispatcher and execute its ``ParallelMap`` task batches (the run sets
+    ``REPRO_EXECUTOR=cluster`` and ``REPRO_CLUSTER_URL``).
 ``serve``
     Keep a fitted runtime model hot behind a socket and answer
     prediction/advisor queries online (micro-batched packed prediction;
@@ -94,6 +98,43 @@ def _print_memo_summary(baseline: Optional[dict]) -> None:
         f"[memo] dir={store.location} hits={delta['hits']} misses={delta['misses']} "
         f"puts={delta['puts']} objects={agg['store']['objects']} fits={fits} (this run)"
     )
+
+
+def _add_wire_robustness_options(parser: argparse.ArgumentParser) -> None:
+    """The frame-scaffolding knobs every framed server exposes."""
+    parser.add_argument(
+        "--conn-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help=(
+            "Per-connection socket timeout: a client that stays silent or "
+            "stalls mid-frame this long is disconnected and its handler "
+            "thread reclaimed (default: 300; 0 disables). Healthy idle "
+            "clients transparently reconnect on their next operation."
+        ),
+    )
+    parser.add_argument(
+        "--max-connections",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Cap on concurrently open client connections; arrivals past the "
+            "cap are shed (closed immediately) instead of queueing handler "
+            "threads unboundedly (default: 128; 0 disables)."
+        ),
+    )
+
+
+def _wire_kwargs(args: argparse.Namespace) -> dict:
+    """Map the CLI robustness flags onto FrameService keyword arguments."""
+    kwargs = {}
+    if args.conn_timeout is not None:
+        kwargs["timeout"] = args.conn_timeout
+    if args.max_connections is not None:
+        kwargs["max_connections"] = args.max_connections
+    return kwargs
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -181,6 +222,66 @@ def build_parser() -> argparse.ArgumentParser:
         default=7501,
         help="TCP port to listen on (0 picks a free port; printed at startup).",
     )
+    _add_wire_robustness_options(p_srv)
+
+    p_work = sub.add_parser(
+        "cluster-work",
+        help="Run a cluster worker agent against a run's cluster:// dispatcher.",
+        description=(
+            "Dial the dispatcher a run hosts (REPRO_EXECUTOR=cluster + "
+            "REPRO_CLUSTER_URL=cluster://host:port on the run side) and execute "
+            "its ParallelMap task batches. Point --memo-dir at the same "
+            "memo://host:port store as the run so the fleet shares candidate "
+            "evaluations. Workers may start before the dispatcher exists; they "
+            "retry until it appears, and exit once it has been unreachable for "
+            "--idle-exit seconds."
+        ),
+    )
+    p_work.add_argument(
+        "--dispatcher",
+        required=True,
+        metavar="cluster://HOST:PORT",
+        help="Dispatcher URL of the run to serve (its REPRO_CLUSTER_URL).",
+    )
+    p_work.add_argument(
+        "--name",
+        default=None,
+        help="Worker name prefix shown in dispatcher stats (default: host-pid).",
+    )
+    p_work.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.05,
+        metavar="SECONDS",
+        help="Delay between polls while the dispatcher has no work.",
+    )
+    p_work.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help=(
+            "Heartbeat period while busy; must stay well under the run's "
+            "REPRO_CLUSTER_HEARTBEAT dead-worker threshold (default 10)."
+        ),
+    )
+    p_work.add_argument(
+        "--idle-exit",
+        type=float,
+        default=600.0,
+        metavar="SECONDS",
+        help=(
+            "Exit after the dispatcher has been unreachable this long "
+            "(lets a fleet drain itself after the run ends)."
+        ),
+    )
+    p_work.add_argument(
+        "--max-tasks",
+        type=int,
+        default=None,
+        help="Exit after running this many tasks (mostly for tests).",
+    )
+    _add_memo_dir_option(p_work)
 
     p_serve = sub.add_parser(
         "serve",
@@ -236,6 +337,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="Disable micro-batching: one model call per request (benchmark baseline).",
     )
+    _add_wire_robustness_options(p_serve)
 
     p_query = sub.add_parser(
         "query", help="Query a running `repro-chem serve` server."
@@ -379,10 +481,48 @@ def _cmd_active_learn(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster_work(args: argparse.Namespace) -> int:
+    from repro.parallel.backend import mark_worker_process
+    from repro.parallel.cluster import ClusterWorker
+    from repro.parallel.store import configure_store
+
+    # A cluster worker is a worker process: tasks that internally fan out
+    # (forest fits, CV loops) must run their inner regions serially instead
+    # of recursing into a pool or back into the cluster.
+    mark_worker_process()
+    configure_store(args.memo_dir)
+    worker = ClusterWorker(
+        args.dispatcher,
+        name=args.name,
+        poll_interval=args.poll_interval,
+        heartbeat_interval=args.heartbeat_interval,
+        reconnect_window=args.idle_exit,
+        max_tasks=args.max_tasks,
+    )
+    # The exact "serving <url>" line is the startup handshake scripts wait
+    # for — same convention as memo-serve/serve (no ephemeral port to parse
+    # here; the worker dials out).
+    print(
+        f"cluster-work: worker={worker.name} serving {worker.url} "
+        f"(memo={args.memo_dir or 'off'})",
+        flush=True,
+    )
+    try:
+        tasks_done = worker.run()
+    except KeyboardInterrupt:
+        worker.stop()
+        tasks_done = worker.tasks_done
+        print("cluster-work: interrupted, shutting down", flush=True)
+    print(f"cluster-work: exiting after {tasks_done} tasks", flush=True)
+    return 0
+
+
 def _cmd_memo_serve(args: argparse.Namespace) -> int:
     from repro.parallel.service import MemoServer
 
-    server = MemoServer(args.memo_dir, host=args.host, port=args.port)
+    server = MemoServer(
+        args.memo_dir, host=args.host, port=args.port, **_wire_kwargs(args)
+    )
     # The exact "listening on memo://host:port" line is the startup handshake
     # scripts wait for (and parse the ephemeral port from, with --port 0).
     print(
@@ -495,6 +635,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         micro_batch=not args.single_flight,
         max_batch_rows=args.max_batch,
         registry=registry,
+        **_wire_kwargs(args),
     )
     mode = "single-flight" if args.single_flight else f"micro-batch(max {args.max_batch} rows)"
     # The exact "listening on serve://host:port" line is the startup
@@ -579,6 +720,7 @@ _DISPATCH = {
     "compare-models": _cmd_compare_models,
     "active-learn": _cmd_active_learn,
     "memo-serve": _cmd_memo_serve,
+    "cluster-work": _cmd_cluster_work,
     "serve": _cmd_serve,
     "query": _cmd_query,
 }

@@ -16,9 +16,14 @@
   of the same store: a TCP server fronting a disk store and a client with
   the identical get/put/stats surface, for runs spread over multiple hosts
   (see :mod:`repro.parallel.service`).
-* A named executor registry (``serial``, ``process``; see
+* A named executor registry (``serial``, ``process``, ``cluster``; see
   :mod:`repro.parallel.executors`) behind :class:`ParallelMap`, selected
   per call (``executor=``) or globally (``REPRO_EXECUTOR``).
+* :class:`ClusterDispatcher` / :class:`ClusterWorker` — the distributed
+  form of the fan-out: the run hosts a dispatcher (``REPRO_CLUSTER_URL``)
+  and ``repro-chem cluster-work`` agents on any machine pull tasks over
+  the shared wire protocol (see :mod:`repro.parallel.cluster`; imported
+  lazily — selecting ``REPRO_EXECUTOR=cluster`` loads it on demand).
 
 The ``n_jobs`` contract (mirrored by the CLI's ``--jobs`` flag): ``1`` or
 ``None`` runs serially, ``N > 1`` uses up to ``N`` worker processes, and

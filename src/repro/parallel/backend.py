@@ -16,7 +16,8 @@ embarrassingly parallel work through :class:`ParallelMap`.  The contract:
   to the plain serial loop; worker exceptions propagate to the caller.
 * **Pluggable executors** — the actual fan-out is delegated to a named
   executor from :mod:`repro.parallel.executors` (``serial``, ``process``,
-  with room for distributed backends), selected per call site
+  or the distributed ``cluster`` of :mod:`repro.parallel.cluster`),
+  selected per call site
   (``executor=``) or globally (``REPRO_EXECUTOR``) without touching
   callers.
 
@@ -36,11 +37,30 @@ from repro.parallel.executors import (
     resolve_executor,
 )
 
-__all__ = ["ParallelMap", "parallel_map", "resolve_n_jobs", "effective_cpu_count"]
+__all__ = [
+    "ParallelMap",
+    "parallel_map",
+    "resolve_n_jobs",
+    "effective_cpu_count",
+    "mark_worker_process",
+]
 
 # Set in worker processes so that nested parallel regions (e.g. a forest fit
 # inside a parallel search candidate) run serially instead of forking again.
 _IN_WORKER = False
+
+
+def mark_worker_process() -> None:
+    """Mark this process as a worker: nested parallel regions run serially.
+
+    Pool workers are marked by :func:`_init_worker`; standalone worker
+    agents (``repro-chem cluster-work``) call this themselves at startup so
+    a task that internally fans out — a forest fit, a CV loop — runs its
+    inner region on the serial path instead of recursing into another
+    pool or back into the cluster.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
 
 
 def _init_worker(memo_dir: Optional[str]) -> None:
@@ -53,8 +73,7 @@ def _init_worker(memo_dir: Optional[str]) -> None:
     relying on fork-inherited module state — keeps the contract under any
     multiprocessing start method.
     """
-    global _IN_WORKER
-    _IN_WORKER = True
+    mark_worker_process()
     from repro.parallel.store import configure_store
 
     # Configure unconditionally: a parent that explicitly disabled the store

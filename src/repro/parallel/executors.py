@@ -30,9 +30,12 @@ Executor contract:
   raises :class:`ExecutorUnavailableError`; ``ParallelMap`` recomputes
   serially, which is always bit-identical.
 
-Distributed backends (ray, MPI) slot in by registering a class with
+Distributed backends slot in by registering a class with
 :func:`register_executor` — the task model (self-contained, picklable,
-seed-carrying tasks) already satisfies their requirements.
+seed-carrying tasks) already satisfies their requirements.  The bundled
+``cluster`` executor (:mod:`repro.parallel.cluster`) is registered lazily:
+naming it imports the module on demand, so the registry stays import-cycle
+free and sessions that never go distributed never pay for it.
 """
 
 from __future__ import annotations
@@ -173,6 +176,10 @@ class ProcessExecutor(Executor):
 
 _REGISTRY: dict[str, Type[Executor]] = {}
 
+# Executors shipped with repro but registered on demand (importing the
+# module at registry-import time would cycle: cluster builds on executors).
+_LAZY_EXECUTOR_MODULES: dict[str, str] = {"cluster": "repro.parallel.cluster"}
+
 
 def register_executor(cls: Type[Executor]) -> Type[Executor]:
     """Register an executor class under its ``name`` (usable as a decorator)."""
@@ -184,12 +191,17 @@ def register_executor(cls: Type[Executor]) -> Type[Executor]:
 
 
 def available_executors() -> list[str]:
-    """Registered executor names, sorted."""
-    return sorted(_REGISTRY)
+    """Registered executor names (lazy ones included), sorted."""
+    return sorted(set(_REGISTRY) | set(_LAZY_EXECUTOR_MODULES))
 
 
 def get_executor(name: str) -> Executor:
     """Instantiate the executor registered under ``name``."""
+    if name not in _REGISTRY and name in _LAZY_EXECUTOR_MODULES:
+        import importlib
+
+        # Importing the module runs its register_executor() side effect.
+        importlib.import_module(_LAZY_EXECUTOR_MODULES[name])
     try:
         cls = _REGISTRY[name]
     except KeyError:

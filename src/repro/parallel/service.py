@@ -47,6 +47,8 @@ import time
 from typing import Any, Optional
 
 from repro.parallel.wire import (
+    DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_TIMEOUT,
     LEN,
     MAX_FRAME,
     FrameService,
@@ -126,15 +128,29 @@ class MemoServer(FrameService):
     is thread-per-connection (stdlib ``ThreadingTCPServer``); the disk
     store's atomic write-then-rename publication makes concurrent writers
     of the same key safe, exactly as it does for local multi-process use.
+
+    ``timeout`` and ``max_connections`` are the wire scaffolding's
+    robustness knobs (see :class:`~repro.parallel.wire.FrameService`): a
+    silent or half-framed client is disconnected after ``timeout`` seconds
+    — reclaiming its handler thread — and connections past the cap are
+    shed instead of queueing threads unboundedly.
     """
 
     scheme = MEMO_URL_SCHEME
 
     def __init__(
-        self, root: "str | os.PathLike", host: str = "127.0.0.1", port: int = 0
+        self,
+        root: "str | os.PathLike",
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS,
     ) -> None:
         self.store = MemoStore(root)
-        super().__init__(host=host, port=port)
+        super().__init__(
+            host=host, port=port, timeout=timeout, max_connections=max_connections
+        )
 
     def __enter__(self) -> "MemoServer":
         self.start()

@@ -12,8 +12,23 @@ This module is the single source of truth for that contract: the frame
 read/write helpers, the size guard, and the server scaffolding (a
 ``ThreadingTCPServer`` that tracks open connections so shutdown severs them
 like a real process kill, plus the request-loop handler) live here and are
-consumed by both services.  Anything protocol-*semantic* — opcodes, status
-bytes, body encodings, failure policies — stays with each service.
+consumed by every framed service (memo, serve, and the cluster
+dispatcher).  Anything protocol-*semantic* — opcodes, status bytes, body
+encodings, failure policies — stays with each service.
+
+Two robustness guards protect the thread-per-connection model itself:
+
+* **Per-connection timeouts** (:data:`DEFAULT_TIMEOUT`): a client that
+  connects and goes silent, or sends a partial frame and stalls, used to
+  park its handler thread in ``read_exact`` forever — threads accumulated
+  without bound.  Every handler socket now carries a timeout; an idle or
+  mid-frame stall closes the connection and reclaims the thread.  Healthy
+  long-lived clients are unaffected: both ``RemoteMemoStore`` and
+  ``ServeClient`` transparently reconnect on their next operation.
+* **Admission control** (:data:`DEFAULT_MAX_CONNECTIONS`): past the cap,
+  new connections are shed (accepted and immediately closed) instead of
+  spawning yet another handler thread, so overload degrades by refusing
+  work rather than by queueing threads unboundedly.
 """
 
 from __future__ import annotations
@@ -28,6 +43,8 @@ __all__ = [
     "MAX_FRAME",
     "LEN",
     "STR_LEN",
+    "DEFAULT_TIMEOUT",
+    "DEFAULT_MAX_CONNECTIONS",
     "ProtocolError",
     "pack_str",
     "unpack_str",
@@ -48,6 +65,18 @@ LEN = struct.Struct("!I")
 
 #: In-frame string length prefix: 2-byte big-endian unsigned.
 STR_LEN = struct.Struct("!H")
+
+#: Default per-connection socket timeout (seconds).  A connection that goes
+#: this long without completing a read — silent client, partial frame, held
+#: socket — is closed and its handler thread reclaimed.  Generous enough
+#: that no healthy request/response exchange ever trips it; idle persistent
+#: clients simply reconnect on their next operation.
+DEFAULT_TIMEOUT = 300.0
+
+#: Default cap on concurrently open client connections.  Arrivals past the
+#: cap are shed (accepted and closed immediately) instead of growing the
+#: handler-thread population unboundedly.
+DEFAULT_MAX_CONNECTIONS = 128
 
 
 class ProtocolError(Exception):
@@ -134,7 +163,21 @@ class _FrameRequestHandler(socketserver.StreamRequestHandler):
     (status byte + body) and must not raise for request-level errors —
     an exception that escapes it is answered with the service's
     ``_internal_error_frame`` so one bad request never kills the server.
+
+    The connection socket carries the service's per-connection timeout, so
+    a silent client or a stalled partial frame surfaces as ``socket.timeout``
+    (an ``OSError``) out of ``read_exact`` and the handler returns — the
+    connection closes and the thread is reclaimed instead of parking in a
+    blocking read forever.
     """
+
+    def setup(self) -> None:
+        # StreamRequestHandler applies self.timeout to the connection in its
+        # own setup(); routing the service's knob through it puts the whole
+        # request loop — header, partial payload, idle gaps — under one
+        # deadline per blocking read.
+        self.timeout = self.server.frame_service.timeout
+        super().setup()
 
     def handle(self) -> None:  # pragma: no cover - exercised via FrameService
         service: "FrameService" = self.server.frame_service
@@ -142,7 +185,7 @@ class _FrameRequestHandler(socketserver.StreamRequestHandler):
             try:
                 request = read_frame(self.rfile)
             except (OSError, ProtocolError):
-                return  # EOF, reset or garbage: drop the connection
+                return  # EOF, reset, timeout or garbage: drop the connection
             try:
                 response = service._handle_frame(request)
             except Exception:
@@ -159,19 +202,43 @@ class _TrackingTCPServer(socketserver.ThreadingTCPServer):
     Handler threads otherwise outlive ``shutdown()`` and keep serving their
     connected client; severing makes an orderly shutdown indistinguishable
     from a process kill — exactly the failure clients promise to tolerate.
+
+    ``max_connections`` is the admission guard: once that many connections
+    are open, new arrivals are shed — closed immediately, without spawning
+    a handler thread — so overload cannot grow the thread population
+    unboundedly.  Shed clients see a clean EOF and apply their usual
+    reconnect/degrade contract.
     """
 
     allow_reuse_address = True
     daemon_threads = True
 
-    def __init__(self, *args: Any, **kwargs: Any) -> None:
+    def __init__(
+        self,
+        *args: Any,
+        max_connections: Optional[int] = None,
+        **kwargs: Any,
+    ) -> None:
         super().__init__(*args, **kwargs)
+        self._max_connections = max_connections
         self._connections: set[socket.socket] = set()
         self._connections_lock = threading.Lock()
+        self.connections_shed = 0
 
     def process_request(self, request: socket.socket, client_address: Any) -> None:
         with self._connections_lock:
-            self._connections.add(request)
+            if (
+                self._max_connections is not None
+                and len(self._connections) >= self._max_connections
+            ):
+                self.connections_shed += 1
+                shed = True
+            else:
+                self._connections.add(request)
+                shed = False
+        if shed:
+            super().shutdown_request(request)
+            return
         super().process_request(request, client_address)
 
     def shutdown_request(self, request: socket.socket) -> None:
@@ -200,13 +267,33 @@ class FrameService:
     frame) and set :attr:`scheme` so :attr:`url` renders the right URL
     flavour.  ``port=0`` binds an ephemeral port (see :attr:`port`/:attr:`url`
     for the actual address) — what in-process tests use.
+
+    ``timeout`` is the per-connection socket timeout (``None``/``<= 0``
+    disables it): a connection that stalls a read that long — silent
+    client, partial frame, held socket — is closed and its handler thread
+    reclaimed.  ``max_connections`` caps concurrently open connections;
+    arrivals past the cap are shed instead of queueing threads unboundedly
+    (``None``/``<= 0`` removes the cap).
     """
 
     #: URL scheme rendered by :attr:`url` (e.g. ``"memo://"``).
     scheme = "tcp://"
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 0) -> None:
-        self._tcp = _TrackingTCPServer((host, port), _FrameRequestHandler)
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS,
+    ) -> None:
+        self.timeout = float(timeout) if timeout and timeout > 0 else None
+        self.max_connections = (
+            int(max_connections) if max_connections and max_connections > 0 else None
+        )
+        self._tcp = _TrackingTCPServer(
+            (host, port), _FrameRequestHandler, max_connections=self.max_connections
+        )
         self._tcp.frame_service = self
         self._thread: Optional[threading.Thread] = None
         self._started = False
@@ -224,6 +311,17 @@ class FrameService:
     @property
     def url(self) -> str:
         return f"{self.scheme}{self.host}:{self.port}"
+
+    @property
+    def open_connections(self) -> int:
+        """Currently open client connections."""
+        with self._tcp._connections_lock:
+            return len(self._tcp._connections)
+
+    @property
+    def connections_shed(self) -> int:
+        """Connections refused by the admission guard since startup."""
+        return self._tcp.connections_shed
 
     def serve_forever(self) -> None:
         """Serve on the calling thread until :meth:`shutdown` (or interrupt)."""

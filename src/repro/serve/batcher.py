@@ -25,12 +25,15 @@ share the batch (pinned by ``tests/serve/test_batcher.py``).
 Failure containment: requests are shape/finiteness-validated *before* they
 enter the queue, so one malformed request fails alone with a clean
 ``ValueError`` instead of poisoning a whole batch; if the model itself
-raises mid-batch, every rider of that batch receives the error and the
-worker keeps serving.
+raises mid-batch, every rider of that batch receives *its own* chained copy
+of the error (concurrent re-raises of one shared instance would clobber
+each other's ``__traceback__``), the batch still counts into the volume
+statistics, and the worker keeps serving.
 """
 
 from __future__ import annotations
 
+import copy
 import queue
 import threading
 from typing import Any, Callable, Optional
@@ -176,8 +179,17 @@ class MicroBatcher:
         except BaseException as exc:  # the whole batch shares the model error
             with self._stats_lock:
                 self.errors += len(batch)
+                # An errored batch is still served traffic: count it into
+                # the volume counters so stats() reports what actually ran.
+                self.requests += len(batch)
+                self.rows += sum(p.X.shape[0] for p in batch)
+                self.batches += 1
+                self.batched_requests_max = max(self.batched_requests_max, len(batch))
             for pending in batch:
-                pending.error = exc
+                # Each rider re-raises its own copy: N submitter threads
+                # raising one shared instance concurrently would clobber
+                # each other's __traceback__ mid-flight.
+                pending.error = self._rider_error(exc)
                 pending.done.set()
             return
         with self._stats_lock:
@@ -188,6 +200,24 @@ class MicroBatcher:
         for pending, result in zip(batch, results):
             pending.result = result
             pending.done.set()
+
+    @staticmethod
+    def _rider_error(exc: BaseException) -> BaseException:
+        """A per-rider copy of the batch error, chained to the original.
+
+        ``copy.copy`` round-trips the exception through its own pickle-style
+        reduction; anything that refuses (exotic __init__ signatures) is
+        wrapped instead.  Either way the original — with its traceback —
+        hangs off ``__cause__``.
+        """
+        try:
+            clone = copy.copy(exc)
+            if type(clone) is not type(exc):  # paranoid: copy() lied
+                raise TypeError
+        except Exception:
+            clone = RuntimeError(f"batch prediction failed: {exc!r}")
+        clone.__cause__ = exc
+        return clone
 
     # ------------------------------------------------------------------- stats
 

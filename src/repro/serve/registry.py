@@ -40,6 +40,7 @@ import json
 import os
 import pickle
 import re
+import threading
 import time
 from pathlib import Path
 from typing import Any, Optional
@@ -87,8 +88,10 @@ class ModelRegistry:
 
     The registry never *fits* anything: callers publish models they fitted
     and load models somebody published.  All counters are per-instance
-    (``publishes``/``loads``/``misses``/``errors``) and surface through the
-    serve server's ``stats`` endpoint.
+    (``publishes``/``loads``/``misses``/``errors``), updated under a stats
+    lock — registries are shared across ``ThreadingTCPServer`` handler
+    threads, where unlocked ``+=`` drops increments — and surface through
+    the serve server's ``stats`` endpoint.
     """
 
     def __init__(self, root: "str | os.PathLike") -> None:
@@ -97,10 +100,17 @@ class ModelRegistry:
         self._aliases = self.root / "aliases"
         self._artifacts.mkdir(parents=True, exist_ok=True)
         self._aliases.mkdir(parents=True, exist_ok=True)
+        self._stats_lock = threading.Lock()
         self.publishes = 0
         self.loads = 0
         self.misses = 0
         self.errors = 0
+
+    def _count(self, **deltas: int) -> None:
+        """Bump counters atomically (``_count(misses=1, errors=1)``)."""
+        with self._stats_lock:
+            for name, delta in deltas.items():
+                setattr(self, name, getattr(self, name) + delta)
 
     # ------------------------------------------------------------------ paths
 
@@ -161,7 +171,7 @@ class ModelRegistry:
             self._atomic_write(
                 self._alias_path(name), json.dumps(alias, indent=2).encode("utf-8")
             )
-        self.publishes += 1
+        self._count(publishes=1)
         return digest
 
     # ------------------------------------------------------------------- load
@@ -187,27 +197,25 @@ class ModelRegistry:
         """
         digest = self.resolve(ref)
         if digest is None:
-            self.misses += 1
+            self._count(misses=1)
             return None
         path = self.artifact_path(digest)
         try:
             blob = path.read_bytes()
         except OSError:
-            self.misses += 1
+            self._count(misses=1)
             return None
         if not blob.startswith(_MAGIC) or hashlib.sha1(blob).hexdigest() != digest:
-            self.misses += 1
-            self.errors += 1
+            self._count(misses=1, errors=1)
             self._discard(path)
             return None
         try:
             model = pickle.loads(blob[len(_MAGIC):])
         except Exception:
-            self.misses += 1
-            self.errors += 1
+            self._count(misses=1, errors=1)
             self._discard(path)
             return None
-        self.loads += 1
+        self._count(loads=1)
         return warm_model(model) if warm else model
 
     @staticmethod
@@ -240,10 +248,12 @@ class ModelRegistry:
         return out
 
     def stats(self) -> dict[str, int]:
-        return {
-            "publishes": self.publishes,
-            "loads": self.loads,
-            "misses": self.misses,
-            "errors": self.errors,
-            "artifacts": len(self.artifacts()),
-        }
+        with self._stats_lock:
+            counters = {
+                "publishes": self.publishes,
+                "loads": self.loads,
+                "misses": self.misses,
+                "errors": self.errors,
+            }
+        counters["artifacts"] = len(self.artifacts())
+        return counters

@@ -41,7 +41,12 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
-from repro.parallel.wire import FrameService, ProtocolError
+from repro.parallel.wire import (
+    DEFAULT_MAX_CONNECTIONS,
+    DEFAULT_TIMEOUT,
+    FrameService,
+    ProtocolError,
+)
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import ModelRegistry, warm_model
 
@@ -133,6 +138,12 @@ class ServeServer(FrameService):
     registry:
         Optional :class:`ModelRegistry` whose counters are included in
         ``stats`` (the CLI passes the registry it warm-loaded from).
+    timeout / max_connections:
+        Wire-scaffolding robustness knobs (see
+        :class:`~repro.parallel.wire.FrameService`): silent or half-framed
+        clients are disconnected after ``timeout`` seconds — reclaiming
+        their handler threads — and connections past ``max_connections``
+        are shed instead of queueing threads unboundedly.
     """
 
     scheme = SERVE_URL_SCHEME
@@ -147,6 +158,8 @@ class ServeServer(FrameService):
         max_batch_rows: int = 1024,
         registry: Optional[ModelRegistry] = None,
         warm: bool = True,
+        timeout: Optional[float] = DEFAULT_TIMEOUT,
+        max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS,
     ) -> None:
         if not isinstance(models, Mapping):
             models = {"default": models}
@@ -174,7 +187,9 @@ class ServeServer(FrameService):
         self._error_count = 0
         self._started_at = time.monotonic()
         try:
-            super().__init__(host=host, port=port)
+            super().__init__(
+                host=host, port=port, timeout=timeout, max_connections=max_connections
+            )
         except Exception:
             # A failed bind (port in use, bad interface) must not leak the
             # already-started batcher worker threads.
@@ -332,6 +347,10 @@ class ServeServer(FrameService):
             "micro_batch": self.micro_batch,
             "requests": dict(self._counters),
             "errors": self._error_count,
+            "connections": {
+                "open": self.open_connections,
+                "shed": self.connections_shed,
+            },
             "models": models,
             "registry": self.registry.stats() if self.registry else None,
         }

@@ -3,9 +3,20 @@
 The framing contract has a single source of truth consumed by both the memo
 service and the serve service; these tests pin the helpers directly, plus
 the fact that both services actually import them (no drifted copies).
+
+The hostile-client suite pins the thread-reclamation contract: a client
+that connects and goes silent, sends a partial length prefix or a partial
+payload, or holds its connection after a response used to park a handler
+thread in ``read_exact`` forever.  With per-connection timeouts the thread
+must be reclaimed within the configured timeout, a concurrent healthy
+client must be unaffected, and the admission guard must shed arrivals past
+``max_connections`` instead of queueing threads unboundedly.
 """
 
 import io
+import socket
+import threading
+import time
 
 import pytest
 
@@ -13,6 +24,7 @@ from repro.parallel import service, wire
 from repro.parallel.wire import (
     LEN,
     MAX_FRAME,
+    FrameService,
     ProtocolError,
     pack_str,
     parse_hostport_url,
@@ -91,6 +103,134 @@ class TestUrlParsing:
     def test_junk_is_a_loud_config_error(self, bad):
         with pytest.raises(ValueError):
             parse_hostport_url(bad, "x://")
+
+
+class _EchoService(FrameService):
+    """Minimal framed service: echoes every request payload back."""
+
+    scheme = "echo://"
+
+    def _handle_frame(self, request: bytes) -> bytes:
+        return b"+" + request
+
+
+def _wait_until(predicate, timeout=5.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+def _healthy_echo(service_: FrameService, payload: bytes) -> bytes:
+    with socket.create_connection((service_.host, service_.port), timeout=5.0) as sock:
+        rfile = sock.makefile("rb")
+        wfile = sock.makefile("wb")
+        write_frame(wfile, payload)
+        return read_frame(rfile)
+
+
+class TestHostileClients:
+    """Silent/half-framed clients must not park handler threads forever."""
+
+    TIMEOUT = 0.5
+
+    @pytest.fixture()
+    def echo(self):
+        with _EchoService(timeout=self.TIMEOUT, max_connections=4) as service_:
+            yield service_
+
+    def _assert_reclaimed(self, echo, sock):
+        # The handler thread exists while the connection is open...
+        assert _wait_until(lambda: echo.open_connections == 1)
+        baseline = threading.active_count()
+        # ...and once the timeout fires the server must close the
+        # connection (our end sees EOF) and reclaim the thread.
+        sock.settimeout(self.TIMEOUT * 8)
+        assert sock.recv(1) == b""
+        assert _wait_until(lambda: echo.open_connections == 0)
+        assert _wait_until(lambda: threading.active_count() < baseline)
+
+    def test_silent_connection_is_reclaimed(self, echo):
+        with socket.create_connection((echo.host, echo.port), timeout=5.0) as sock:
+            self._assert_reclaimed(echo, sock)
+
+    def test_partial_length_prefix_is_reclaimed(self, echo):
+        with socket.create_connection((echo.host, echo.port), timeout=5.0) as sock:
+            sock.sendall(LEN.pack(10)[:3])  # 3 of the 4 header bytes
+            self._assert_reclaimed(echo, sock)
+
+    def test_partial_payload_is_reclaimed(self, echo):
+        with socket.create_connection((echo.host, echo.port), timeout=5.0) as sock:
+            sock.sendall(LEN.pack(100) + b"only-a-few")
+            self._assert_reclaimed(echo, sock)
+
+    def test_hold_after_response_is_reclaimed(self, echo):
+        with socket.create_connection((echo.host, echo.port), timeout=5.0) as sock:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            write_frame(wfile, b"ping")
+            assert read_frame(rfile) == b"+ping"
+            # A completed exchange, then silence: the idle gap must also
+            # fall under the deadline.
+            self._assert_reclaimed(echo, sock)
+
+    def test_healthy_client_unaffected_by_hostile_peer(self, echo):
+        with socket.create_connection((echo.host, echo.port), timeout=5.0) as hostile:
+            hostile.sendall(LEN.pack(50) + b"stall")
+            for _ in range(3):
+                assert _healthy_echo(echo, b"still-serving") == b"+still-serving"
+
+    def test_no_thread_outlives_its_connection_by_more_than_timeout(self, echo):
+        baseline = threading.active_count()
+        socks = [
+            socket.create_connection((echo.host, echo.port), timeout=5.0)
+            for _ in range(3)
+        ]
+        try:
+            assert _wait_until(lambda: threading.active_count() >= baseline + 3)
+            deadline = time.monotonic() + self.TIMEOUT * 8
+            while time.monotonic() < deadline:
+                if threading.active_count() <= baseline:
+                    break
+                time.sleep(0.02)
+            assert threading.active_count() <= baseline
+        finally:
+            for sock in socks:
+                sock.close()
+
+
+class TestAdmissionGuard:
+    def test_connections_past_cap_are_shed_not_queued(self):
+        with _EchoService(timeout=5.0, max_connections=2) as echo:
+            held = [
+                socket.create_connection((echo.host, echo.port), timeout=5.0)
+                for _ in range(2)
+            ]
+            try:
+                assert _wait_until(lambda: echo.open_connections == 2)
+                # The third arrival must be shed: accepted, closed, no
+                # handler thread — our end reads a clean EOF.
+                with socket.create_connection(
+                    (echo.host, echo.port), timeout=5.0
+                ) as extra:
+                    extra.settimeout(5.0)
+                    assert extra.recv(1) == b""
+                assert _wait_until(lambda: echo.connections_shed >= 1)
+                assert echo.open_connections == 2
+            finally:
+                for sock in held:
+                    sock.close()
+            # Draining a held connection frees a slot for the next client.
+            assert _wait_until(lambda: echo.open_connections == 0)
+            assert _healthy_echo(echo, b"back") == b"+back"
+
+    def test_disabled_knobs_accept_everything(self):
+        with _EchoService(timeout=0, max_connections=0) as echo:
+            assert echo.timeout is None
+            assert echo.max_connections is None
+            assert _healthy_echo(echo, b"hi") == b"+hi"
 
 
 class TestSingleSourceOfTruth:

@@ -137,6 +137,66 @@ class TestValidation:
             assert np.array_equal(got, tiny_advisor.estimator.predict(probe_X[:2]))
             assert batcher.stats()["errors"] == 1
 
+    def test_each_rider_gets_its_own_chained_error_copy(self, tiny_advisor, probe_X):
+        """N riders of a failed batch must each re-raise a distinct exception
+        instance (concurrent raises of one shared instance clobber each
+        other's __traceback__), chained to the one model error."""
+        release = threading.Event()
+        first_entered = threading.Event()
+
+        def gated_boom(X):
+            first_entered.set()
+            release.wait(timeout=10.0)
+            raise RuntimeError("model exploded")
+
+        batcher = MicroBatcher(gated_boom, n_features=4)
+        try:
+            caught = [None] * 4
+
+            def submit(i):
+                try:
+                    batcher.submit(probe_X[i:i + 1])
+                except RuntimeError as exc:
+                    caught[i] = exc
+
+            threads = [threading.Thread(target=submit, args=(0,))]
+            threads[0].start()
+            assert first_entered.wait(timeout=10.0)
+            for i in range(1, 4):
+                threads.append(threading.Thread(target=submit, args=(i,)))
+                threads[-1].start()
+            while batcher._queue.qsize() < 3:  # noqa: SLF001 - deterministic gate
+                pass
+            release.set()
+            for t in threads:
+                t.join(timeout=10.0)
+        finally:
+            release.set()
+            batcher.close()
+        assert all(isinstance(exc, RuntimeError) for exc in caught)
+        assert "model exploded" in str(caught[0])
+        # Distinct instances per rider; riders of the same batch (1-3 all
+        # coalesced behind the gated request 0) chain to one shared
+        # original, which carries the worker-side traceback.
+        assert len({id(exc) for exc in caught}) == 4
+        assert all(exc.__cause__ is not None for exc in caught)
+        assert caught[1].__cause__ is caught[2].__cause__ is caught[3].__cause__
+
+    def test_errored_batches_count_into_volume_stats(self, probe_X):
+        def boom(X):
+            raise RuntimeError("model exploded")
+
+        with MicroBatcher(boom, n_features=4) as batcher:
+            for _ in range(2):
+                with pytest.raises(RuntimeError, match="model exploded"):
+                    batcher.submit(probe_X[:3])
+            stats = batcher.stats()
+        assert stats["errors"] == 2
+        # The failed traffic still ran: stats() must report it.
+        assert stats["requests"] == 2
+        assert stats["rows"] == 6
+        assert stats["batches"] == 2
+
     def test_submit_after_close_raises(self, predict, probe_X):
         batcher = MicroBatcher(predict, n_features=4)
         batcher.close()

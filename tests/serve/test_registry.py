@@ -120,3 +120,32 @@ class TestWarmLoading:
 
         bare = Bare()
         assert warm_model(bare) is bare
+
+
+class TestCounterThreadSafety:
+    def test_counters_are_exact_under_concurrent_handlers(self, registry, tiny_advisor):
+        """Registries are shared across ThreadingTCPServer handler threads;
+        the stats lock must make the counters exact, not best-effort."""
+        import threading
+
+        digest = registry.publish(tiny_advisor, name="hot")
+        n_threads, per_thread = 8, 25
+        start = threading.Barrier(n_threads)
+
+        def hammer():
+            start.wait()
+            for _ in range(per_thread):
+                assert registry.load("hot", warm=False) is not None
+                assert registry.load("never-published", warm=False) is None
+
+        threads = [threading.Thread(target=hammer) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        stats = registry.stats()
+        assert stats["publishes"] == 1
+        assert stats["loads"] == n_threads * per_thread
+        assert stats["misses"] == n_threads * per_thread
+        assert stats["errors"] == 0
+        assert registry.resolve("hot") == digest
