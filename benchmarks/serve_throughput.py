@@ -1,4 +1,4 @@
-"""Serve-throughput artifact for the online inference service (PR 5).
+"""Serve-throughput and tail-latency artifact for the inference service.
 
 Measures the serving layer end to end against the paper's deployed
 Gradient Boosting configuration (750 trees, depth 10 by default): an
@@ -14,11 +14,13 @@ it, and the run is repeated in both server modes:
 
 Byte-parity of the served path against local single-request inference is
 asserted before anything is timed, in both modes.  The JSON artifact
-(``BENCH_PR5.json`` by convention) records requests/s, latency
-percentiles, and the coalescing statistics; CI uploads it, building the
-serving perf trajectory across PRs.  Run locally with::
+(``BENCH_PR8.json`` by convention) records requests/s, **latency
+percentiles through p99** and the coalescing statistics; CI uploads it and
+enforces the PR 8 tail guard — micro-batched p99 must not exceed the
+single-flight p50 at the same concurrency — so a regression that doubles
+the tail while holding the mean cannot merge green.  Run locally with::
 
-    PYTHONPATH=src python benchmarks/serve_throughput.py --output BENCH_PR5.json
+    PYTHONPATH=src python benchmarks/serve_throughput.py --output BENCH_PR8.json
 
 ``--trees/--depth/--clients/--requests`` shrink the experiment for quick
 smoke runs (e.g. ``--trees 50 --requests 10``).
@@ -81,6 +83,7 @@ def _run_mode(
             "mean": float(np.mean(latencies)) * 1e3,
             "p50": float(np.percentile(latencies, 50)) * 1e3,
             "p95": float(np.percentile(latencies, 95)) * 1e3,
+            "p99": float(np.percentile(latencies, 99)) * 1e3,
             "max": float(np.max(latencies)) * 1e3,
         },
         "batcher": stats["models"]["default"]["batcher"],
@@ -117,12 +120,18 @@ def _assert_parity(advisor, X_rows: np.ndarray, *, micro_batch: bool, clients: i
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--output", default="BENCH_PR5.json", help="JSON artifact path")
+    parser.add_argument("--output", default="BENCH_PR8.json", help="JSON artifact path")
     parser.add_argument("--trees", type=int, default=750, help="GB n_estimators")
     parser.add_argument("--depth", type=int, default=10, help="GB max_depth")
     parser.add_argument("--clients", type=int, default=8, help="concurrent client threads")
     parser.add_argument(
-        "--requests", type=int, default=50, help="timed single-row requests per client"
+        "--requests",
+        type=int,
+        default=150,
+        help=(
+            "timed single-row requests per client (the default yields "
+            "clients*150 latency samples, enough for a stable p99)"
+        ),
     )
     parser.add_argument("--dataset", default="aurora", help="dataset name (Table 1)")
     args = parser.parse_args(argv)
@@ -159,7 +168,7 @@ def main(argv=None) -> int:
     speedup = micro["requests_per_s"] / single["requests_per_s"]
 
     report = {
-        "benchmark": "online serving throughput (PR 5)",
+        "benchmark": "online serving throughput and tail latency (PR 8)",
         "config": {
             "dataset": args.dataset,
             "n_estimators": args.trees,
@@ -181,9 +190,11 @@ def main(argv=None) -> int:
 
     print(
         f"single-flight {single['requests_per_s']:.0f} req/s "
-        f"(p50 {single['latency_ms']['p50']:.2f} ms) | "
+        f"(p50 {single['latency_ms']['p50']:.2f} ms, "
+        f"p99 {single['latency_ms']['p99']:.2f} ms) | "
         f"micro-batched {micro['requests_per_s']:.0f} req/s "
         f"(p50 {micro['latency_ms']['p50']:.2f} ms, "
+        f"p99 {micro['latency_ms']['p99']:.2f} ms, "
         f"mean {micro['batcher']['requests_per_batch_mean']:.1f} req/traversal) | "
         f"speedup {speedup:.2f}x"
     )

@@ -20,13 +20,19 @@ Sub-commands
     Run a cluster worker agent: dial a run's ``cluster://host:port``
     dispatcher and execute its ``ParallelMap`` task batches (the run sets
     ``REPRO_EXECUTOR=cluster`` and ``REPRO_CLUSTER_URL``).
+``cluster-status``
+    Print a running dispatcher's scheduling counters as JSON, from outside
+    the run (observer endpoint; no worker registration).
 ``serve``
-    Keep a fitted runtime model hot behind a socket and answer
+    Keep fitted runtime models hot behind a socket and answer
     prediction/advisor queries online (micro-batched packed prediction;
-    warm-loads from / publishes to a model registry).
+    warm-loads from / publishes to a model registry; registry aliases
+    route lazily with an LRU cap, overload sheds past ``--max-inflight``,
+    and packed arenas are shared per host through POSIX shared memory).
 ``query``
     Fire predict/stq/bq/health/stats queries at a running ``serve``
-    process.
+    process — or a fleet of them (repeat ``--url``; requests
+    consistent-hash across replicas with failover).
 """
 
 from __future__ import annotations
@@ -337,6 +343,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="Disable micro-batching: one model call per request (benchmark baseline).",
     )
+    p_serve.add_argument(
+        "--max-models",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "LRU cap on registry-routed resident models (the explicitly "
+            "served model is pinned and never evicted); evicted aliases "
+            "reload on their next request. Default: unlimited."
+        ),
+    )
+    p_serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Bound on concurrently processing predict/ask requests; past "
+            "it, requests are shed with a retryable 'overloaded' error "
+            "instead of queueing unboundedly. Default: unbounded."
+        ),
+    )
+    p_serve.add_argument(
+        "--private-arenas",
+        action="store_true",
+        help=(
+            "Keep each model's packed arena process-private instead of "
+            "sharing one copy per host through POSIX shared memory "
+            "(sharing requires a registry and falls back to private "
+            "automatically on any failure)."
+        ),
+    )
     _add_wire_robustness_options(p_serve)
 
     p_query = sub.add_parser(
@@ -347,8 +385,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument(
         "--url",
-        default=os.environ.get("REPRO_SERVE_URL") or "serve://127.0.0.1:7601",
-        help="Server URL (default: $REPRO_SERVE_URL or serve://127.0.0.1:7601).",
+        action="append",
+        default=None,
+        help=(
+            "Server URL; repeat the flag (or comma-separate) for a fleet of "
+            "replicas — requests consistent-hash across them with failover "
+            "(default: $REPRO_SERVE_URL or serve://127.0.0.1:7601)."
+        ),
     )
     p_query.add_argument("--model", default="default", help="Served model name.")
     p_query.add_argument(
@@ -361,6 +404,23 @@ def build_parser() -> argparse.ArgumentParser:
     p_query.add_argument("-O", "--occupied", type=int, default=None)
     p_query.add_argument("-V", "--virtual", type=int, default=None)
     p_query.add_argument("--timeout", type=float, default=10.0)
+
+    p_cstat = sub.add_parser(
+        "cluster-status",
+        help="Print a running cluster dispatcher's scheduling counters.",
+        description=(
+            "Dial a run's cluster://host:port dispatcher as an observer and "
+            "print its stats (workers, queue depths, batches, redispatches) "
+            "as JSON — from outside the run, without registering as a worker."
+        ),
+    )
+    p_cstat.add_argument(
+        "--dispatcher",
+        default=os.environ.get("REPRO_CLUSTER_URL") or None,
+        metavar="cluster://HOST:PORT",
+        help="Dispatcher URL (default: $REPRO_CLUSTER_URL).",
+    )
+    p_cstat.add_argument("--timeout", type=float, default=5.0)
 
     return parser
 
@@ -595,11 +655,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     name = _serve_model_name(args)
     registry = ModelRegistry(args.registry) if args.registry else None
     advisor = None
+    digest = None
     if registry is not None:
-        advisor = registry.load(name)
-        if advisor is not None:
+        # warm=False: the server warms after the (optional) shared-arena
+        # swap, so traversal tables build on the host-shared arrays.
+        loaded = registry.load_with_digest(name, warm=False)
+        if loaded is not None:
+            digest, advisor = loaded
             print(
-                f"serve: warm-loaded model={name} digest={registry.resolve(name)[:12]} "
+                f"serve: warm-loaded model={name} digest={digest[:12]} "
                 f"from {registry.location}",
                 flush=True,
             )
@@ -635,9 +699,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         micro_batch=not args.single_flight,
         max_batch_rows=args.max_batch,
         registry=registry,
+        max_models=args.max_models,
+        max_inflight=args.max_inflight,
+        shared_arenas=False if args.private_arenas else None,
+        model_digests=(
+            {name: digest, "default": digest} if digest is not None else None
+        ),
         **_wire_kwargs(args),
     )
     mode = "single-flight" if args.single_flight else f"micro-batch(max {args.max_batch} rows)"
+    hosted = server.models.get(name)
+    if hosted is not None and hosted.arena is not None:
+        print(
+            f"serve: arena={hosted.arena.name} "
+            f"({'created' if hosted.arena.created else 'attached'}, "
+            f"{hosted.arena.nbytes} bytes shared)",
+            flush=True,
+        )
     # The exact "listening on serve://host:port" line is the startup
     # handshake scripts wait for (and parse the ephemeral port from, with
     # --port 0) — same convention as memo-serve.
@@ -657,11 +735,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_query(args: argparse.Namespace) -> int:
     from repro.serve import ServeClient, ServeError
 
-    client = ServeClient(args.url, timeout=args.timeout)
+    urls = args.url or [
+        os.environ.get("REPRO_SERVE_URL") or "serve://127.0.0.1:7601"
+    ]
+    client = ServeClient(",".join(urls), timeout=args.timeout)
+    fleet = ",".join(client.urls)
     try:
         if args.action == "ping":
             ok = client.ping()
-            print(f"{args.url}: {'ok' if ok else 'no response'}")
+            print(f"{fleet}: {'ok' if ok else 'no response'}")
             return 0 if ok else 1
         if args.action in ("health", "stats"):
             doc = client.health() if args.action == "health" else client.stats()
@@ -713,6 +795,28 @@ def _cmd_query(args: argparse.Namespace) -> int:
         client.close()
 
 
+def _cmd_cluster_status(args: argparse.Namespace) -> int:
+    from repro.parallel.cluster import dispatcher_status
+    from repro.parallel.wire import ProtocolError
+
+    if not args.dispatcher:
+        print(
+            "cluster-status needs --dispatcher cluster://HOST:PORT "
+            "(or $REPRO_CLUSTER_URL)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        stats = dispatcher_status(args.dispatcher, timeout=args.timeout)
+    except (ConnectionError, ProtocolError, ValueError) as exc:
+        # Dead run, typo'd URL or a non-dispatcher service: clean message
+        # and non-zero exit, never a traceback.
+        print(f"cluster-status: {exc}", file=sys.stderr)
+        return 1
+    print(json.dumps(stats, indent=2))
+    return 0
+
+
 _DISPATCH = {
     "generate-data": _cmd_generate_data,
     "simulate": _cmd_simulate,
@@ -721,6 +825,7 @@ _DISPATCH = {
     "active-learn": _cmd_active_learn,
     "memo-serve": _cmd_memo_serve,
     "cluster-work": _cmd_cluster_work,
+    "cluster-status": _cmd_cluster_status,
     "serve": _cmd_serve,
     "query": _cmd_query,
 }

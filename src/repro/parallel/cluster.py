@@ -67,6 +67,7 @@ CI job (real dispatcher + worker processes, worker killed mid-sweep).
 from __future__ import annotations
 
 import itertools
+import json
 import os
 import pickle
 import socket
@@ -103,6 +104,7 @@ __all__ = [
     "ClusterWorker",
     "ClusterExecutor",
     "parse_cluster_url",
+    "dispatcher_status",
     "ensure_dispatcher",
     "shutdown_dispatchers",
 ]
@@ -128,6 +130,7 @@ _OP_HELLO = b"W"     # register; returns the assigned worker id
 _OP_BEAT = b"B"      # heartbeat (also implicit in every poll)
 _OP_POLL = b"T"      # ask for a task
 _OP_RESULT = b"R"    # deliver a task result
+_OP_STATS = b"S"     # observer: stats() as a JSON body
 _OP_PING = b"?"
 
 # Response statuses.
@@ -373,6 +376,10 @@ class ClusterDispatcher(FrameService):
             return self._handle_poll(request)
         if op == _OP_RESULT:
             return self._handle_result(request)
+        if op == _OP_STATS:
+            # Observer endpoint (repro-chem cluster-status): counters only,
+            # no worker registration and no effect on scheduling state.
+            return _ST_OK, json.dumps(self.stats()).encode("utf-8")
         if op == _OP_PING:
             return _ST_OK, _PING_BANNER
         raise ProtocolError(f"unknown opcode {op!r}")
@@ -484,6 +491,39 @@ class ClusterDispatcher(FrameService):
                 "tasks_redispatched": self._tasks_redispatched,
                 "connections_shed": self.connections_shed,
             }
+
+
+def dispatcher_status(url: str, *, timeout: float = 5.0) -> dict[str, Any]:
+    """One-shot :meth:`ClusterDispatcher.stats` fetch from outside the run.
+
+    Dials ``cluster://host:port``, sends the observer STATS opcode and
+    returns the counters dict.  Raises ``ConnectionError`` when no
+    dispatcher answers (dead run, wrong URL) and
+    :class:`~repro.parallel.wire.ProtocolError` when something else is
+    listening there — ``repro-chem cluster-status`` maps both onto a clean
+    non-zero exit.
+    """
+    host, port = parse_cluster_url(url)
+    try:
+        with socket.create_connection((host, port), timeout=timeout) as sock:
+            sock.settimeout(timeout)
+            with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+                write_frame(wfile, _OP_STATS)
+                response = read_frame(rfile)
+    except OSError as exc:
+        raise ConnectionError(f"no cluster dispatcher reachable at {url}: {exc}")
+    if response[:1] != _ST_OK:
+        raise ProtocolError(
+            f"dispatcher at {url} refused STATS: "
+            f"{response[1:].decode('utf-8', 'replace')!r}"
+        )
+    try:
+        stats = json.loads(response[1:])
+    except ValueError:
+        raise ProtocolError(f"service at {url} is not a cluster dispatcher")
+    if not isinstance(stats, dict):
+        raise ProtocolError(f"service at {url} is not a cluster dispatcher")
+    return stats
 
 
 # ------------------------------------------------------------------- worker

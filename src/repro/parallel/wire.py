@@ -237,9 +237,28 @@ class _TrackingTCPServer(socketserver.ThreadingTCPServer):
                 self._connections.add(request)
                 shed = False
         if shed:
+            self._send_shed_frame(request)
             super().shutdown_request(request)
             return
         super().process_request(request, client_address)
+
+    def _send_shed_frame(self, request: socket.socket) -> None:
+        """Best-effort goodbye frame for a shed connection.
+
+        Services that define a shed-response frame get to tell the client
+        *why* it was refused (so the client can distinguish "overloaded,
+        retry elsewhere" from a dead peer) instead of a bare EOF.  One
+        frame fits the kernel's send buffer, so this never blocks the
+        accept loop; any failure falls back to the plain close.
+        """
+        frame = self.frame_service._shed_frame()
+        if frame is None:
+            return
+        try:
+            request.settimeout(1.0)
+            request.sendall(LEN.pack(len(frame)) + frame)
+        except OSError:
+            pass
 
     def shutdown_request(self, request: socket.socket) -> None:
         with self._connections_lock:
@@ -371,3 +390,12 @@ class FrameService:
     def _internal_error_frame(self) -> bytes:
         """Response frame sent when :meth:`_handle_frame` raises."""
         return b"!internal error"
+
+    def _shed_frame(self) -> Optional[bytes]:
+        """Response frame written (best-effort) to a shed connection.
+
+        ``None`` (the default) keeps the historical bare-EOF shed; services
+        that want shed clients to see a distinct, retryable refusal return
+        a full response frame (status byte + body) here.
+        """
+        return None

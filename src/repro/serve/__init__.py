@@ -8,24 +8,35 @@ its packed arenas hot, and queried by many concurrent
 :class:`ServeClient` users whose predict requests the
 :class:`MicroBatcher` coalesces into single packed traversals.
 
-The two load-bearing contracts (see ROADMAP "serving contract"):
+The fleet layer (PR 8) scales that out: one server hosts *many* models
+(request aliases route through the registry, LRU-capped residents, one
+shared packed-arena copy per host via :mod:`repro.serve.arena`), bounds
+overload with request-level admission control (shed requests fail with the
+retryable ``overloaded`` flavour, :class:`ServeOverloadedError`), and the
+client consistent-hashes requests across several replicas with
+deterministic failover — a dead replica degrades capacity, not
+availability.
 
-* **Parity** — a served, micro-batched, concurrently-issued prediction is
-  byte-identical to calling the fitted model locally, one request at a
-  time.
+The two load-bearing contracts (see ROADMAP "serve fleet contract"):
+
+* **Parity** — a served, micro-batched, concurrently-issued, fleet-routed
+  prediction is byte-identical to calling the fitted model locally, one
+  request at a time — regardless of which replica answered.
 * **Clean failure** — a dead server, truncated/oversized frame or
   malformed request yields a clean error (``ServeError`` /
-  ``ServeUnavailableError``) after one reconnect attempt, with back-off —
-  never a hang, never a crash, and nothing a client sends can kill the
-  server.
+  ``ServeUnavailableError`` / ``ServeOverloadedError``) after bounded
+  retries, with back-off and failover — never a hang, never a crash, and
+  nothing a client sends can kill the server.
 
 Operational front ends: ``repro-chem serve`` and ``repro-chem query``.
 """
 
+from repro.serve.arena import SharedArena, attach_shared_arena, share_packed
 from repro.serve.batcher import MicroBatcher
 from repro.serve.client import (
     ServeClient,
     ServeError,
+    ServeOverloadedError,
     ServeUnavailableError,
     parse_serve_url,
 )
@@ -37,11 +48,15 @@ __all__ = [
     "ModelRegistry",
     "ServeClient",
     "ServeError",
+    "ServeOverloadedError",
     "ServeServer",
     "ServeUnavailableError",
+    "SharedArena",
     "SERVE_PROTOCOL_VERSION",
     "SERVE_URL_SCHEME",
     "REGISTRY_FORMAT_VERSION",
+    "attach_shared_arena",
     "parse_serve_url",
+    "share_packed",
     "warm_model",
 ]

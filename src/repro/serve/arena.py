@@ -1,0 +1,321 @@
+"""Shared-memory packed arenas: one model copy per host, many serve workers.
+
+A :class:`~repro.ml.packed.PackedEnsemble` is a handful of flat
+C-contiguous ndarrays — by construction it is mmap-ready.  This module puts
+those arrays into one ``multiprocessing.shared_memory`` segment, keyed by
+the model's registry digest, so every serve worker on a host that loads the
+same artifact maps the *same physical pages* instead of each holding a
+private copy of the deployment-scale arena.
+
+Protocol (all inside the segment, so discovery needs nothing but the name):
+
+* The segment name is a pure function of the content key
+  (``repro-arena-<version>-<digest prefix>``), so workers rendezvous
+  without any coordination channel.
+* A fixed header — magic, format version, a ready flag, a JSON field table
+  (dtype/shape/offset per array) — is followed by the raw array bytes,
+  64-byte aligned.  The creator sets the ready flag only after every byte
+  is written; attachers spin briefly on it, so a half-written segment is
+  never adopted.
+* **Attachers verify content**: the candidate views are compared
+  byte-for-byte against the privately loaded arrays before they are
+  adopted.  A stale, foreign or corrupt segment therefore degrades to the
+  private copy — never to silently wrong predictions.  (The registry
+  digest in the key already binds name to content; the comparison makes
+  the parity bar independent of that assumption.)
+* Failure of any kind — no ``/dev/shm``, permissions, size mismatch, a
+  platform without shared memory — degrades to the private arrays.
+  Sharing is an optimisation, never a correctness dependency.
+
+Lifecycle: the creating process owns the segment and unlinks it on
+shutdown; attaching processes only close their mapping (their resource
+tracker is told to leave the segment alone — the creator's tracker still
+reclaims it if the creator dies uncleanly).  A SIGKILLed creator leaks the
+segment until the host cleans ``/dev/shm``; survivors keep serving from
+their existing mapping either way.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import time
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.ml.packed import PackedEnsemble
+
+__all__ = ["SharedArena", "share_packed", "attach_shared_arena", "ARENA_FORMAT_VERSION"]
+
+#: Bump to orphan every previously published segment (names include it).
+ARENA_FORMAT_VERSION = 1
+
+_MAGIC = b"RPARENA"
+_HEADER = struct.Struct("<7sBBxxxxxQ")  # magic, version, ready, pad, meta length
+_ALIGN = 64
+
+#: Arena fields shared through the segment, in layout order.  The lazily
+#: built traversal tables stay process-private (they are derived data).
+_FIELDS = (
+    "feature",
+    "threshold",
+    "children_left",
+    "children_right",
+    "value",
+    "n_node_samples",
+    "offsets",
+)
+
+#: How long an attacher waits for the creator's ready flag before giving up
+#: and keeping its private copy.
+_READY_WAIT_S = 2.0
+
+
+def _segment_name(key: str) -> str:
+    safe = "".join(c for c in key.lower() if c.isalnum())[:40]
+    if not safe:
+        raise ValueError(f"Arena key {key!r} has no usable characters.")
+    return f"repro-arena-{ARENA_FORMAT_VERSION}-{safe}"
+
+
+def _align(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+def _untrack(shm: Any) -> None:
+    """Stop this process's resource tracker from reaping the segment.
+
+    Attachers must not destroy a segment they do not own: without this, the
+    first attacher to *exit* would have its tracker unlink the segment out
+    from under every other worker (bpo-38119).  The creator stays tracked,
+    so an uncleanly dying creator is still reclaimed.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+class SharedArena:
+    """Handle on one shared arena segment (owns the mapping lifecycle)."""
+
+    def __init__(self, shm: Any, *, created: bool) -> None:
+        self._shm = shm
+        self.name = shm.name
+        self.created = created
+        self.nbytes = shm.size
+        self._closed = False
+
+    def close(self) -> None:
+        """Unmap (and unlink, when this process created the segment).
+
+        Idempotent and tolerant: live ndarray views keep the mapping pinned
+        (``BufferError``), in which case the OS reclaims it at process exit.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._shm.close()
+        except BufferError:
+            # In-flight predictions still hold views; the mapping outlives
+            # the handle and falls with the process.
+            self._closed = False
+            return
+        except OSError:
+            pass
+        if self.created:
+            try:
+                self._shm.unlink()
+            except OSError:
+                # Someone else already destroyed it; unlink() did not get to
+                # unregister, so stop the tracker re-reporting the name.
+                _untrack(self._shm)
+
+    def stats(self) -> dict:
+        return {"name": self.name, "created": self.created, "nbytes": self.nbytes}
+
+
+def _plan_layout(packed: PackedEnsemble, key: str) -> tuple[bytes, list[dict], int, int]:
+    """Header+meta bytes (ready unset), field table, data base, total size.
+
+    Field offsets are **relative to the data region**; the data region
+    starts at ``_align(header size + meta length)``, which both sides
+    derive from the header alone — so the serialized table never has to
+    know its own length.
+    """
+    fields = []
+    offset = 0  # relative to the data region
+    for name in _FIELDS:
+        arr = np.ascontiguousarray(getattr(packed, name))
+        offset = _align(offset)
+        fields.append(
+            {
+                "name": name,
+                "dtype": arr.dtype.str,
+                "shape": list(arr.shape),
+                "offset": offset,
+            }
+        )
+        offset += arr.nbytes
+    meta = json.dumps(
+        {"key": key, "n_features_in": packed.n_features_in, "fields": fields}
+    ).encode("utf-8")
+    data_start = _align(_HEADER.size + len(meta))
+    header = _HEADER.pack(_MAGIC, ARENA_FORMAT_VERSION, 0, len(meta))
+    return header + meta, fields, data_start, data_start + offset
+
+
+def _views(shm: Any, fields: list[dict], base: int) -> dict[str, np.ndarray]:
+    out = {}
+    for field in fields:
+        arr = np.ndarray(
+            tuple(field["shape"]),
+            dtype=np.dtype(field["dtype"]),
+            buffer=shm.buf,
+            offset=base + field["offset"],
+        )
+        arr.flags.writeable = False
+        out[field["name"]] = arr
+    return out
+
+
+def _ensemble_from_views(
+    views: dict[str, np.ndarray], n_features_in: int
+) -> PackedEnsemble:
+    return PackedEnsemble(n_features_in=n_features_in, **views)
+
+
+def _create(shm_mod: Any, name: str, packed: PackedEnsemble, key: str):
+    prefix, fields, data_start, total = _plan_layout(packed, key)
+    shm = shm_mod.SharedMemory(name=name, create=True, size=total)
+    try:
+        shm.buf[: len(prefix)] = prefix
+        views = _views(shm, fields, data_start)
+        for field_name, view in views.items():
+            src = np.ascontiguousarray(getattr(packed, field_name))
+            view.flags.writeable = True
+            view[...] = src
+            view.flags.writeable = False
+        shm.buf[len(_MAGIC) + 1] = 1  # ready flag (byte 8 of the header)
+    except Exception:
+        shm.close()
+        try:
+            shm.unlink()
+        except OSError:
+            _untrack(shm)
+        raise
+    return _ensemble_from_views(views, packed.n_features_in), SharedArena(
+        shm, created=True
+    )
+
+
+def _attach(shm_mod: Any, name: str, packed: PackedEnsemble, key: str):
+    shm = shm_mod.SharedMemory(name=name)
+    _untrack(shm)
+    try:
+        deadline = time.monotonic() + _READY_WAIT_S
+        while True:
+            header = bytes(shm.buf[: _HEADER.size])
+            magic, version, ready, meta_len = _HEADER.unpack(header)
+            if magic != _MAGIC or version != ARENA_FORMAT_VERSION:
+                raise ValueError("foreign or stale arena segment")
+            if ready:
+                break
+            if time.monotonic() >= deadline:
+                raise ValueError("arena segment never became ready")
+            time.sleep(0.01)
+        meta = json.loads(bytes(shm.buf[_HEADER.size : _HEADER.size + meta_len]))
+        if meta.get("key") != key or meta.get("n_features_in") != packed.n_features_in:
+            raise ValueError("arena segment does not match the requested model")
+        views = _views(shm, meta["fields"], _align(_HEADER.size + meta_len))
+        if set(views) != set(_FIELDS):
+            raise ValueError("arena segment field table is incomplete")
+        # Parity is non-negotiable: adopt the mapping only if it is
+        # byte-identical to the arrays we just loaded and verified.
+        for field_name, view in views.items():
+            ours = np.ascontiguousarray(getattr(packed, field_name))
+            if view.dtype != ours.dtype or view.shape != ours.shape:
+                raise ValueError(f"arena field {field_name!r} shape/dtype mismatch")
+            # Bytewise, not value-wise: NaN leaf thresholds must compare
+            # equal, and byte identity is the actual parity bar.
+            if view.tobytes() != ours.tobytes():
+                raise ValueError(f"arena field {field_name!r} content mismatch")
+        return _ensemble_from_views(views, packed.n_features_in), SharedArena(
+            shm, created=False
+        )
+    except Exception:
+        try:
+            shm.close()
+        except (BufferError, OSError):
+            pass
+        raise
+
+
+def share_packed(
+    packed: PackedEnsemble, key: str
+) -> Optional[tuple[PackedEnsemble, SharedArena]]:
+    """Publish or adopt the host-wide shared copy of ``packed``.
+
+    Returns ``(ensemble, handle)`` where ``ensemble``'s arrays are
+    read-only views into the shared segment, or ``None`` when sharing is
+    impossible (no shared-memory support, a mismatched segment, any OS
+    refusal) — callers then simply keep the private arrays.
+    """
+    try:
+        from multiprocessing import shared_memory as shm_mod
+    except Exception:
+        return None
+    try:
+        name = _segment_name(key)
+    except ValueError:
+        return None
+    for attempt in range(2):
+        try:
+            return _create(shm_mod, name, packed, key)
+        except FileExistsError:
+            pass
+        except Exception:
+            return None
+        try:
+            return _attach(shm_mod, name, packed, key)
+        except FileNotFoundError:
+            # The creator vanished between our create and attach: one more
+            # create attempt, then give up.
+            continue
+        except Exception:
+            return None
+    return None
+
+
+def attach_shared_arena(model: Any, key: str) -> Optional[SharedArena]:
+    """Swap ``model``'s packed arena for the host-shared copy keyed ``key``.
+
+    Walks the hosted-model shapes exactly like
+    :func:`~repro.serve.registry.warm_model` (advisor -> estimator ->
+    ensemble), builds-or-adopts the shared segment, and points the
+    ensemble's ``_packed`` cache at the view-backed arena.  Returns the
+    segment handle (the caller owns closing it), or ``None`` when nothing
+    could be shared — the model keeps its private arrays and serves
+    identically.
+    """
+    seen: set[int] = set()
+    node = model
+    while node is not None and id(node) not in seen:
+        seen.add(id(node))
+        build = getattr(node, "_packed_ensemble", None)
+        if callable(build):
+            packed = build()
+            if packed is None:
+                return None
+            shared = share_packed(packed, key)
+            if shared is None:
+                return None
+            ensemble, handle = shared
+            node._packed = ensemble
+            return handle
+        node = getattr(node, "estimator", None) or getattr(node, "model_", None)
+    return None

@@ -96,6 +96,7 @@ class MicroBatcher:
         self.batches = 0
         self.batched_requests_max = 0
         self.errors = 0
+        self.pending = 0
         self._closed = False
         self._worker = threading.Thread(
             target=self._serve, name="micro-batcher", daemon=True
@@ -124,6 +125,8 @@ class MicroBatcher:
         with self._close_lock:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed.")
+            with self._stats_lock:
+                self.pending += 1
             self._queue.put(pending)
         pending.done.wait()
         if pending.error is not None:
@@ -185,6 +188,7 @@ class MicroBatcher:
                 self.rows += sum(p.X.shape[0] for p in batch)
                 self.batches += 1
                 self.batched_requests_max = max(self.batched_requests_max, len(batch))
+                self.pending -= len(batch)
             for pending in batch:
                 # Each rider re-raises its own copy: N submitter threads
                 # raising one shared instance concurrently would clobber
@@ -197,6 +201,7 @@ class MicroBatcher:
             self.rows += sum(p.X.shape[0] for p in batch)
             self.batches += 1
             self.batched_requests_max = max(self.batched_requests_max, len(batch))
+            self.pending -= len(batch)
         for pending, result in zip(batch, results):
             pending.result = result
             pending.done.set()
@@ -230,6 +235,9 @@ class MicroBatcher:
                 "batches": batches,
                 "errors": self.errors,
                 "batched_requests_max": self.batched_requests_max,
+                # Queue-depth gauge: requests submitted but not yet answered
+                # — the signal admission control bounds at the request layer.
+                "pending": self.pending,
                 "requests_per_batch_mean": (
                     self.requests / batches if batches else 0.0
                 ),

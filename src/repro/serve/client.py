@@ -1,10 +1,23 @@
 """Blocking client for the serve service, with the clean-failure contract.
 
-:class:`ServeClient` is the user-facing handle on a running
-:class:`~repro.serve.server.ServeServer`: ``predict`` rows, ``ask`` the
-STQ/BQ questions, probe ``health``/``stats``.  One persistent connection
-per instance, serialised by a lock (one client per thread is the cheap way
-to fan out — see ``benchmarks/serve_throughput.py``).
+:class:`ServeClient` is the user-facing handle on one — or, since PR 8, a
+*fleet* of — running :class:`~repro.serve.server.ServeServer` replicas:
+``predict`` rows, ``ask`` the STQ/BQ questions, probe ``health``/``stats``.
+One persistent connection per replica per instance, each serialised by its
+own lock (one client per thread is the cheap way to fan out — see
+``benchmarks/serve_throughput.py``).
+
+Fleet routing: constructed with several ``serve://`` URLs, the client
+consistent-hashes each request — the hash key is the full request payload,
+which embeds the opcode, the model alias and the request body — onto a
+ring of replica vnodes.  Equal requests always prefer the same replica
+(cache/batch affinity), different aliases spread across the fleet, and the
+ring gives every request a *deterministic failover order*: when the
+preferred replica is unreachable, in back-off, or sheds the request as
+``overloaded``, the client walks to the next distinct replica instead of
+failing.  A dead replica therefore degrades capacity, not availability —
+and because every replica serves the same registry artifacts, the answer
+is byte-identical no matter which replica produced it.
 
 Failure contract (the serve flavour of the PR 3 wire discipline): the memo
 client degrades failures to cache misses because a miss is recomputable;
@@ -12,27 +25,34 @@ an inference query has no local fallback, so here every failure is a
 **clean, immediate error** — never a hang, never a crash, never a silently
 wrong answer:
 
-* A dead/unreachable server, a connection reset, a truncated or oversized
+* A dead/unreachable replica, a connection reset, a truncated or oversized
   frame, or an undecodable response gets **one** reconnect-and-retry (the
-  server may simply have restarted); a second failure raises
-  :class:`ServeUnavailableError` and opens a back-off window (doubling,
-  capped at 30s) during which calls fail fast instead of re-paying connect
-  timeouts.
+  server may simply have restarted); a second failure opens that replica's
+  back-off window (doubling, capped at 30s) and the client fails over to
+  the next replica on the ring.  Only when *every* replica has failed does
+  the call raise :class:`ServeUnavailableError`.
+* A replica answering ``overloaded: ...`` (request-budget or connection-cap
+  shed) raises :class:`ServeOverloadedError` — retryable by contract — but
+  only after every other replica also refused; a single overloaded replica
+  just means the request lands elsewhere.  The shedding replica's
+  connection is **not** penalised: shedding is healthy behaviour.
 * A server-side *request* error — unknown model, wrong feature count,
   non-finite values, bad question — raises :class:`ServeError` with the
-  server's message; the connection stays up and is not penalised.
+  server's message immediately: the request itself is wrong and would be
+  wrong on every replica.
 * All socket operations carry a timeout, so a black-holed host costs a
   bounded wait, not a hang.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import socket
 import struct
 import threading
 import time
-from typing import Any, Optional
+from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
@@ -58,8 +78,16 @@ __all__ = [
     "ServeClient",
     "ServeError",
     "ServeUnavailableError",
+    "ServeOverloadedError",
     "parse_serve_url",
 ]
+
+#: Vnodes per replica on the consistent-hash ring.  Enough to spread load
+#: evenly across a handful of replicas; cheap to build.
+_VNODES = 32
+
+#: Error-body prefix by which a shed (overloaded) refusal is recognised.
+_OVERLOADED_PREFIX = "overloaded"
 
 
 class ServeError(RuntimeError):
@@ -70,48 +98,139 @@ class ServeUnavailableError(ServeError):
     """No usable server: dead, unreachable, or speaking a broken protocol."""
 
 
+class ServeOverloadedError(ServeError):
+    """Every reachable replica shed the request; retry after a beat.
+
+    Distinct from :class:`ServeUnavailableError`: the fleet is alive and
+    healthy, it is *at capacity right now* — the retryable condition
+    admission control promises instead of an unbounded queue.
+    """
+
+
 def parse_serve_url(url: str) -> tuple[str, int]:
     """``serve://host:port`` -> ``(host, port)``; raises ``ValueError`` on junk."""
     return parse_hostport_url(url, SERVE_URL_SCHEME)
 
 
-class ServeClient:
-    """Blocking client for one serve server."""
+class _Replica:
+    """One replica's connection state: socket, lock, back-off window."""
 
-    def __init__(self, url: str, *, timeout: float = 10.0, retry_delay: float = 0.5) -> None:
+    def __init__(self, url: str) -> None:
         self.host, self.port = parse_serve_url(url)
         self.url = f"{SERVE_URL_SCHEME}{self.host}:{self.port}"
-        self.timeout = timeout
-        self.retry_delay = retry_delay
-        self._sock: Optional[socket.socket] = None
-        self._rfile = None
-        self._wfile = None
-        self._conn_lock = threading.Lock()
-        self._down_until = 0.0
-        self._window_failures = 0
+        self.sock: Optional[socket.socket] = None
+        self.rfile = None
+        self.wfile = None
+        self.lock = threading.Lock()
+        self.down_until = 0.0
+        self.window_failures = 0
+        self.requests = 0
 
-    # ---------------------------------------------------------- connection
-
-    def _connect(self) -> None:
-        sock = socket.create_connection((self.host, self.port), timeout=self.timeout)
-        sock.settimeout(self.timeout)
-        self._sock = sock
-        self._rfile = sock.makefile("rb")
-        self._wfile = sock.makefile("wb")
-
-    def _teardown(self) -> None:
-        for closer in (self._rfile, self._wfile, self._sock):
+    def teardown(self) -> None:
+        for closer in (self.rfile, self.wfile, self.sock):
             if closer is not None:
                 try:
                     closer.close()
                 except OSError:
                     pass
-        self._sock = self._rfile = self._wfile = None
+        self.sock = self.rfile = self.wfile = None
+
+
+class ServeClient:
+    """Blocking client for a serve server, or a fleet of replicas.
+
+    ``url`` accepts a single ``serve://host:port``, a comma-separated list,
+    or any sequence of URLs.  With one URL the behaviour is exactly the
+    single-server client of PR 5; with several, requests consistent-hash
+    across the fleet with deterministic failover (see module docstring).
+    """
+
+    def __init__(
+        self,
+        url: Union[str, Sequence[str]],
+        *,
+        timeout: float = 10.0,
+        retry_delay: float = 0.5,
+    ) -> None:
+        if isinstance(url, str):
+            urls: Iterable[str] = url.split(",")
+        else:
+            urls = url
+        seen: dict[str, None] = {}
+        replicas = []
+        for u in urls:
+            u = u.strip()
+            if not u:
+                continue
+            replica = _Replica(u)
+            if replica.url in seen:
+                continue
+            seen[replica.url] = None
+            replicas.append(replica)
+        if not replicas:
+            raise ValueError("ServeClient needs at least one serve:// URL.")
+        self._replicas = replicas
+        self.urls = [r.url for r in replicas]
+        # Back-compat: the single-server surface everyone already uses.
+        self.url = replicas[0].url
+        self.host, self.port = replicas[0].host, replicas[0].port
+        self.timeout = timeout
+        self.retry_delay = retry_delay
+        self._ring = self._build_ring(self.urls)
+        self._fleet_lock = threading.Lock()
+        self._failovers = 0
+        self._overloaded = 0
+
+    # ------------------------------------------------------------------ ring
+
+    @staticmethod
+    def _build_ring(urls: Sequence[str]) -> list[tuple[int, int]]:
+        """``[(point, replica_index)]`` sorted by point (replica vnodes)."""
+        ring = []
+        for idx, url in enumerate(urls):
+            for vnode in range(_VNODES):
+                point = int.from_bytes(
+                    hashlib.sha1(f"{url}#{vnode}".encode("utf-8")).digest()[:8],
+                    "big",
+                )
+                ring.append((point, idx))
+        ring.sort()
+        return ring
+
+    def _route(self, key: bytes) -> list[int]:
+        """Replica indices in preference order for this request key.
+
+        The key's ring position picks the home replica; walking clockwise
+        yields each remaining replica exactly once, so failover order is
+        deterministic per request and different keys drain to different
+        survivors when a replica dies.
+        """
+        if len(self._replicas) == 1:
+            return [0]
+        point = int.from_bytes(hashlib.sha1(key).digest()[:8], "big")
+        # Binary search would shave a few microseconds; the ring has a few
+        # dozen entries, so a scan keeps it obvious.
+        start = 0
+        for i, (node_point, _) in enumerate(self._ring):
+            if node_point >= point:
+                start = i
+                break
+        order: list[int] = []
+        for i in range(len(self._ring)):
+            idx = self._ring[(start + i) % len(self._ring)][1]
+            if idx not in order:
+                order.append(idx)
+                if len(order) == len(self._replicas):
+                    break
+        return order
+
+    # ---------------------------------------------------------- connection
 
     def close(self) -> None:
-        """Drop the connection (the client stays usable; it reconnects lazily)."""
-        with self._conn_lock:
-            self._teardown()
+        """Drop all connections (the client stays usable; reconnects lazily)."""
+        for replica in self._replicas:
+            with replica.lock:
+                replica.teardown()
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -119,49 +238,94 @@ class ServeClient:
     def __exit__(self, *exc_info: Any) -> None:
         self.close()
 
-    def _request(self, payload: bytes) -> tuple[bytes, bytes]:
-        """One round trip; raises :class:`ServeUnavailableError` on failure."""
-        if len(payload) > MAX_FRAME:
-            # A local mistake, not a server fault: fail this call alone
-            # without tearing down the connection or opening the back-off.
-            raise ServeError(f"request of {len(payload)} bytes exceeds the frame cap")
-        with self._conn_lock:
-            if time.monotonic() < self._down_until:
+    def _connect(self, replica: _Replica) -> None:
+        sock = socket.create_connection(
+            (replica.host, replica.port), timeout=self.timeout
+        )
+        sock.settimeout(self.timeout)
+        replica.sock = sock
+        replica.rfile = sock.makefile("rb")
+        replica.wfile = sock.makefile("wb")
+
+    def _request_replica(self, replica: _Replica, payload: bytes) -> tuple[bytes, bytes]:
+        """One round trip to one replica; ``ServeUnavailableError`` on failure."""
+        with replica.lock:
+            if time.monotonic() < replica.down_until:
                 raise ServeUnavailableError(
-                    f"serve server {self.url} is down (backing off)"
+                    f"serve server {replica.url} is down (backing off)"
                 )
+            replica.requests += 1
             for attempt in (0, 1):
                 try:
-                    if self._sock is None:
-                        self._connect()
-                    write_frame(self._wfile, payload)
-                    response = read_frame(self._rfile)
-                    self._window_failures = 0
+                    if replica.sock is None:
+                        self._connect(replica)
+                    write_frame(replica.wfile, payload)
+                    response = read_frame(replica.rfile)
+                    replica.window_failures = 0
                     return response[:1], response[1:]
                 except (OSError, ProtocolError, struct.error):
-                    self._teardown()
-            self._window_failures += 1
+                    replica.teardown()
+            replica.window_failures += 1
             backoff = min(
-                self.retry_delay * (2 ** (self._window_failures - 1)), 30.0
+                self.retry_delay * (2 ** (replica.window_failures - 1)), 30.0
             )
-            self._down_until = time.monotonic() + backoff
+            replica.down_until = time.monotonic() + backoff
             raise ServeUnavailableError(
-                f"serve server {self.url} is unreachable or misbehaving "
+                f"serve server {replica.url} is unreachable or misbehaving "
                 f"(retried once; backing off {backoff:.1f}s)"
             )
 
+    def _request(self, payload: bytes) -> tuple[bytes, bytes]:
+        """One fleet-routed round trip (raw status + body, no failover).
+
+        Kept for the handshake path (``ping``) and tests; ``_call`` layers
+        failover on top.
+        """
+        return self._request_replica(self._replicas[self._route(payload)[0]], payload)
+
     def _call(self, op: bytes, fields: Optional[dict] = None) -> dict:
         payload = op if fields is None else op + json.dumps(fields).encode("utf-8")
-        status, body = self._request(payload)
-        if status != ST_OK:
-            raise ServeError(body.decode("utf-8", "replace") or "request failed")
-        try:
-            out = json.loads(body)
-        except ValueError:
-            raise ServeUnavailableError("server returned an undecodable response")
-        if not isinstance(out, dict):
-            raise ServeUnavailableError("server returned a malformed response")
-        return out
+        if len(payload) > MAX_FRAME:
+            # A local mistake, not a server fault: fail this call alone
+            # without tearing down connections or opening back-off windows.
+            raise ServeError(f"request of {len(payload)} bytes exceeds the frame cap")
+        last_error: Optional[ServeError] = None
+        order = self._route(payload)
+        for position, idx in enumerate(order):
+            replica = self._replicas[idx]
+            if position > 0:
+                with self._fleet_lock:
+                    self._failovers += 1
+            try:
+                status, body = self._request_replica(replica, payload)
+            except ServeUnavailableError as exc:
+                last_error = exc
+                continue
+            if status != ST_OK:
+                message = body.decode("utf-8", "replace") or "request failed"
+                if message.startswith(_OVERLOADED_PREFIX):
+                    # Healthy refusal: try the next replica, remember the
+                    # retryable flavour in case everyone refuses.
+                    with self._fleet_lock:
+                        self._overloaded += 1
+                    last_error = ServeOverloadedError(message)
+                    continue
+                # The request itself is wrong; every replica would agree.
+                raise ServeError(message)
+            try:
+                out = json.loads(body)
+            except ValueError:
+                last_error = ServeUnavailableError(
+                    f"server {replica.url} returned an undecodable response"
+                )
+                continue
+            if not isinstance(out, dict):
+                last_error = ServeUnavailableError(
+                    f"server {replica.url} returned a malformed response"
+                )
+                continue
+            return out
+        raise last_error or ServeUnavailableError("no serve replica available")
 
     # ------------------------------------------------------------- endpoints
 
@@ -169,8 +333,9 @@ class ServeClient:
         """Predict rows of ``X`` (a single feature vector is auto-wrapped).
 
         The result is byte-identical to ``model.predict(X)`` on the fitted
-        model the server hosts: features and predictions cross the wire as
-        JSON numbers, which round-trip float64 exactly.
+        model the server hosts — whichever replica answers: features and
+        predictions cross the wire as JSON numbers, which round-trip
+        float64 exactly.
         """
         X = np.asarray(X, dtype=np.float64)
         if X.ndim == 1:
@@ -208,17 +373,31 @@ class ServeClient:
         return answer
 
     def health(self) -> dict:
-        """The server's liveness document."""
+        """A server's liveness document (fleet-routed like any request)."""
         return self._call(OP_HEALTH)
 
     def stats(self) -> dict:
-        """The server's counters (requests, batching, registry, uptime)."""
+        """A server's counters (requests, batching, registry, uptime)."""
         return self._call(OP_STATS)
 
     def ping(self) -> bool:
-        """True when a serve server answers the protocol handshake."""
-        try:
-            status, body = self._request(OP_PING)
-        except ServeError:
-            return False
-        return status == ST_OK and body == PING_BANNER
+        """True when any replica answers the protocol handshake."""
+        for replica in self._replicas:
+            try:
+                status, body = self._request_replica(replica, OP_PING)
+            except ServeError:
+                continue
+            if status == ST_OK and body == PING_BANNER:
+                return True
+        return False
+
+    def fleet_stats(self) -> dict:
+        """Client-side routing counters (per-replica requests, failovers)."""
+        with self._fleet_lock:
+            failovers, overloaded = self._failovers, self._overloaded
+        return {
+            "urls": list(self.urls),
+            "requests": {r.url: r.requests for r in self._replicas},
+            "failovers": failovers,
+            "overloaded": overloaded,
+        }

@@ -195,6 +195,18 @@ class ModelRegistry:
         poisoned file is best-effort discarded) — the caller refits and
         republishes, mirroring the memo store's corruption tolerance.
         """
+        loaded = self.load_with_digest(ref, warm=warm)
+        return None if loaded is None else loaded[1]
+
+    def load_with_digest(
+        self, ref: str, *, warm: bool = True
+    ) -> Optional[tuple[str, Any]]:
+        """:meth:`load`, but returning ``(digest, model)``.
+
+        The serving layer needs the digest *the load actually verified
+        against* — it keys the host-shared arena segment — and resolving
+        the alias again after the load would race a concurrent republish.
+        """
         digest = self.resolve(ref)
         if digest is None:
             self._count(misses=1)
@@ -216,7 +228,7 @@ class ModelRegistry:
             self._discard(path)
             return None
         self._count(loads=1)
-        return warm_model(model) if warm else model
+        return digest, (warm_model(model) if warm else model)
 
     @staticmethod
     def _discard(path: Path) -> None:

@@ -24,6 +24,24 @@ Endpoints (1-byte opcode + JSON body):
     Liveness probe, and the server's counters (requests per endpoint,
     batcher coalescing stats, registry counters, uptime).
 
+Fleet semantics (PR 8):
+
+* **Multi-model routing** — when the server holds a registry, a request's
+  ``model`` alias that is not already resident is resolved and warm-loaded
+  on first use; residents are LRU-capped at ``max_models`` (evicted models
+  reload on their next request, digest re-verified by the registry).
+* **Shared packed arenas** — registry-loaded models swap their packed
+  arena for one host-wide ``multiprocessing.shared_memory`` segment keyed
+  by the artifact digest (:mod:`repro.serve.arena`), so N serve workers on
+  a host map a single model copy.  Sharing is verified bytewise and falls
+  back to private arrays on any failure — parity never depends on it.
+* **Admission control** — ``max_inflight`` bounds concurrently processing
+  predict/ask requests.  Past the bound, requests are *shed* with a
+  distinct, retryable ``overloaded: ...`` error instead of queueing behind
+  the micro-batcher unboundedly — the request-layer mirror of the wire
+  layer's connection cap, whose shed connections now also receive an
+  ``overloaded`` frame instead of a bare EOF.
+
 Failure contract (server side): a malformed request — undecodable JSON,
 unknown opcode or model, wrong feature count, non-finite values, empty
 ``X`` — is answered with an error frame carrying a message; the connection
@@ -37,6 +55,7 @@ import json
 import os
 import threading
 import time
+from collections import OrderedDict
 from typing import Any, Mapping, Optional
 
 import numpy as np
@@ -47,6 +66,7 @@ from repro.parallel.wire import (
     FrameService,
     ProtocolError,
 )
+from repro.serve.arena import SharedArena, attach_shared_arena
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import ModelRegistry, warm_model
 
@@ -86,9 +106,22 @@ class _RequestError(Exception):
 class _HostedModel:
     """One served model: resolved predict path, advisor, optional batcher."""
 
-    def __init__(self, name: str, model: Any, *, batcher: bool, max_batch_rows: int) -> None:
+    def __init__(
+        self,
+        name: str,
+        model: Any,
+        *,
+        batcher: bool,
+        max_batch_rows: int,
+        digest: Optional[str] = None,
+        arena: Optional[SharedArena] = None,
+        source: str = "static",
+    ) -> None:
         self.name = name
         self.model = model
+        self.digest = digest
+        self.arena = arena
+        self.source = source
         # A ResourceAdvisor hosts its estimator; a bare estimator hosts
         # itself.  ``predict`` always resolves to the *local* single-call
         # entry point — the exact function a user would call directly,
@@ -119,6 +152,8 @@ class _HostedModel:
     def close(self) -> None:
         if self.batcher is not None:
             self.batcher.close()
+        if self.arena is not None:
+            self.arena.close()
 
 
 class ServeServer(FrameService):
@@ -130,20 +165,42 @@ class ServeServer(FrameService):
         A single fitted model, or a mapping ``name -> model``.  A lone model
         is hosted as ``"default"``.  Each model must expose ``predict``
         (directly or via ``.estimator``); models exposing ``answer`` (the
-        :class:`ResourceAdvisor` surface) additionally serve ``ask``.
+        :class:`ResourceAdvisor` surface) additionally serve ``ask``.  With
+        a ``registry``, ``models`` may be empty (``{}``): every model is
+        then routed lazily by alias.
     micro_batch:
         When true (default), predict requests coalesce through a per-model
         :class:`MicroBatcher`; when false every request runs its own model
         call (the single-flight baseline the benchmark compares against).
     registry:
-        Optional :class:`ModelRegistry` whose counters are included in
-        ``stats`` (the CLI passes the registry it warm-loaded from).
+        Optional :class:`ModelRegistry`.  Besides contributing counters to
+        ``stats``, it turns the server multi-model: a request alias not in
+        ``models`` is resolved and warm-loaded on first use, LRU-capped at
+        ``max_models``.
+    max_models:
+        Cap on *registry-routed* resident models (statically passed models
+        are pinned and never evicted).  ``None`` means unlimited.  Evicted
+        models simply reload on their next request, digest re-verified.
+    max_inflight:
+        Bound on concurrently processing predict/ask requests.  Past it,
+        requests fail fast with a retryable ``overloaded: ...`` error
+        instead of queueing unboundedly.  ``None`` means unbounded.
+    shared_arenas:
+        Share packed arenas host-wide through ``multiprocessing.shared_memory``
+        keyed by artifact digest.  ``None`` (default) enables sharing
+        exactly when a registry is present; sharing failures silently fall
+        back to private arrays.
+    model_digests:
+        Registry digests for *statically* passed models (``name ->
+        digest``), letting their arenas join the host-shared segments too.
+        The CLI passes the digest it warm-loaded or published.
     timeout / max_connections:
         Wire-scaffolding robustness knobs (see
         :class:`~repro.parallel.wire.FrameService`): silent or half-framed
         clients are disconnected after ``timeout`` seconds — reclaiming
         their handler threads — and connections past ``max_connections``
-        are shed instead of queueing threads unboundedly.
+        are shed instead of queueing threads unboundedly (shed connections
+        receive an ``overloaded`` frame before the close).
     """
 
     scheme = SERVE_URL_SCHEME
@@ -158,33 +215,73 @@ class ServeServer(FrameService):
         max_batch_rows: int = 1024,
         registry: Optional[ModelRegistry] = None,
         warm: bool = True,
+        max_models: Optional[int] = None,
+        max_inflight: Optional[int] = None,
+        shared_arenas: Optional[bool] = None,
+        model_digests: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = DEFAULT_TIMEOUT,
         max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS,
     ) -> None:
         if not isinstance(models, Mapping):
             models = {"default": models}
-        if not models:
-            raise ValueError("ServeServer needs at least one model.")
+        if not models and registry is None:
+            raise ValueError(
+                "ServeServer needs at least one model (or a registry to "
+                "route aliases through)."
+            )
         self.micro_batch = bool(micro_batch)
         self.registry = registry
+        self.max_models = int(max_models) if max_models and max_models > 0 else None
+        self.max_inflight = (
+            int(max_inflight) if max_inflight and max_inflight > 0 else None
+        )
+        self.shared_arenas = (
+            bool(registry) if shared_arenas is None else bool(shared_arenas)
+        )
+        self._max_batch_rows = int(max_batch_rows)
         self.models: dict[str, _HostedModel] = {}
+        # Registry-routed residents, least recently used first.  Guarded by
+        # _models_lock; _load_lock serializes the loads themselves so one
+        # alias is never loaded twice concurrently.
+        self._dynamic: "OrderedDict[str, _HostedModel]" = OrderedDict()
+        self._models_lock = threading.Lock()
+        self._load_lock = threading.Lock()
+        self._models_loaded = 0
+        self._models_evicted = 0
         # Several names may alias one model object (the CLI serves the
         # registry alias and "default" as the same model); they share one
         # hosted entry so coalescing is not split across names.
+        digests = dict(model_digests or {})
         hosted_by_id: dict[int, _HostedModel] = {}
         for name, model in models.items():
             hosted = hosted_by_id.get(id(model))
             if hosted is None:
+                digest = digests.get(name)
+                arena = (
+                    attach_shared_arena(model, digest)
+                    if self.shared_arenas and digest
+                    else None
+                )
                 if warm:
+                    # After the arena swap, so traversal tables build on
+                    # the shared views.
                     warm_model(model)
                 hosted = _HostedModel(
-                    name, model, batcher=self.micro_batch, max_batch_rows=max_batch_rows
+                    name,
+                    model,
+                    batcher=self.micro_batch,
+                    max_batch_rows=max_batch_rows,
+                    digest=digest,
+                    arena=arena,
+                    source="static",
                 )
                 hosted_by_id[id(model)] = hosted
             self.models[name] = hosted
         self._counters = {name: 0 for name in _OP_NAMES.values()}
         self._counter_lock = threading.Lock()
         self._error_count = 0
+        self._inflight = 0
+        self._requests_shed = 0
         self._started_at = time.monotonic()
         try:
             super().__init__(
@@ -193,7 +290,7 @@ class ServeServer(FrameService):
         except Exception:
             # A failed bind (port in use, bad interface) must not leak the
             # already-started batcher worker threads.
-            for hosted in self.models.values():
+            for hosted in self._all_hosted():
                 hosted.close()
             raise
 
@@ -203,8 +300,25 @@ class ServeServer(FrameService):
 
     def shutdown(self) -> None:
         super().shutdown()
-        for hosted in self.models.values():
+        for hosted in self._all_hosted():
             hosted.close()
+
+    def _all_hosted(self) -> list[_HostedModel]:
+        """Every distinct hosted entry — static (deduped) and dynamic."""
+        out: dict[int, _HostedModel] = {}
+        for hosted in self.models.values():
+            out[id(hosted)] = hosted
+        with self._models_lock:
+            dynamic = list(self._dynamic.values())
+        for hosted in dynamic:
+            out[id(hosted)] = hosted
+        return list(out.values())
+
+    def model_names(self) -> list[str]:
+        """Names currently resident (static + registry-routed), sorted."""
+        with self._models_lock:
+            dynamic = list(self._dynamic)
+        return sorted(set(self.models) | set(dynamic))
 
     # -------------------------------------------------------------- dispatch
 
@@ -224,6 +338,11 @@ class ServeServer(FrameService):
     def _internal_error_frame(self) -> bytes:
         return ST_ERR + b"internal error"
 
+    def _shed_frame(self) -> bytes:
+        # Wire-level sheds (connection cap) now speak the same retryable
+        # refusal the request-level budget does, instead of a bare EOF.
+        return ST_ERR + b"overloaded: connection limit reached (retryable)"
+
     def _dispatch(self, request: bytes) -> bytes:
         op = request[:1]
         name = _OP_NAMES.get(op)
@@ -238,9 +357,28 @@ class ServeServer(FrameService):
         if op == OP_STATS:
             return self._json(self.stats())
         fields = self._parse_body(request[1:])
-        if op == OP_PREDICT:
-            return self._json(self._predict(fields))
-        return self._json(self._ask(fields))
+        # Admission control: model-work endpoints only — health/stats/ping
+        # must stay answerable from an overloaded server.
+        if not self._admit():
+            raise _RequestError(
+                "overloaded: server at max in-flight requests (retryable; "
+                "try another replica)"
+            )
+        try:
+            if op == OP_PREDICT:
+                return self._json(self._predict(fields))
+            return self._json(self._ask(fields))
+        finally:
+            with self._counter_lock:
+                self._inflight -= 1
+
+    def _admit(self) -> bool:
+        with self._counter_lock:
+            if self.max_inflight is not None and self._inflight >= self.max_inflight:
+                self._requests_shed += 1
+                return False
+            self._inflight += 1
+            return True
 
     @staticmethod
     def _json(obj: Any) -> bytes:
@@ -259,14 +397,81 @@ class ServeServer(FrameService):
     def _hosted(self, fields: dict) -> tuple[str, _HostedModel]:
         """Resolve the requested model; returns the *requested* name too
         (aliases share one hosted entry, but responses must echo the name
-        the client asked for)."""
+        the client asked for).
+
+        Static models are pinned; anything else routes through the
+        registry — resident aliases are LRU-touched, absent ones are
+        loaded on the spot (and may evict the coldest resident).
+        """
         name = fields.get("model", "default")
+        if not isinstance(name, str):
+            raise _RequestError("model must be a string alias")
         hosted = self.models.get(name)
-        if hosted is None:
+        if hosted is not None:
+            return name, hosted
+        with self._models_lock:
+            hosted = self._dynamic.get(name)
+            if hosted is not None:
+                self._dynamic.move_to_end(name)
+                return name, hosted
+        if self.registry is None:
             raise _RequestError(
-                f"unknown model {name!r} (serving: {sorted(self.models)})"
+                f"unknown model {name!r} (serving: {self.model_names()})"
             )
-        return name, hosted
+        return name, self._load_dynamic(name)
+
+    def _load_dynamic(self, name: str) -> _HostedModel:
+        """Warm-load ``name`` from the registry into the LRU residents."""
+        with self._load_lock:
+            # Double-check after winning the load lock: a concurrent
+            # request may have loaded this alias while we waited.
+            with self._models_lock:
+                hosted = self._dynamic.get(name)
+                if hosted is not None:
+                    self._dynamic.move_to_end(name)
+                    return hosted
+            loaded = self.registry.load_with_digest(name, warm=False)
+            if loaded is None:
+                raise _RequestError(
+                    f"unknown model {name!r} (serving: {self.model_names()}; "
+                    f"registry aliases: {sorted(self.registry.aliases())})"
+                )
+            digest, model = loaded
+            arena = (
+                attach_shared_arena(model, digest) if self.shared_arenas else None
+            )
+            warm_model(model)
+            try:
+                hosted = _HostedModel(
+                    name,
+                    model,
+                    batcher=self.micro_batch,
+                    max_batch_rows=self._max_batch_rows,
+                    digest=digest,
+                    arena=arena,
+                    source="registry",
+                )
+            except TypeError as exc:
+                if arena is not None:
+                    arena.close()
+                raise _RequestError(f"model {name!r} is not servable: {exc}")
+            evicted: list[_HostedModel] = []
+            with self._models_lock:
+                self._dynamic[name] = hosted
+                self._dynamic.move_to_end(name)
+                while (
+                    self.max_models is not None
+                    and len(self._dynamic) > self.max_models
+                ):
+                    _, cold = self._dynamic.popitem(last=False)
+                    evicted.append(cold)
+                self._models_loaded += 1
+                self._models_evicted += len(evicted)
+        # Close evicted models outside every lock: batcher close drains the
+        # queue (riders already accepted still get answers) and may block.
+        for cold in evicted:
+            cold.close()
+        return hosted
 
     # ------------------------------------------------------------- endpoints
 
@@ -291,6 +496,12 @@ class ServeServer(FrameService):
                 y = hosted.predict(X)
         except ValueError as exc:
             raise _RequestError(str(exc))
+        except RuntimeError:
+            # The model was LRU-evicted between routing and submit; its
+            # batcher is closed.  The next attempt reloads it.
+            raise _RequestError(
+                f"model {name!r} was evicted mid-request (retryable)"
+            )
         return {"model": name, "n_rows": int(X.shape[0]), "y": y.tolist()}
 
     @staticmethod
@@ -327,21 +538,37 @@ class ServeServer(FrameService):
         return {
             "status": "ok",
             "protocol": SERVE_PROTOCOL_VERSION,
-            "models": sorted(self.models),
+            "models": self.model_names(),
             "micro_batch": self.micro_batch,
+            "routed": self.registry is not None,
             "uptime_s": time.monotonic() - self._started_at,
             "pid": os.getpid(),
         }
 
     def stats(self) -> dict:
         """Server counters; also what the ``stats`` endpoint returns."""
+        with self._models_lock:
+            resident = list(self._dynamic.items())
+            loaded, evicted = self._models_loaded, self._models_evicted
         models = {}
-        for name, hosted in self.models.items():
+        arenas = {"shared": self.shared_arenas, "segments": 0, "nbytes": 0}
+        counted: set[int] = set()
+        for name, hosted in list(self.models.items()) + resident:
             models[name] = {
                 "n_features": hosted.n_features,
                 "advisor": hosted.advisor is not None,
+                "source": hosted.source,
+                "digest": hosted.digest,
+                "arena": hosted.arena.stats() if hosted.arena else None,
                 "batcher": hosted.batcher.stats() if hosted.batcher else None,
             }
+            # Aliases share hosted entries; count each segment once.
+            if hosted.arena is not None and id(hosted) not in counted:
+                counted.add(id(hosted))
+                arenas["segments"] += 1
+                arenas["nbytes"] += hosted.arena.nbytes
+        with self._counter_lock:
+            inflight, shed = self._inflight, self._requests_shed
         return {
             "uptime_s": time.monotonic() - self._started_at,
             "micro_batch": self.micro_batch,
@@ -351,6 +578,19 @@ class ServeServer(FrameService):
                 "open": self.open_connections,
                 "shed": self.connections_shed,
             },
+            "admission": {
+                "max_inflight": self.max_inflight,
+                "inflight": inflight,
+                "requests_shed": shed,
+            },
+            "routing": {
+                "max_models": self.max_models,
+                "static": sorted(self.models),
+                "resident": [name for name, _ in resident],
+                "models_loaded": loaded,
+                "models_evicted": evicted,
+            },
+            "arenas": arenas,
             "models": models,
             "registry": self.registry.stats() if self.registry else None,
         }

@@ -17,6 +17,21 @@ def rng() -> np.random.Generator:
 
 
 @pytest.fixture(scope="session")
+def session_memo_dir(request):
+    """A memo-store directory that outlives the pytest session.
+
+    Lives in pytest's own cache (``.pytest_cache``), so warm reruns of
+    expensive content-keyed work — the real hyper-parameter searches behind
+    ``tests/core/test_hyperopt.py`` — skip straight to the stored results.
+    Memo keys embed the full experimental content (grids, cv, seed, data
+    bytes), so config edits invalidate naturally; ``pytest --cache-clear``
+    forces a cold run, and CI keys its cache of this directory on the
+    source tree so code changes never serve stale fits.
+    """
+    return request.config.cache.mkdir("repro-memo-store")
+
+
+@pytest.fixture(scope="session")
 def linear_data():
     """Linear data with mild noise: easy for every model."""
     rng = np.random.default_rng(0)

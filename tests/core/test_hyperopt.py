@@ -7,16 +7,27 @@ from repro.core.hyperopt import SEARCH_STRATEGIES, run_model_comparison
 
 class TestModelComparison:
     @pytest.fixture(scope="class")
-    def results(self, small_aurora_dataset):
-        return run_model_comparison(
-            small_aurora_dataset,
-            models=["PR", "DT", "GB"],
-            strategies=("GridSearchCV", "RandomizedSearchCV"),
-            scale="fast",
-            cv=3,
-            seed=0,
-            max_train_samples=80,
-        )
+    def results(self, small_aurora_dataset, session_memo_dir):
+        # The ~9s of real searches ride the session memo store: a warm
+        # rerun of the suite loads the stored (model, strategy) results
+        # byte-for-byte instead of refitting.  The store is activated only
+        # around this sweep so no other test inherits it by accident.
+        from repro.parallel.store import active_memo_dir, configure_store
+
+        previous = active_memo_dir()
+        configure_store(session_memo_dir)
+        try:
+            return run_model_comparison(
+                small_aurora_dataset,
+                models=["PR", "DT", "GB"],
+                strategies=("GridSearchCV", "RandomizedSearchCV"),
+                scale="fast",
+                cv=3,
+                seed=0,
+                max_train_samples=80,
+            )
+        finally:
+            configure_store(previous)
 
     def test_one_result_per_model_and_strategy(self, results):
         assert len(results) == 3 * 2

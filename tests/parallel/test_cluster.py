@@ -297,6 +297,74 @@ def _spawn_worker(url, name, *, extra_pythonpath=None, heartbeat_interval=0.2):
     return proc
 
 
+class TestDispatcherStatus:
+    """The STATS observer opcode and the ``cluster-status`` CLI verb."""
+
+    def test_status_reads_live_counters_from_outside(self):
+        dispatcher = ensure_dispatcher("cluster://127.0.0.1:0")
+        # Quiet dispatcher first: the remote read IS the local snapshot.
+        assert cluster_mod.dispatcher_status(dispatcher.url) == dispatcher.stats()
+        worker, _thread = _thread_worker(dispatcher.url, name="obs-w0")
+        try:
+            _wait_for_workers(dispatcher, 1, timeout=10.0)
+            workers = cluster_mod.dispatcher_status(dispatcher.url)["workers"]
+            assert any(name.startswith("obs-w0") for name in workers)
+        finally:
+            worker.stop()
+
+    def test_dead_dispatcher_is_a_connection_error(self):
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        with pytest.raises(ConnectionError, match="no cluster dispatcher"):
+            cluster_mod.dispatcher_status(
+                f"cluster://127.0.0.1:{free_port}", timeout=1.0
+            )
+
+    def test_cli_verb_prints_stats_json(self):
+        import json as json_mod
+
+        dispatcher = ensure_dispatcher("cluster://127.0.0.1:0")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "cluster-status",
+             "--dispatcher", dispatcher.url],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env={**os.environ, "PYTHONPATH": str(Path(repro.__file__).parents[1])},
+        )
+        assert proc.returncode == 0, proc.stderr
+        stats = json_mod.loads(proc.stdout)
+        assert stats["workers"] == []
+        assert stats["batches_done"] == 0
+
+    def test_cli_verb_fails_cleanly_without_a_dispatcher(self):
+        env = {**os.environ, "PYTHONPATH": str(Path(repro.__file__).parents[1])}
+        env.pop(CLUSTER_URL_ENV, None)
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            free_port = probe.getsockname()[1]
+        dead = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "cluster-status",
+             "--dispatcher", f"cluster://127.0.0.1:{free_port}",
+             "--timeout", "1"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env=env,
+        )
+        assert dead.returncode == 1
+        assert "no cluster dispatcher" in dead.stderr + dead.stdout
+        unconfigured = subprocess.run(
+            [sys.executable, "-m", "repro.cli", "cluster-status"],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env=env,
+        )
+        assert unconfigured.returncode == 2
+
+
 def _wait_for_workers(dispatcher, n, timeout=20.0):
     deadline = time.monotonic() + timeout
     while time.monotonic() < deadline:

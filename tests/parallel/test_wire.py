@@ -233,6 +233,36 @@ class TestAdmissionGuard:
             assert _healthy_echo(echo, b"hi") == b"+hi"
 
 
+class _SheddingEchoService(_EchoService):
+    """Echo service that announces overload instead of closing silently."""
+
+    def _shed_frame(self):
+        return b"!overloaded-for-test"
+
+
+class TestShedFrame:
+    def test_shed_connection_receives_the_overload_frame(self):
+        with _SheddingEchoService(timeout=5.0, max_connections=1) as echo:
+            with socket.create_connection((echo.host, echo.port), timeout=5.0) as held:
+                assert _wait_until(lambda: echo.open_connections == 1)
+                with socket.create_connection(
+                    (echo.host, echo.port), timeout=5.0
+                ) as extra:
+                    extra.settimeout(5.0)
+                    rfile = extra.makefile("rb")
+                    # A full frame arrives before the close: the client can
+                    # tell "overloaded, retry elsewhere" from a dead peer.
+                    assert read_frame(rfile) == b"!overloaded-for-test"
+                    assert extra.recv(1) == b""
+                assert _wait_until(lambda: echo.connections_shed >= 1)
+                held.close()
+
+    def test_default_shed_is_a_silent_close(self):
+        # The base FrameService keeps the historical contract: no frame,
+        # just EOF (asserted in TestAdmissionGuard); _shed_frame says so.
+        assert wire.FrameService._shed_frame(_EchoService.__new__(_EchoService)) is None
+
+
 class TestSingleSourceOfTruth:
     def test_memo_service_consumes_wire(self):
         # The memo service's historical private names must be the wire

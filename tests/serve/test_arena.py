@@ -1,0 +1,185 @@
+"""Tests for the host-shared packed arenas (``repro.serve.arena``).
+
+The contract: sharing is an optimisation with a hard parity bar — a
+view-backed ensemble predicts byte-identically to the private one — and
+every failure mode (foreign segment, stale content, missing support)
+degrades to the private arrays, never to wrong answers.
+"""
+
+from __future__ import annotations
+
+import gc
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from repro.ml.packed import PackedEnsemble
+from repro.ml.tree import DecisionTreeRegressor
+from repro.serve.arena import (
+    ARENA_FORMAT_VERSION,
+    attach_shared_arena,
+    share_packed,
+    _segment_name,
+)
+
+_FIELDS = (
+    "feature",
+    "threshold",
+    "children_left",
+    "children_right",
+    "value",
+    "n_node_samples",
+    "offsets",
+)
+
+
+@pytest.fixture(scope="module")
+def packed() -> PackedEnsemble:
+    rng = np.random.default_rng(0)
+    X = rng.normal(size=(150, 5))
+    y = rng.normal(size=150)
+    trees = []
+    for seed in range(4):
+        tree = DecisionTreeRegressor(max_depth=3, random_state=seed)
+        tree.fit(X, y)
+        trees.append(tree)
+    return PackedEnsemble.from_trees(trees)
+
+
+def _drop(*ensembles) -> None:
+    """Release view-backed ensembles so close() can unmap the segment."""
+    for ens in ensembles:
+        for name in _FIELDS:
+            setattr(ens, name, None)
+        ens._trav = None
+    gc.collect()
+
+
+class TestSharePacked:
+    def test_create_then_attach_round_trip(self, packed):
+        key = "11" * 20
+        created = share_packed(packed, key)
+        assert created is not None
+        ens_a, handle_a = created
+        try:
+            assert handle_a.created
+            attached = share_packed(packed, key)
+            assert attached is not None
+            ens_b, handle_b = attached
+            try:
+                assert not handle_b.created
+                assert handle_b.name == handle_a.name
+                for name in _FIELDS:
+                    ours = getattr(packed, name)
+                    for ens in (ens_a, ens_b):
+                        view = getattr(ens, name)
+                        assert view.tobytes() == ours.tobytes()
+                        assert not view.flags.writeable
+            finally:
+                _drop(ens_b)
+                handle_b.close()
+        finally:
+            _drop(ens_a)
+            handle_a.close()
+
+    def test_view_backed_traversal_is_byte_identical(self, packed):
+        key = "22" * 20
+        ens, handle = share_packed(packed, key)
+        try:
+            rng = np.random.default_rng(1)
+            X = rng.normal(size=(64, packed.n_features_in))
+            local = packed.accumulate(X, init=0.25, scale=0.1)
+            shared = ens.accumulate(X, init=0.25, scale=0.1)
+            assert shared.tobytes() == local.tobytes()
+        finally:
+            _drop(ens)
+            handle.close()
+
+    def test_creator_close_unlinks_the_segment(self, packed):
+        key = "33" * 20
+        ens, handle = share_packed(packed, key)
+        name = handle.name
+        _drop(ens)
+        handle.close()
+        with pytest.raises(FileNotFoundError):
+            shared_memory.SharedMemory(name=name)
+        # And a fresh share simply creates again.
+        ens2, handle2 = share_packed(packed, key)
+        assert handle2.created
+        _drop(ens2)
+        handle2.close()
+
+    def test_close_is_idempotent(self, packed):
+        ens, handle = share_packed(packed, "44" * 20)
+        _drop(ens)
+        handle.close()
+        handle.close()
+
+    def test_foreign_segment_falls_back_to_private(self, packed):
+        key = "55" * 20
+        shm = shared_memory.SharedMemory(
+            name=_segment_name(key), create=True, size=128
+        )
+        try:
+            shm.buf[:4] = b"junk"
+            assert share_packed(packed, key) is None
+        finally:
+            shm.close()
+            shm.unlink()
+
+    def test_key_mismatch_falls_back_to_private(self, packed):
+        key_a, key_b = "66" * 20, "77" * 20
+        ens, handle = share_packed(packed, key_a)
+        try:
+            # Same *content*, wrong key: the segment name for key_b is
+            # different, so this creates its own segment -- force the
+            # collision by creating key_b's segment as a copy of key_a's
+            # header (which embeds key_a).
+            src = shared_memory.SharedMemory(name=handle.name)
+            clone = shared_memory.SharedMemory(
+                name=_segment_name(key_b), create=True, size=src.size
+            )
+            try:
+                clone.buf[:] = src.buf[:]
+                assert share_packed(packed, key_b) is None
+            finally:
+                clone.close()
+                clone.unlink()
+                src.close()
+        finally:
+            _drop(ens)
+            handle.close()
+
+    def test_unusable_key_is_a_clean_fallback(self, packed):
+        assert share_packed(packed, "!!!") is None
+
+    def test_segment_name_is_versioned(self):
+        assert f"-{ARENA_FORMAT_VERSION}-" in _segment_name("ab" * 20)
+
+
+class TestAttachSharedArena:
+    def test_swaps_the_estimator_arena(self, tiny_advisor, probe_X):
+        import pickle
+
+        # A private copy of the served advisor, as a registry load produces.
+        advisor = pickle.loads(pickle.dumps(tiny_advisor))
+        local = tiny_advisor.estimator.predict(probe_X)
+        key = "88" * 20
+        handle = attach_shared_arena(advisor, key)
+        assert handle is not None
+        try:
+            gb = advisor.estimator.model_
+            assert not gb._packed_ensemble().feature.flags.writeable
+            served = advisor.estimator.predict(probe_X)
+            assert served.tobytes() == local.tobytes()
+        finally:
+            _drop(advisor.estimator.model_._packed)
+            advisor.estimator.model_._packed = None
+            handle.close()
+
+    def test_model_without_packed_surface_returns_none(self):
+        class NotAModel:
+            pass
+
+        assert attach_shared_arena(NotAModel(), "99" * 20) is None

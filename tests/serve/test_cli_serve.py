@@ -20,8 +20,12 @@ import repro
 from repro.cli import _serve_fit_advisor
 from repro.serve import ServeClient
 
+# ``hist`` keeps the two subprocess fits cheap (the binned fit path is the
+# fast engine) without touching the parity bar: the local comparison fit
+# below uses the identical method.
 _SERVE_ARGS = dict(
-    machine="aurora", preset="fast", seed=0, rows=150, trees=12, depth=3
+    machine="aurora", preset="fast", seed=0, rows=150, trees=12, depth=3,
+    tree_method="hist",
 )
 
 
@@ -43,6 +47,7 @@ def serve_proc(tmp_path_factory):
             "--rows", str(_SERVE_ARGS["rows"]),
             "--trees", str(_SERVE_ARGS["trees"]),
             "--depth", str(_SERVE_ARGS["depth"]),
+            "--tree-method", _SERVE_ARGS["tree_method"],
             "--port", "0",
             "--registry", str(registry),
         ],

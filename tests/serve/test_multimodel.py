@@ -1,0 +1,195 @@
+"""Tests for registry-routed multi-model hosting (ISSUE 8 tentpole).
+
+Two contracts under test: interleaved requests against different aliases
+never cross-contaminate micro-batches (every answer is byte-identical to
+the alias's own local estimator), and LRU eviction under ``max_models``
+is invisible to correctness — an evicted alias reloads from the registry
+(digest re-verified by the load path) and keeps answering with parity.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+
+import numpy as np
+import pytest
+
+from repro.serve import ModelRegistry, ServeClient, ServeError, ServeServer
+
+
+class ScaledEstimator:
+    """A distinct second model: same inputs, recognisably different outputs.
+
+    Module-level so it pickles through the registry.
+    """
+
+    def __init__(self, base, factor: float) -> None:
+        self._base = base
+        self._factor = factor
+        self.n_features_in_ = base.n_features_in_
+
+    def predict(self, X):
+        return self._base.predict(X) * self._factor
+
+
+@pytest.fixture()
+def registry(tmp_path, tiny_advisor):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish(tiny_advisor, name="alpha")
+    registry.publish(
+        ScaledEstimator(tiny_advisor.estimator, -3.5), name="beta"
+    )
+    registry.publish(
+        ScaledEstimator(tiny_advisor.estimator, 7.25), name="gamma"
+    )
+    return registry
+
+
+@pytest.fixture()
+def locals_by_alias(registry, probe_X):
+    return {
+        alias: registry.load(alias).predict(probe_X)
+        if alias != "alpha"
+        else registry.load(alias).estimator.predict(probe_X)
+        for alias in ("alpha", "beta", "gamma")
+    }
+
+
+class TestRegistryRouting:
+    def test_alias_routes_lazily_through_the_registry(
+        self, registry, probe_X, locals_by_alias
+    ):
+        with ServeServer({}, registry=registry) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                assert server.model_names() == []
+                served = client.predict(probe_X, model="beta")
+                assert served.tobytes() == locals_by_alias["beta"].tobytes()
+                assert server.model_names() == ["beta"]
+                routing = server.stats()["routing"]
+                assert routing["models_loaded"] == 1
+                assert routing["resident"] == ["beta"]
+            finally:
+                client.close()
+
+    def test_unknown_alias_is_a_request_error(self, registry, probe_X):
+        with ServeServer({}, registry=registry) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                with pytest.raises(ServeError, match="unknown model"):
+                    client.predict(probe_X, model="never-published")
+            finally:
+                client.close()
+
+    def test_interleaved_aliases_never_cross_contaminate(
+        self, registry, probe_X, locals_by_alias
+    ):
+        aliases = ("alpha", "beta", "gamma")
+        with ServeServer({}, registry=registry) as server:
+            errors: list[str] = []
+            barrier = threading.Barrier(len(aliases) * 2)
+
+            def hammer(alias: str) -> None:
+                client = ServeClient(server.url, timeout=10.0)
+                local = locals_by_alias[alias]
+                try:
+                    barrier.wait(timeout=10.0)
+                    for i in range(12):
+                        row = probe_X[i % len(probe_X)]
+                        got = client.predict(row, model=alias)
+                        want = local[i % len(probe_X)]
+                        if got[0] != want:
+                            errors.append(
+                                f"{alias}[{i}]: served {got[0]!r} != local {want!r}"
+                            )
+                            return
+                finally:
+                    client.close()
+
+            threads = [
+                threading.Thread(target=hammer, args=(alias,), daemon=True)
+                for alias in aliases
+                for _ in range(2)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=30.0)
+            assert errors == []
+            assert sorted(server.model_names()) == sorted(aliases)
+
+
+class TestLRUEviction:
+    def test_eviction_and_reload_keep_parity(
+        self, registry, probe_X, locals_by_alias
+    ):
+        with ServeServer({}, registry=registry, max_models=2) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                for alias in ("alpha", "beta"):
+                    client.predict(probe_X, model=alias)
+                assert server.stats()["routing"]["resident"] == ["alpha", "beta"]
+
+                # A third alias evicts the least recently used (alpha).
+                client.predict(probe_X, model="gamma")
+                routing = server.stats()["routing"]
+                assert routing["models_evicted"] == 1
+                assert routing["resident"] == ["beta", "gamma"]
+
+                # The evicted alias reloads transparently — the registry
+                # re-verifies the artifact digest on load — and answers
+                # byte-identically; now *beta* is the LRU entry.
+                served = client.predict(probe_X, model="alpha")
+                assert served.tobytes() == locals_by_alias["alpha"].tobytes()
+                assert server.stats()["routing"]["resident"] == ["gamma", "alpha"]
+                assert server.stats()["routing"]["models_loaded"] == 4
+            finally:
+                client.close()
+
+    def test_use_refreshes_recency(self, registry, probe_X):
+        with ServeServer({}, registry=registry, max_models=2) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                client.predict(probe_X, model="alpha")
+                client.predict(probe_X, model="beta")
+                client.predict(probe_X, model="alpha")  # refresh alpha
+                client.predict(probe_X, model="gamma")  # evicts beta, not alpha
+                assert server.stats()["routing"]["resident"] == ["alpha", "gamma"]
+            finally:
+                client.close()
+
+    def test_static_models_are_never_evicted(
+        self, registry, tiny_advisor, probe_X
+    ):
+        with ServeServer(
+            {"pinned": tiny_advisor}, registry=registry, max_models=1
+        ) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                client.predict(probe_X, model="beta")
+                client.predict(probe_X, model="gamma")  # evicts beta
+                stats = server.stats()
+                assert stats["routing"]["static"] == ["pinned"]
+                assert "pinned" in stats["models"]
+                local = tiny_advisor.estimator.predict(probe_X)
+                served = client.predict(probe_X, model="pinned")
+                assert served.tobytes() == local.tobytes()
+            finally:
+                client.close()
+
+    def test_eviction_is_digest_stable(self, registry, probe_X):
+        digests = {
+            alias: registry.resolve(alias) for alias in ("alpha", "beta")
+        }
+        with ServeServer({}, registry=registry, max_models=1) as server:
+            client = ServeClient(server.url, timeout=5.0)
+            try:
+                client.predict(probe_X, model="alpha")
+                first = server.stats()["models"]["alpha"]["digest"]
+                client.predict(probe_X, model="beta")  # evicts alpha
+                client.predict(probe_X, model="alpha")  # reloads alpha
+                second = server.stats()["models"]["alpha"]["digest"]
+                assert first == second == digests["alpha"]
+            finally:
+                client.close()
