@@ -366,6 +366,18 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     p_serve.add_argument(
+        "--max-pending",
+        type=int,
+        default=None,
+        metavar="N",
+        help=(
+            "Bound on a model batcher's pending rows (submitted, not yet "
+            "answered); predicts arriving past it are shed with a "
+            "retryable 'overloaded' error. Queue-pressure companion to "
+            "--max-inflight. Default: unbounded."
+        ),
+    )
+    p_serve.add_argument(
         "--private-arenas",
         action="store_true",
         help=(
@@ -403,7 +415,23 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_query.add_argument("-O", "--occupied", type=int, default=None)
     p_query.add_argument("-V", "--virtual", type=int, default=None)
-    p_query.add_argument("--timeout", type=float, default=10.0)
+    p_query.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        help="Per-socket-operation timeout in seconds (default: 10).",
+    )
+    p_query.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "Extra fleet-wide retry rounds (jittered backoff) when every "
+            "replica is unreachable or overloaded; seed the jitter with "
+            "$REPRO_RETRY_SEED for reproducible timing. Default: 1."
+        ),
+    )
 
     p_cstat = sub.add_parser(
         "cluster-status",
@@ -421,6 +449,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="Dispatcher URL (default: $REPRO_CLUSTER_URL).",
     )
     p_cstat.add_argument("--timeout", type=float, default=5.0)
+    p_cstat.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "Extra re-dials (jittered backoff) when the dispatcher is "
+            "unreachable. Default: 0 (one shot)."
+        ),
+    )
 
     return parser
 
@@ -701,6 +739,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         registry=registry,
         max_models=args.max_models,
         max_inflight=args.max_inflight,
+        max_pending=args.max_pending,
         shared_arenas=False if args.private_arenas else None,
         model_digests=(
             {name: digest, "default": digest} if digest is not None else None
@@ -738,7 +777,15 @@ def _cmd_query(args: argparse.Namespace) -> int:
     urls = args.url or [
         os.environ.get("REPRO_SERVE_URL") or "serve://127.0.0.1:7601"
     ]
-    client = ServeClient(",".join(urls), timeout=args.timeout)
+    try:
+        client = ServeClient(
+            ",".join(urls), timeout=args.timeout, retries=max(0, args.retries)
+        )
+    except ValueError as exc:
+        # A malformed URL is a configuration typo: same clean one-line
+        # contract as an unreachable server, not a traceback.
+        print(f"query: {exc}", file=sys.stderr)
+        return 2
     fleet = ",".join(client.urls)
     try:
         if args.action == "ping":
@@ -807,8 +854,10 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
         )
         return 2
     try:
-        stats = dispatcher_status(args.dispatcher, timeout=args.timeout)
-    except (ConnectionError, ProtocolError, ValueError) as exc:
+        stats = dispatcher_status(
+            args.dispatcher, timeout=args.timeout, retries=max(0, args.retries)
+        )
+    except (OSError, ProtocolError, ValueError) as exc:
         # Dead run, typo'd URL or a non-dispatcher service: clean message
         # and non-zero exit, never a traceback.
         print(f"cluster-status: {exc}", file=sys.stderr)

@@ -81,6 +81,7 @@ from repro.parallel.executors import (
     ExecutorUnavailableError,
     register_executor,
 )
+from repro.parallel.resilience import RetryPolicy, policy_rng
 from repro.parallel.store import _MAGIC
 from repro.parallel.wire import (
     DEFAULT_MAX_CONNECTIONS,
@@ -143,6 +144,13 @@ _PING_BANNER = f"repro-cluster/{CLUSTER_PROTOCOL_VERSION}".encode("ascii")
 # Result payload statuses (inside an _OP_RESULT frame).
 _RESULT_OK = b"+"
 _RESULT_EXC = b"!"
+_RESULT_BAD = b"?"   # payload arrived unusable (wire rot): not a task failure
+
+#: A task whose payload reads as unusable this many times stops being
+#: re-queued: its result slot poisons to an unreadable blob, which the
+#: executor maps to :class:`ExecutorUnavailableError` — the run degrades
+#: to the bit-identical serial path instead of crashing or livelocking.
+_BAD_PAYLOAD_LIMIT = 3
 
 _DEFAULT_WORKER_WAIT = 10.0
 _DEFAULT_HEARTBEAT_TIMEOUT = 10.0
@@ -262,8 +270,10 @@ class ClusterDispatcher(FrameService):
         self._queue: deque[int] = deque()
         self._assigned: dict[int, list[tuple[str, float]]] = {}
         self._results: dict[int, tuple[bool, bytes]] = {}
+        self._bad_payloads: dict[int, int] = {}
         self._batches_done = 0
         self._tasks_redispatched = 0
+        self._payloads_rejected = 0
         # Serialises whole batches (submit-to-collect), not frame handling.
         self._batch_lock = threading.Lock()
 
@@ -297,6 +307,7 @@ class ClusterDispatcher(FrameService):
                 self._queue = deque(order)
                 self._assigned = {}
                 self._results = {}
+                self._bad_payloads = {}
                 self._batch_active = True
             try:
                 return self._collect(len(payloads), worker_wait, poll_interval)
@@ -452,7 +463,7 @@ class ClusterDispatcher(FrameService):
         worker_id, offset = unpack_str(request, 1)
         token, offset = unpack_str(request, offset)
         status = request[offset:offset + 1]
-        if status not in (_RESULT_OK, _RESULT_EXC):
+        if status not in (_RESULT_OK, _RESULT_EXC, _RESULT_BAD):
             raise ProtocolError("bad result status")
         blob = request[offset + 1:]
         generation_s, sep, idx_s = token.partition(":")
@@ -467,6 +478,24 @@ class ClusterDispatcher(FrameService):
                 or idx >= len(self._blobs)
                 or idx in self._results
             )
+            if not stale and status == _RESULT_BAD:
+                # The payload arrived unusable at the worker: wire rot on
+                # the dispatcher->worker leg, not a task failure.  Re-queue
+                # the task (a re-send re-reads the pristine blob) up to
+                # _BAD_PAYLOAD_LIMIT times, then poison the result slot so
+                # the executor degrades the batch to the serial path.
+                self._payloads_rejected += 1
+                count = self._bad_payloads.get(idx, 0) + 1
+                self._bad_payloads[idx] = count
+                self._assigned.pop(idx, None)
+                if count <= _BAD_PAYLOAD_LIMIT:
+                    if idx not in self._queue:
+                        self._queue.appendleft(idx)
+                        self._tasks_redispatched += 1
+                else:
+                    self._results[idx] = (True, b"")  # unreadable on purpose
+                self._state.notify_all()
+                return _ST_OK, b""
             if not stale:
                 # First result wins; duplicates from straggler re-dispatch
                 # are discarded above, bit-identical anyway.
@@ -489,11 +518,19 @@ class ClusterDispatcher(FrameService):
                 "tasks_done": len(self._results),
                 "batches_done": self._batches_done,
                 "tasks_redispatched": self._tasks_redispatched,
+                "payloads_rejected": self._payloads_rejected,
                 "connections_shed": self.connections_shed,
             }
 
 
-def dispatcher_status(url: str, *, timeout: float = 5.0) -> dict[str, Any]:
+def dispatcher_status(
+    url: str,
+    *,
+    timeout: float = 5.0,
+    retries: int = 0,
+    retry_delay: float = 0.5,
+    retry_seed: object = None,
+) -> dict[str, Any]:
     """One-shot :meth:`ClusterDispatcher.stats` fetch from outside the run.
 
     Dials ``cluster://host:port``, sends the observer STATS opcode and
@@ -501,17 +538,30 @@ def dispatcher_status(url: str, *, timeout: float = 5.0) -> dict[str, Any]:
     dispatcher answers (dead run, wrong URL) and
     :class:`~repro.parallel.wire.ProtocolError` when something else is
     listening there — ``repro-chem cluster-status`` maps both onto a clean
-    non-zero exit.
+    non-zero exit.  ``retries`` re-dials an unreachable dispatcher under
+    the shared jittered backoff policy (default 0: one shot, exactly the
+    old behaviour).
     """
     host, port = parse_cluster_url(url)
-    try:
-        with socket.create_connection((host, port), timeout=timeout) as sock:
-            sock.settimeout(timeout)
-            with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
-                write_frame(wfile, _OP_STATS)
-                response = read_frame(rfile)
-    except OSError as exc:
-        raise ConnectionError(f"no cluster dispatcher reachable at {url}: {exc}")
+    policy = RetryPolicy(
+        retries=retries, base_delay=retry_delay, max_delay=30.0, jitter=0.5
+    )
+    state = policy.start(policy_rng(retry_seed))
+    while True:
+        try:
+            with socket.create_connection((host, port), timeout=timeout) as sock:
+                sock.settimeout(timeout)
+                with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+                    write_frame(wfile, _OP_STATS)
+                    response = read_frame(rfile)
+            break
+        except OSError as exc:
+            delay = state.note_failure()
+            if delay is None:
+                raise ConnectionError(
+                    f"no cluster dispatcher reachable at {url}: {exc}"
+                )
+            time.sleep(delay)
     if response[:1] != _ST_OK:
         raise ProtocolError(
             f"dispatcher at {url} refused STATS: "
@@ -556,6 +606,7 @@ class ClusterWorker:
         heartbeat_interval: float = 2.0,
         reconnect_window: float = 10.0,
         max_tasks: Optional[int] = None,
+        retry_seed: object = None,
     ) -> None:
         self.host, self.port = parse_cluster_url(url)
         self.url = f"{CLUSTER_URL_SCHEME}{self.host}:{self.port}"
@@ -565,6 +616,17 @@ class ClusterWorker:
         self.heartbeat_interval = heartbeat_interval
         self.reconnect_window = reconnect_window
         self.max_tasks = max_tasks
+        self._rng = policy_rng(retry_seed)
+        #: Redial cadence while the dispatcher is away: jittered, doubling
+        #: from the poll interval up to 2s, deadline = reconnect_window —
+        #: the same policy engine every other wire client uses.
+        self._redial = RetryPolicy(
+            retries=None,
+            base_delay=max(poll_interval, 0.05),
+            max_delay=2.0,
+            jitter=0.5,
+            deadline=reconnect_window,
+        )
         self.tasks_done = 0
         self._io_lock = threading.Lock()
         self._sock: Optional[socket.socket] = None
@@ -637,23 +699,35 @@ class ClusterWorker:
             target=self._heartbeat_loop, name="cluster-heartbeat", daemon=True
         )
         heartbeat.start()
-        gone_since: Optional[float] = None
+        redial = None
         try:
             while not self._stop.is_set():
                 if self.max_tasks is not None and self.tasks_done >= self.max_tasks:
                     break
                 response = self._request(lambda wid: _OP_POLL + pack_str(wid))
                 if response is None:
-                    now = time.monotonic()
-                    gone_since = gone_since if gone_since is not None else now
-                    if now - gone_since >= self.reconnect_window:
+                    # Dispatcher away: back off under the shared redial
+                    # policy; note_failure() goes None once the window
+                    # (the policy deadline) has elapsed without contact.
+                    if redial is None:
+                        redial = self._redial.start(self._rng)
+                    delay = redial.note_failure()
+                    if delay is None:
                         break
-                    self._stop.wait(min(0.5, max(self.poll_interval, 0.05)))
+                    self._stop.wait(delay)
                     continue
-                gone_since = None
+                redial = None
                 status, body = response
                 if status == _ST_OK:
-                    token, offset = unpack_str(body, 0)
+                    try:
+                        token, offset = unpack_str(body, 0)
+                    except ProtocolError:
+                        # A garbled poll frame must not kill the worker:
+                        # drop the connection and redial — the dispatcher
+                        # will re-queue the task it thinks we took.
+                        with self._io_lock:
+                            self._teardown()
+                        continue
                     self._run_and_report(token, body[offset:])
                 elif status == _ST_ERR:
                     # "unknown worker": we were presumed dead — re-register.
@@ -672,9 +746,17 @@ class ClusterWorker:
         try:
             fn, task = _open_payload(blob)
         except Exception as exc:
-            status, payload = _RESULT_EXC, _seal_exception(
-                RuntimeError(f"task payload unusable: {exc!r}")
+            # An unusable payload is wire rot, not a task failure: report
+            # it as BAD so the dispatcher re-queues the pristine blob
+            # instead of surfacing a bogus exception to the run.
+            self._request(
+                lambda wid: _OP_RESULT
+                + pack_str(wid)
+                + pack_str(token)
+                + _RESULT_BAD
+                + repr(exc).encode("utf-8", "replace")
             )
+            return
         else:
             try:
                 value = _call_task(fn, task)

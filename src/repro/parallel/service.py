@@ -46,6 +46,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from repro.parallel.resilience import HealthTracker, RetryPolicy, policy_rng
 from repro.parallel.wire import (
     DEFAULT_MAX_CONNECTIONS,
     DEFAULT_TIMEOUT,
@@ -225,22 +226,41 @@ class RemoteMemoStore:
     One persistent connection per instance (so per process: workers each
     build their own from the ``memo://`` URL the pool initializer hands
     them), serialised by a lock.  Every operation tolerates a dead or
-    misbehaving server: one reconnect is attempted, then the server is
-    considered down for ``retry_delay`` seconds and operations return
-    misses instantly — the run degrades to recomputing, never crashes.
+    misbehaving server: one reconnect is attempted, then the server's
+    circuit opens (see :mod:`repro.parallel.resilience`) and operations
+    return misses instantly — the run degrades to recomputing, never
+    crashes.  The open window starts at ``retry_delay``, is jittered, and
+    doubles per consecutive failed half-open probe (capped at 30s); seed
+    the jitter with ``retry_seed`` (or ``REPRO_RETRY_SEED``) to make the
+    backoff sequence reproducible.
     """
 
-    def __init__(self, url: str, *, timeout: float = 5.0, retry_delay: float = 0.5) -> None:
+    def __init__(
+        self,
+        url: str,
+        *,
+        timeout: float = 5.0,
+        retry_delay: float = 0.5,
+        retry_seed: object = None,
+    ) -> None:
         self.host, self.port = parse_memo_url(url)
         self.url = f"{MEMO_URL_SCHEME}{self.host}:{self.port}"
         self.timeout = timeout
         self.retry_delay = retry_delay
+        self._rng = policy_rng(retry_seed)
+        self.circuits = HealthTracker(
+            cooldown=RetryPolicy(
+                retries=None,
+                base_delay=retry_delay,
+                max_delay=30.0,
+                jitter=0.5,
+            ),
+            rng=self._rng,
+        )
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
         self._conn_lock = threading.Lock()
-        self._down_until = 0.0
-        self._window_failures = 0
         self._counter_lock = threading.Lock()
         self._last_flush = 0.0
         self.hits = 0
@@ -280,13 +300,14 @@ class RemoteMemoStore:
         """One request/response round trip, or ``None`` on any failure.
 
         A failure mid-exchange gets one reconnect-and-retry (the server may
-        simply have restarted); a second failure marks the server down so a
-        dead service costs a fast local check per operation, not a connect
-        timeout.  The down window starts at ``retry_delay`` and doubles per
-        consecutive failed window (capped at 30s): a server that *times
-        out* rather than refusing — a blackholing firewall, a hung host —
-        costs two connect timeouts per window, not per operation, so even
-        a many-thousand-op sweep stalls for bounded time.
+        simply have restarted); a second failure trips the server's
+        circuit so a dead service costs a fast local check per operation,
+        not a connect timeout.  The open window starts at ``retry_delay``
+        (jittered) and doubles per consecutive failed half-open probe
+        (capped at 30s): a server that *times out* rather than refusing —
+        a blackholing firewall, a hung host — costs two connect timeouts
+        per window, not per operation, so even a many-thousand-op sweep
+        stalls for bounded time.
         """
         if len(payload) > _MAX_FRAME:
             # One oversized value must fail alone (a local error for the
@@ -294,7 +315,10 @@ class RemoteMemoStore:
             # back-off window for every other key.
             return None
         with self._conn_lock:
-            if time.monotonic() < self._down_until:
+            if not (
+                self.circuits.routable(self.url)
+                or self.circuits.claim_probe(self.url)
+            ):
                 return None
             for attempt in (0, 1):
                 try:
@@ -304,15 +328,11 @@ class RemoteMemoStore:
                     response = read_frame(self._rfile)
                     if not response:
                         raise _ProtocolError("empty response")
-                    self._window_failures = 0
+                    self.circuits.record_success(self.url)
                     return response[:1], response[1:]
                 except (OSError, _ProtocolError, struct.error):
                     self._teardown()
-            self._window_failures += 1
-            backoff = min(
-                self.retry_delay * (2 ** (self._window_failures - 1)), 30.0
-            )
-            self._down_until = time.monotonic() + backoff
+            self.circuits.record_failure(self.url)
             return None
 
     # ------------------------------------------------------------- get / put
@@ -455,3 +475,7 @@ class RemoteMemoStore:
         """True when the server answers the protocol handshake."""
         response = self._request(_OP_PING)
         return response is not None and response[0] == _ST_OK
+
+    def circuit_state(self) -> str:
+        """The server's circuit (``closed`` / ``open`` / ``half-open``)."""
+        return self.circuits.state(self.url)

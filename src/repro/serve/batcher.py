@@ -226,6 +226,16 @@ class MicroBatcher:
 
     # ------------------------------------------------------------------- stats
 
+    def pending_depth(self) -> int:
+        """Requests submitted but not yet answered (the shed signal).
+
+        The cheap, race-tolerant read the server's ``max_pending``
+        admission gate polls per predict: momentarily stale is fine —
+        shedding is statistical back-pressure, not an exact semaphore.
+        """
+        with self._stats_lock:
+            return self.pending
+
     def stats(self) -> dict[str, Any]:
         with self._stats_lock:
             batches = self.batches

@@ -27,15 +27,22 @@ wrong answer:
 
 * A dead/unreachable replica, a connection reset, a truncated or oversized
   frame, or an undecodable response gets **one** reconnect-and-retry (the
-  server may simply have restarted); a second failure opens that replica's
-  back-off window (doubling, capped at 30s) and the client fails over to
-  the next replica on the ring.  Only when *every* replica has failed does
-  the call raise :class:`ServeUnavailableError`.
-* A replica answering ``overloaded: ...`` (request-budget or connection-cap
-  shed) raises :class:`ServeOverloadedError` — retryable by contract — but
-  only after every other replica also refused; a single overloaded replica
-  just means the request lands elsewhere.  The shedding replica's
-  connection is **not** penalised: shedding is healthy behaviour.
+  server may simply have restarted); a second failure trips that replica's
+  circuit (see :mod:`repro.parallel.resilience`: a jittered cooldown that
+  doubles per consecutive trip, capped at 30s) and the client fails over
+  to the next replica on the ring.  An open-circuit replica *leaves the
+  ring* — other requests stop hashing onto it — and re-enters when its
+  half-open probe succeeds.  When every replica has failed, the call
+  retries whole rounds under a budgeted, jittered
+  :class:`~repro.parallel.resilience.RetryPolicy` and only then raises
+  :class:`ServeUnavailableError` — bounded by ``retries`` and
+  ``deadline``, never an unbounded loop.
+* A replica answering ``overloaded: ...`` (request-budget, pending-depth
+  or connection-cap shed) is a **healthy** refusal: the request lands on
+  the next replica, the circuit is untouched, and only when the whole
+  fleet sheds does the client back off (same budgeted jittered policy)
+  and finally raise :class:`ServeOverloadedError` — the retryable
+  flavour, distinct from dead (the shed-vs-dead contract).
 * A server-side *request* error — unknown model, wrong feature count,
   non-finite values, bad question — raises :class:`ServeError` with the
   server's message immediately: the request itself is wrong and would be
@@ -56,6 +63,12 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.parallel.resilience import (
+    CLOSED,
+    HealthTracker,
+    RetryPolicy,
+    policy_rng,
+)
 from repro.parallel.wire import (
     MAX_FRAME,
     ProtocolError,
@@ -113,7 +126,11 @@ def parse_serve_url(url: str) -> tuple[str, int]:
 
 
 class _Replica:
-    """One replica's connection state: socket, lock, back-off window."""
+    """One replica's connection state: socket, lock, request counter.
+
+    Health (circuit state, backoff windows) lives in the client's shared
+    :class:`~repro.parallel.resilience.HealthTracker`, keyed by URL.
+    """
 
     def __init__(self, url: str) -> None:
         self.host, self.port = parse_serve_url(url)
@@ -122,8 +139,6 @@ class _Replica:
         self.rfile = None
         self.wfile = None
         self.lock = threading.Lock()
-        self.down_until = 0.0
-        self.window_failures = 0
         self.requests = 0
 
     def teardown(self) -> None:
@@ -151,6 +166,9 @@ class ServeClient:
         *,
         timeout: float = 10.0,
         retry_delay: float = 0.5,
+        retries: int = 2,
+        deadline: Optional[float] = 15.0,
+        retry_seed: object = None,
     ) -> None:
         if isinstance(url, str):
             urls: Iterable[str] = url.split(",")
@@ -176,52 +194,121 @@ class ServeClient:
         self.host, self.port = replicas[0].host, replicas[0].port
         self.timeout = timeout
         self.retry_delay = retry_delay
-        self._ring = self._build_ring(self.urls)
+        self._rng = policy_rng(retry_seed)
+        #: Fleet-level retry rounds: after every replica in a routing pass
+        #: has refused (dead *or* overloaded), back off jittered and try
+        #: the whole ring again — bounded by the budget and the deadline.
+        self._policy = RetryPolicy(
+            retries=retries,
+            base_delay=retry_delay,
+            max_delay=30.0,
+            jitter=0.5,
+            deadline=deadline,
+        )
+        self.circuits = HealthTracker(
+            cooldown=RetryPolicy(
+                retries=None,
+                base_delay=retry_delay,
+                max_delay=30.0,
+                jitter=0.5,
+            ),
+            rng=self._rng,
+        )
+        for replica in replicas:  # pre-register: stats show every replica
+            self.circuits.state(replica.url)
+        self._ring_cache: dict[tuple[int, ...], list[tuple[int, int]]] = {}
         self._fleet_lock = threading.Lock()
         self._failovers = 0
         self._overloaded = 0
+        self._retry_rounds = 0
 
     # ------------------------------------------------------------------ ring
 
-    @staticmethod
-    def _build_ring(urls: Sequence[str]) -> list[tuple[int, int]]:
-        """``[(point, replica_index)]`` sorted by point (replica vnodes)."""
-        ring = []
-        for idx, url in enumerate(urls):
-            for vnode in range(_VNODES):
-                point = int.from_bytes(
-                    hashlib.sha1(f"{url}#{vnode}".encode("utf-8")).digest()[:8],
-                    "big",
-                )
-                ring.append((point, idx))
-        ring.sort()
+    def _ring_for(self, indices: tuple[int, ...]) -> list[tuple[int, int]]:
+        """``[(point, replica_index)]`` over a replica subset, cached.
+
+        The subset is the *routable* membership from the health tracker;
+        an open-circuit replica simply contributes no vnodes, so its keys
+        re-hash onto the survivors, and the cache (keyed by membership)
+        makes a rebuild a dict hit unless a circuit actually flipped.
+        """
+        ring = self._ring_cache.get(indices)
+        if ring is None:
+            ring = []
+            for idx in indices:
+                url = self._replicas[idx].url
+                for vnode in range(_VNODES):
+                    point = int.from_bytes(
+                        hashlib.sha1(
+                            f"{url}#{vnode}".encode("utf-8")
+                        ).digest()[:8],
+                        "big",
+                    )
+                    ring.append((point, idx))
+            ring.sort()
+            self._ring_cache[indices] = ring
         return ring
+
+    def _routable_indices(self) -> tuple[int, ...]:
+        """Replicas whose circuit is closed; all of them when none is."""
+        active = tuple(
+            idx
+            for idx, replica in enumerate(self._replicas)
+            if self.circuits.routable(replica.url)
+        )
+        if active:
+            return active
+        # Whole fleet tripped: route over everyone — attempts fail fast
+        # against open circuits but carry proper per-replica errors, and
+        # half-open probes get their chance below.
+        return tuple(range(len(self._replicas)))
 
     def _route(self, key: bytes) -> list[int]:
         """Replica indices in preference order for this request key.
 
         The key's ring position picks the home replica; walking clockwise
-        yields each remaining replica exactly once, so failover order is
-        deterministic per request and different keys drain to different
-        survivors when a replica dies.
+        yields each remaining *routable* replica exactly once, so failover
+        order is deterministic per request and different keys drain to
+        different survivors when a replica dies.
         """
-        if len(self._replicas) == 1:
-            return [0]
+        indices = self._routable_indices()
+        if len(indices) == 1:
+            return [indices[0]]
+        ring = self._ring_for(indices)
         point = int.from_bytes(hashlib.sha1(key).digest()[:8], "big")
         # Binary search would shave a few microseconds; the ring has a few
         # dozen entries, so a scan keeps it obvious.
         start = 0
-        for i, (node_point, _) in enumerate(self._ring):
+        for i, (node_point, _) in enumerate(ring):
             if node_point >= point:
                 start = i
                 break
         order: list[int] = []
-        for i in range(len(self._ring)):
-            idx = self._ring[(start + i) % len(self._ring)][1]
+        for i in range(len(ring)):
+            idx = ring[(start + i) % len(ring)][1]
             if idx not in order:
                 order.append(idx)
-                if len(order) == len(self._replicas):
+                if len(order) == len(indices):
                     break
+        return order
+
+    def _order(self, key: bytes) -> list[tuple[int, bool]]:
+        """``[(replica_index, is_probe)]`` for one routing pass.
+
+        Half-open replicas are not on the ring, but each claimable probe
+        is prepended so recovery traffic exists even when the rest of the
+        fleet is healthy: one trial request re-closes the circuit (the
+        replica re-enters the ring) or re-opens it with a doubled window.
+        """
+        probes = [
+            idx
+            for idx, replica in enumerate(self._replicas)
+            if self.circuits.claim_probe(replica.url)
+        ]
+        order = [(idx, True) for idx in probes]
+        order.extend(
+            (idx, False) for idx in self._route(key) if idx not in probes
+        )
         return order
 
     # ---------------------------------------------------------- connection
@@ -247,12 +334,21 @@ class ServeClient:
         replica.rfile = sock.makefile("rb")
         replica.wfile = sock.makefile("wb")
 
-    def _request_replica(self, replica: _Replica, payload: bytes) -> tuple[bytes, bytes]:
-        """One round trip to one replica; ``ServeUnavailableError`` on failure."""
+    def _request_replica(
+        self, replica: _Replica, payload: bytes, *, probe: bool = False
+    ) -> tuple[bytes, bytes]:
+        """One round trip to one replica; ``ServeUnavailableError`` on failure.
+
+        An open (or unprobed half-open) circuit fails fast without
+        touching the socket; ``probe=True`` bypasses the gate for the
+        claimed half-open trial request and for ``ping``.
+        """
         with replica.lock:
-            if time.monotonic() < replica.down_until:
+            if not probe and self.circuits.state(replica.url) != CLOSED:
+                remaining = self.circuits.open_remaining(replica.url)
                 raise ServeUnavailableError(
-                    f"serve server {replica.url} is down (backing off)"
+                    f"serve server {replica.url} is down "
+                    f"(circuit open; backing off {remaining:.1f}s)"
                 )
             replica.requests += 1
             for attempt in (0, 1):
@@ -261,27 +357,34 @@ class ServeClient:
                         self._connect(replica)
                     write_frame(replica.wfile, payload)
                     response = read_frame(replica.rfile)
-                    replica.window_failures = 0
+                    self.circuits.record_success(replica.url)
                     return response[:1], response[1:]
                 except (OSError, ProtocolError, struct.error):
                     replica.teardown()
-            replica.window_failures += 1
-            backoff = min(
-                self.retry_delay * (2 ** (replica.window_failures - 1)), 30.0
-            )
-            replica.down_until = time.monotonic() + backoff
+            self.circuits.record_failure(replica.url)
+            remaining = self.circuits.open_remaining(replica.url)
             raise ServeUnavailableError(
                 f"serve server {replica.url} is unreachable or misbehaving "
-                f"(retried once; backing off {backoff:.1f}s)"
+                f"(retried once; backing off {remaining:.1f}s)"
             )
 
     def _request(self, payload: bytes) -> tuple[bytes, bytes]:
         """One fleet-routed round trip (raw status + body, no failover).
 
         Kept for the handshake path (``ping``) and tests; ``_call`` layers
-        failover on top.
+        failover and retry rounds on top.
         """
         return self._request_replica(self._replicas[self._route(payload)[0]], payload)
+
+    def _bad_response(self, replica: _Replica, reason: str) -> ServeUnavailableError:
+        """A decodable-frame-undecodable-body reply: count it as a failure.
+
+        The frame round trip succeeded (so ``_request_replica`` recorded a
+        success), but a body that cannot parse means the replica — or the
+        path to it — is corrupting responses; that is sickness, not load.
+        """
+        self.circuits.record_failure(replica.url)
+        return ServeUnavailableError(f"server {replica.url} returned {reason}")
 
     def _call(self, op: bytes, fields: Optional[dict] = None) -> dict:
         payload = op if fields is None else op + json.dumps(fields).encode("utf-8")
@@ -289,43 +392,65 @@ class ServeClient:
             # A local mistake, not a server fault: fail this call alone
             # without tearing down connections or opening back-off windows.
             raise ServeError(f"request of {len(payload)} bytes exceeds the frame cap")
-        last_error: Optional[ServeError] = None
-        order = self._route(payload)
-        for position, idx in enumerate(order):
-            replica = self._replicas[idx]
-            if position > 0:
-                with self._fleet_lock:
-                    self._failovers += 1
-            try:
-                status, body = self._request_replica(replica, payload)
-            except ServeUnavailableError as exc:
-                last_error = exc
-                continue
-            if status != ST_OK:
-                message = body.decode("utf-8", "replace") or "request failed"
-                if message.startswith(_OVERLOADED_PREFIX):
-                    # Healthy refusal: try the next replica, remember the
-                    # retryable flavour in case everyone refuses.
+        retry = self._policy.start(self._rng)
+        while True:
+            last_error: Optional[ServeError] = None
+            for position, (idx, probe) in enumerate(self._order(payload)):
+                replica = self._replicas[idx]
+                if position > 0:
                     with self._fleet_lock:
-                        self._overloaded += 1
-                    last_error = ServeOverloadedError(message)
+                        self._failovers += 1
+                try:
+                    status, body = self._request_replica(
+                        replica, payload, probe=probe
+                    )
+                except ServeUnavailableError as exc:
+                    last_error = exc
                     continue
-                # The request itself is wrong; every replica would agree.
-                raise ServeError(message)
-            try:
-                out = json.loads(body)
-            except ValueError:
-                last_error = ServeUnavailableError(
-                    f"server {replica.url} returned an undecodable response"
+                if status != ST_OK:
+                    try:
+                        message = body.decode("utf-8") or "request failed"
+                    except UnicodeDecodeError:
+                        # A garbled error body is wire rot, not a verdict
+                        # on the request: retryable, never ServeError.
+                        last_error = self._bad_response(
+                            replica, "an undecodable error body"
+                        )
+                        continue
+                    if message.startswith(_OVERLOADED_PREFIX):
+                        # Healthy refusal: try the next replica, remember
+                        # the retryable flavour in case everyone refuses.
+                        # The circuit is untouched — shed is not dead.
+                        self.circuits.record_overload(replica.url)
+                        with self._fleet_lock:
+                            self._overloaded += 1
+                        last_error = ServeOverloadedError(message)
+                        continue
+                    # The request itself is wrong; every replica would agree.
+                    raise ServeError(message)
+                try:
+                    out = json.loads(body)
+                except ValueError:
+                    last_error = self._bad_response(
+                        replica, "an undecodable response"
+                    )
+                    continue
+                if not isinstance(out, dict):
+                    last_error = self._bad_response(
+                        replica, "a malformed response"
+                    )
+                    continue
+                return out
+            # The whole pass refused (dead or shedding): back off under
+            # the budgeted jittered policy and try another round.
+            delay = retry.note_failure()
+            if delay is None:
+                raise last_error or ServeUnavailableError(
+                    "no serve replica available"
                 )
-                continue
-            if not isinstance(out, dict):
-                last_error = ServeUnavailableError(
-                    f"server {replica.url} returned a malformed response"
-                )
-                continue
-            return out
-        raise last_error or ServeUnavailableError("no serve replica available")
+            with self._fleet_lock:
+                self._retry_rounds += 1
+            time.sleep(delay)
 
     # ------------------------------------------------------------- endpoints
 
@@ -384,7 +509,9 @@ class ServeClient:
         """True when any replica answers the protocol handshake."""
         for replica in self._replicas:
             try:
-                status, body = self._request_replica(replica, OP_PING)
+                # probe=True: a ping must touch the real socket even when
+                # the circuit is open — and its outcome heals the circuit.
+                status, body = self._request_replica(replica, OP_PING, probe=True)
             except ServeError:
                 continue
             if status == ST_OK and body == PING_BANNER:
@@ -392,12 +519,27 @@ class ServeClient:
         return False
 
     def fleet_stats(self) -> dict:
-        """Client-side routing counters (per-replica requests, failovers)."""
+        """Client-side routing counters and per-replica circuit health.
+
+        ``replicas`` merges the request counter with the health tracker's
+        snapshot — circuit state, failure EWMA, overload/trip counts and
+        last-failure age — so an operator sees a degraded replica here
+        instead of grepping server logs.
+        """
         with self._fleet_lock:
             failovers, overloaded = self._failovers, self._overloaded
+            retry_rounds = self._retry_rounds
+        health = self.circuits.snapshot()
+        replicas = {}
+        for r in self._replicas:
+            info = dict(health.get(r.url, {}))
+            info["requests"] = r.requests
+            replicas[r.url] = info
         return {
             "urls": list(self.urls),
             "requests": {r.url: r.requests for r in self._replicas},
             "failovers": failovers,
             "overloaded": overloaded,
+            "retry_rounds": retry_rounds,
+            "replicas": replicas,
         }

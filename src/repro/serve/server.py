@@ -185,6 +185,14 @@ class ServeServer(FrameService):
         Bound on concurrently processing predict/ask requests.  Past it,
         requests fail fast with a retryable ``overloaded: ...`` error
         instead of queueing unboundedly.  ``None`` means unbounded.
+    max_pending:
+        Bound on a model batcher's *pending depth* — rows submitted but
+        not yet answered, the real queue-pressure signal.  A predict
+        arriving while its model's backlog is at the cap is shed with the
+        same retryable ``overloaded: ...`` flavour.  Complements
+        ``max_inflight``: in-flight counts requests being processed,
+        pending counts work queued behind the batcher.  ``None`` (default)
+        means unbounded; only meaningful with ``micro_batch``.
     shared_arenas:
         Share packed arenas host-wide through ``multiprocessing.shared_memory``
         keyed by artifact digest.  ``None`` (default) enables sharing
@@ -217,6 +225,7 @@ class ServeServer(FrameService):
         warm: bool = True,
         max_models: Optional[int] = None,
         max_inflight: Optional[int] = None,
+        max_pending: Optional[int] = None,
         shared_arenas: Optional[bool] = None,
         model_digests: Optional[Mapping[str, str]] = None,
         timeout: Optional[float] = DEFAULT_TIMEOUT,
@@ -234,6 +243,9 @@ class ServeServer(FrameService):
         self.max_models = int(max_models) if max_models and max_models > 0 else None
         self.max_inflight = (
             int(max_inflight) if max_inflight and max_inflight > 0 else None
+        )
+        self.max_pending = (
+            int(max_pending) if max_pending and max_pending > 0 else None
         )
         self.shared_arenas = (
             bool(registry) if shared_arenas is None else bool(shared_arenas)
@@ -477,6 +489,20 @@ class ServeServer(FrameService):
 
     def _predict(self, fields: dict) -> dict:
         name, hosted = self._hosted(fields)
+        if (
+            self.max_pending is not None
+            and hosted.batcher is not None
+            and hosted.batcher.pending_depth() >= self.max_pending
+        ):
+            # Queue pressure, not processing pressure: the batcher already
+            # has max_pending rows waiting, so shed with the same
+            # retryable flavour the in-flight budget uses.
+            with self._counter_lock:
+                self._requests_shed += 1
+            raise _RequestError(
+                f"overloaded: model {name!r} has {self.max_pending} rows "
+                f"pending (retryable; try another replica)"
+            )
         rows = fields.get("X")
         if not isinstance(rows, list):
             raise _RequestError("predict needs X: a list of feature rows")
@@ -580,6 +606,7 @@ class ServeServer(FrameService):
             },
             "admission": {
                 "max_inflight": self.max_inflight,
+                "max_pending": self.max_pending,
                 "inflight": inflight,
                 "requests_shed": shed,
             },

@@ -1,0 +1,27 @@
+"""repro.testing — deterministic fault-injection tooling (ISSUE 9).
+
+This package holds test harnesses that ship with the library (not under
+``tests/``) because the chaos CI job, the examples, and downstream users
+all need them importable: resilience claims are only credible when anyone
+can replay the exact fault schedule that proved them.
+
+* :class:`FaultWire` — a seeded, frame-aware TCP proxy that drops,
+  delays, truncates, resets, or garbles server→client frames per a
+  deterministic schedule (see :mod:`repro.testing.faultwire`).
+"""
+
+from repro.testing.faultwire import (
+    ACTIONS,
+    Fault,
+    FaultSchedule,
+    FaultWire,
+    ScriptedSchedule,
+)
+
+__all__ = [
+    "ACTIONS",
+    "Fault",
+    "FaultSchedule",
+    "FaultWire",
+    "ScriptedSchedule",
+]

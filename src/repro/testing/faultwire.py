@@ -1,0 +1,549 @@
+"""FaultWire: a deterministic fault-injecting TCP proxy (ISSUE 9).
+
+The resilience layer promises that every wire fault resolves to an
+existing contract — miss-and-recompute for the memo store, a clean
+retryable error for serve, serial degradation for the cluster; never a
+hang, a crash, or a wrong byte.  Hand-rolled kill/truncate tests only
+sample that space.  FaultWire covers it *reproducibly*: a frame-aware
+TCP proxy sits between a real client and a real server and perturbs
+server→client frames per a schedule that is a pure function of
+``(seed, connection index, frame index)`` — the same seed replays the
+same faults, byte for byte, across runs and machines.
+
+Faults (:data:`ACTIONS`):
+
+* ``pass`` — forward the frame untouched.
+* ``delay`` — forward after ``delay_s`` (a stall, not a loss).
+* ``drop`` — swallow the frame and close the connection (the client
+  sees EOF mid-await, exactly like a server killed between write and
+  reply).
+* ``truncate`` — forward the length header plus only ``keep_bytes`` of
+  the payload, then close: a short read, the classic torn frame.
+* ``reset`` — hard RST via ``SO_LINGER(1, 0)``: connection reset by
+  peer, the "dead" in shed-vs-dead.
+* ``garble`` — forward a frame of the right length whose *body* is
+  corrupted (status byte kept, remaining bytes inverted).  The
+  inversion maps printable ASCII into invalid-UTF-8 territory, so a
+  garbled JSON/pickle/magic-prefixed body can never parse as a
+  different valid value — faults may cost retries or misses, never a
+  silently wrong answer.
+
+Only the upstream→client direction is perturbed: requests arrive intact
+and the *response* path takes the damage, which is where every client
+contract (reconnect, degrade-to-miss, failover) actually lives.
+
+Run standalone (the chaos CI job does) with::
+
+    python -m repro.testing.faultwire --listen 127.0.0.1:0 \\
+        --upstream 127.0.0.1:7601 --seed 1234 --drop 0.05 --reset 0.02
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import random
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple, Union
+
+from repro.parallel.wire import LEN, MAX_FRAME, parse_hostport_url
+
+__all__ = [
+    "ACTIONS",
+    "Fault",
+    "FaultSchedule",
+    "FaultWire",
+    "ScriptedSchedule",
+]
+
+#: Every fault action FaultWire knows how to apply.
+ACTIONS = ("pass", "delay", "drop", "truncate", "reset", "garble")
+
+#: Timeout for upstream connect attempts.
+_SOCKET_TIMEOUT = 30.0
+
+#: Pump sockets poll at this interval: a cross-thread close() does not
+#: reliably wake a blocked recv(), so pumps time out, check the stop
+#: flag, and loop — bounding shutdown latency deterministically.
+_POLL_S = 0.1
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One scheduled perturbation of one frame."""
+
+    action: str = "pass"
+    delay_s: float = 0.0
+    keep_bytes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.action not in ACTIONS:
+            raise ValueError(f"unknown fault action {self.action!r}")
+        if self.delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {self.delay_s}")
+        if self.keep_bytes < 0:
+            raise ValueError(f"keep_bytes must be >= 0, got {self.keep_bytes}")
+
+
+_PASS = Fault("pass")
+
+
+class FaultSchedule:
+    """Seeded fault schedule: a pure function of (conn, frame).
+
+    Each rate is the probability of that action for a given frame; the
+    remainder passes clean.  Decisions are drawn from
+    ``random.Random(f"{seed}:{conn}:{frame}")`` — string seeding hashes
+    via SHA-512, so the schedule is identical across runs, platforms and
+    thread interleavings, independent of global RNG state.
+
+    ``warmup_frames`` lets the first N frames of every connection pass
+    untouched — handy to let a protocol handshake land before the storm.
+    """
+
+    def __init__(
+        self,
+        seed: object = 0,
+        *,
+        drop: float = 0.0,
+        delay: float = 0.0,
+        truncate: float = 0.0,
+        reset: float = 0.0,
+        garble: float = 0.0,
+        delay_s: float = 0.25,
+        warmup_frames: int = 0,
+    ) -> None:
+        rates = {
+            "drop": drop,
+            "delay": delay,
+            "truncate": truncate,
+            "reset": reset,
+            "garble": garble,
+        }
+        for name, rate in rates.items():
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} rate must be in [0, 1], got {rate}")
+        if sum(rates.values()) > 1.0:
+            raise ValueError(
+                f"fault rates sum to {sum(rates.values()):.3f} > 1.0"
+            )
+        if delay_s < 0:
+            raise ValueError(f"delay_s must be >= 0, got {delay_s}")
+        if warmup_frames < 0:
+            raise ValueError(f"warmup_frames must be >= 0, got {warmup_frames}")
+        self.seed = seed
+        self.rates = rates
+        self.delay_s = delay_s
+        self.warmup_frames = warmup_frames
+
+    def decide(self, conn: int, frame: int) -> Fault:
+        if frame < self.warmup_frames:
+            return _PASS
+        rng = random.Random(f"{self.seed}:{conn}:{frame}")
+        draw = rng.random()
+        cumulative = 0.0
+        for action, rate in self.rates.items():
+            cumulative += rate
+            if draw < cumulative:
+                if action == "delay":
+                    return Fault("delay", delay_s=self.delay_s)
+                if action == "truncate":
+                    # Keep a few payload bytes so the client reads a torn
+                    # frame, not a clean EOF at a frame boundary.
+                    return Fault("truncate", keep_bytes=1 + rng.randrange(8))
+                return Fault(action)
+        return _PASS
+
+
+class ScriptedSchedule:
+    """Exact per-frame script: ``{(conn, frame): action-or-Fault}``.
+
+    Unlisted frames pass clean.  Use this when a test needs *this* frame
+    torn and *that* one reset, rather than statistical coverage.
+    """
+
+    def __init__(
+        self, plan: Mapping[Tuple[int, int], Union[str, Fault]]
+    ) -> None:
+        self.plan: Dict[Tuple[int, int], Fault] = {}
+        for key, value in plan.items():
+            conn, frame = key
+            fault = Fault(value) if isinstance(value, str) else value
+            self.plan[(int(conn), int(frame))] = fault
+
+    def decide(self, conn: int, frame: int) -> Fault:
+        return self.plan.get((conn, frame), _PASS)
+
+
+def _recv_exact(
+    sock: socket.socket, n: int, stop: Optional[threading.Event] = None
+) -> Optional[bytes]:
+    """Read exactly ``n`` bytes from ``sock`` or ``None`` on EOF/teardown.
+
+    The socket is expected to carry a short poll timeout; each timeout
+    just re-checks ``stop`` and keeps reading.
+    """
+    chunks = []
+    remaining = n
+    while remaining > 0:
+        try:
+            chunk = sock.recv(remaining)
+        except socket.timeout:
+            if stop is not None and stop.is_set():
+                return None
+            continue
+        except OSError:
+            return None
+        if not chunk:
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _garble_body(payload: bytes) -> bytes:
+    """Corrupt a frame body while keeping it structurally classifiable.
+
+    The status byte survives so the client takes its normal decode path;
+    every other byte is inverted, which maps printable ASCII to bytes
+    >= 0x80 that cannot re-form valid JSON (no inverted byte maps back
+    into the ASCII structural set) and cannot match any magic prefix —
+    a garbled body always *fails to parse*, it never parses wrong.
+    """
+    if len(payload) <= 1:
+        return bytes(0xFF ^ b for b in payload)
+    return payload[:1] + bytes(0xFF ^ b for b in payload[1:])
+
+
+class FaultWire:
+    """A TCP proxy that injects scheduled faults into response frames.
+
+    ``upstream`` is ``(host, port)`` or ``"host:port"``.  The proxy
+    listens on ``host:port`` (port 0 = ephemeral), forwards the
+    client→upstream byte stream untouched, and re-frames the
+    upstream→client stream so each response frame can be perturbed per
+    ``schedule.decide(conn, frame)``.  Connection and frame indices are
+    0-based; connection indices are assigned in accept order.
+
+    Thread-per-connection, context-manager friendly, and ``stats()``
+    reports what was actually injected so tests and the chaos CI job can
+    assert the storm really happened.
+    """
+
+    def __init__(
+        self,
+        upstream: Union[str, Tuple[str, int]],
+        schedule: Optional[FaultSchedule] = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        if isinstance(upstream, str):
+            raw = upstream.split("://", 1)[-1]
+            upstream_host, _, upstream_port = raw.partition(":")
+            if not upstream_host or not upstream_port.isdigit():
+                raise ValueError(f"malformed upstream {upstream!r}")
+            upstream = (upstream_host, int(upstream_port))
+        self.upstream: Tuple[str, int] = (upstream[0], int(upstream[1]))
+        self.schedule = schedule or FaultSchedule()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(64)
+        # A blocking accept() is not reliably woken by close() from another
+        # thread; poll instead so shutdown() returns promptly.
+        self._listener.settimeout(_POLL_S)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._conn_ids = itertools.count()
+        self._stop = threading.Event()
+        self._lock = threading.Lock()
+        self._threads: list[threading.Thread] = []
+        self._open_socks: set = set()
+        self._counts: Dict[str, int] = {action: 0 for action in ACTIONS}
+        self._connections = 0
+        self._accept_thread: Optional[threading.Thread] = None
+
+    # -- lifecycle ---------------------------------------------------
+
+    def start(self) -> "FaultWire":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="faultwire-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        with self._lock:
+            socks = list(self._open_socks)
+        for sock in socks:
+            # shutdown() first: close() alone does not wake a pump thread
+            # blocked in recv() on another thread's behalf.
+            try:
+                sock.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        with self._lock:
+            threads = list(self._threads)
+        for thread in threads:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "FaultWire":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def url(self, scheme: str) -> str:
+        """The proxy endpoint as ``scheme`` URL (e.g. ``serve://h:p``)."""
+        if not scheme.endswith("://"):
+            scheme += "://"
+        return f"{scheme}{self.host}:{self.port}"
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            counts = dict(self._counts)
+        injected = sum(n for a, n in counts.items() if a != "pass")
+        return {
+            "connections": self._connections,
+            "frames": sum(counts.values()),
+            "injected": injected,
+            "by_action": counts,
+        }
+
+    # -- plumbing ----------------------------------------------------
+
+    def _track(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._open_socks.add(sock)
+
+    def _untrack(self, sock: socket.socket) -> None:
+        with self._lock:
+            self._open_socks.discard(sock)
+
+    def _close_pair(
+        self,
+        client: socket.socket,
+        server: socket.socket,
+        *,
+        reset: bool = False,
+    ) -> None:
+        if reset:
+            try:
+                client.setsockopt(
+                    socket.SOL_SOCKET,
+                    socket.SO_LINGER,
+                    struct.pack("ii", 1, 0),
+                )
+            except OSError:
+                pass
+            # Wake our own forward pump blocked in client.recv() without
+            # putting anything on the wire: SHUT_RD is local-only, so the
+            # linger-0 close below still emits a bare RST.
+            try:
+                client.shutdown(socket.SHUT_RD)
+            except OSError:
+                pass
+        for sock in (client, server):
+            self._untrack(sock)
+            if not reset or sock is server:
+                # Full shutdown() first: close() alone does not wake the
+                # paired pump thread blocked in recv() on this socket.
+                # (The reset client skips it — a FIN would forfeit the RST.)
+                try:
+                    sock.shutdown(socket.SHUT_RDWR)
+                except OSError:
+                    pass
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+    def _accept_loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                client, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            conn = next(self._conn_ids)
+            with self._lock:
+                self._connections += 1
+            thread = threading.Thread(
+                target=self._serve_connection,
+                args=(client, conn),
+                name=f"faultwire-conn-{conn}",
+                daemon=True,
+            )
+            with self._lock:
+                self._threads.append(thread)
+            thread.start()
+
+    def _serve_connection(self, client: socket.socket, conn: int) -> None:
+        client.settimeout(_POLL_S)
+        self._track(client)
+        server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        server.settimeout(_SOCKET_TIMEOUT)
+        try:
+            server.connect(self.upstream)
+        except OSError:
+            self._close_pair(client, server)
+            return
+        server.settimeout(_POLL_S)
+        self._track(server)
+        forward = threading.Thread(
+            target=self._pump_raw,
+            args=(client, server),
+            name=f"faultwire-fwd-{conn}",
+            daemon=True,
+        )
+        with self._lock:
+            self._threads.append(forward)
+        forward.start()
+        self._pump_frames(server, client, conn)
+
+    def _pump_raw(self, src: socket.socket, dst: socket.socket) -> None:
+        """client→upstream: forward bytes untouched until either side dies."""
+        while True:
+            try:
+                chunk = src.recv(65536)
+            except socket.timeout:
+                if self._stop.is_set():
+                    return
+                continue
+            except OSError:
+                chunk = b""
+            if not chunk:
+                # Forward the FIN; the response pump owns full teardown.
+                try:
+                    dst.shutdown(socket.SHUT_WR)
+                except OSError:
+                    pass
+                return
+            try:
+                dst.sendall(chunk)
+            except OSError:
+                return
+
+    def _pump_frames(
+        self, server: socket.socket, client: socket.socket, conn: int
+    ) -> None:
+        """upstream→client: re-frame responses and apply scheduled faults."""
+        frame = 0
+        try:
+            while not self._stop.is_set():
+                header = _recv_exact(server, LEN.size, self._stop)
+                if header is None:
+                    return
+                (length,) = LEN.unpack(header)
+                if length == 0 or length > MAX_FRAME:
+                    # Not a framed stream; stop re-framing, forward and bail.
+                    try:
+                        client.sendall(header)
+                    except OSError:
+                        pass
+                    return
+                payload = _recv_exact(server, length, self._stop)
+                if payload is None:
+                    return
+                fault = self.schedule.decide(conn, frame)
+                frame += 1
+                with self._lock:
+                    self._counts[fault.action] += 1
+                if fault.action == "drop":
+                    self._close_pair(client, server)
+                    return
+                if fault.action == "reset":
+                    self._close_pair(client, server, reset=True)
+                    return
+                if fault.action == "delay":
+                    time.sleep(fault.delay_s)
+                elif fault.action == "garble":
+                    payload = _garble_body(payload)
+                elif fault.action == "truncate":
+                    keep = min(fault.keep_bytes, len(payload))
+                    try:
+                        client.sendall(header + payload[:keep])
+                    except OSError:
+                        pass
+                    self._close_pair(client, server)
+                    return
+                try:
+                    client.sendall(header + payload)
+                except OSError:
+                    return
+        finally:
+            self._close_pair(client, server)
+
+
+def _main(argv: Optional[list] = None) -> int:  # pragma: no cover - CLI
+    """Standalone proxy for shell-driven chaos runs (the CI chaos job)."""
+    import argparse
+    import signal
+    import sys
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing.faultwire",
+        description="Deterministic fault-injecting TCP proxy.",
+    )
+    parser.add_argument("--listen", default="127.0.0.1:0", help="host:port")
+    parser.add_argument("--upstream", required=True, help="host:port")
+    parser.add_argument("--seed", default="0")
+    parser.add_argument("--drop", type=float, default=0.0)
+    parser.add_argument("--delay", type=float, default=0.0)
+    parser.add_argument("--truncate", type=float, default=0.0)
+    parser.add_argument("--reset", type=float, default=0.0)
+    parser.add_argument("--garble", type=float, default=0.0)
+    parser.add_argument("--delay-s", type=float, default=0.25)
+    parser.add_argument("--warmup-frames", type=int, default=0)
+    parser.add_argument(
+        "--stats-file", default=None, help="write JSON stats here on exit"
+    )
+    args = parser.parse_args(argv)
+
+    host, _, port = args.listen.partition(":")
+    schedule = FaultSchedule(
+        args.seed,
+        drop=args.drop,
+        delay=args.delay,
+        truncate=args.truncate,
+        reset=args.reset,
+        garble=args.garble,
+        delay_s=args.delay_s,
+        warmup_frames=args.warmup_frames,
+    )
+    proxy = FaultWire(
+        args.upstream, schedule, host=host or "127.0.0.1", port=int(port or 0)
+    ).start()
+    print(f"faultwire listening on {proxy.host}:{proxy.port}", flush=True)
+
+    done = threading.Event()
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        signal.signal(signum, lambda *_: done.set())
+    done.wait()
+    stats = proxy.stats()
+    proxy.shutdown()
+    if args.stats_file:
+        with open(args.stats_file, "w", encoding="utf-8") as fh:
+            json.dump(stats, fh, indent=2, sort_keys=True)
+    print(f"faultwire stats: {json.dumps(stats, sort_keys=True)}", flush=True)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(_main())

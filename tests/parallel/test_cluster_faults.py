@@ -1,0 +1,188 @@
+"""Cluster wire under injected faults: serial-identical or serial (ISSUE 9).
+
+Workers dial the dispatcher through :class:`repro.testing.FaultWire`, so
+the dispatcher→worker response leg — task handoffs, acks — takes
+scheduled damage.  The contracts: a garbled or torn frame never kills a
+worker (teardown, redial, re-queue), a batch completes byte-correct
+through a lossy wire, an unusable payload is re-queued a bounded number
+of times and then degrades the batch to the serial path, and
+``dispatcher_status`` redials under the shared policy.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro.parallel import cluster as cluster_mod
+from repro.parallel.cluster import (
+    ClusterExecutor,
+    ClusterWorker,
+    dispatcher_status,
+    ensure_dispatcher,
+)
+from repro.parallel.executors import ExecutorUnavailableError
+from repro.parallel.wire import pack_str, read_frame, unpack_str, write_frame
+from repro.testing import FaultSchedule, FaultWire
+
+
+def _square(task):
+    return task * task
+
+
+def _thread_worker(url, name, **kwargs):
+    kwargs.setdefault("poll_interval", 0.01)
+    kwargs.setdefault("heartbeat_interval", 0.1)
+    kwargs.setdefault("reconnect_window", 10.0)
+    worker = ClusterWorker(url, name=name, **kwargs)
+    thread = threading.Thread(target=worker.run, daemon=True)
+    thread.start()
+    return worker, thread
+
+
+class TestLossyWorkerWire:
+    def test_batch_completes_through_lossy_wire(self):
+        # Short heartbeat: a worker that teardown-redials after a fault
+        # gets a fresh id, and its orphaned assignment is reaped quickly.
+        dispatcher = ensure_dispatcher(
+            "cluster://127.0.0.1:0", heartbeat_timeout=0.5
+        )
+        schedule = FaultSchedule(
+            "cluster-storm", garble=0.1, drop=0.1, warmup_frames=1
+        )
+        proxy = FaultWire((dispatcher.host, dispatcher.port), schedule).start()
+        workers = [
+            _thread_worker(proxy.url("cluster"), f"lossy{i}", retry_seed=i)[0]
+            for i in range(2)
+        ]
+        try:
+            executor = ClusterExecutor(url=dispatcher.url, worker_wait=10.0)
+            tasks = list(range(12))
+            got = executor.map(
+                _square, tasks, order=list(range(12)), n_workers=2
+            )
+            assert got == [t * t for t in tasks]
+            # The fleet survives for a second batch on the same wire.
+            got = executor.map(_square, [13, 14], order=[0, 1], n_workers=2)
+            assert got == [169, 196]
+        finally:
+            for worker in workers:
+                worker.stop()
+            proxy.shutdown()
+
+    def test_worker_survives_scripted_garbled_polls(self):
+        dispatcher = ensure_dispatcher(
+            "cluster://127.0.0.1:0", heartbeat_timeout=0.5
+        )
+        # Garble the first few responses of the worker's first connection
+        # (hello ack and early polls): the worker must drop the
+        # connection and redial, never crash or report garbage.
+        schedule = FaultSchedule(0, garble=1.0, warmup_frames=0)
+        proxy = FaultWire((dispatcher.host, dispatcher.port), schedule).start()
+        worker, thread = _thread_worker(proxy.url("cluster"), "garbled")
+        try:
+            # After a couple of garbled rounds, clear the storm: the
+            # worker's redial loop finds a clean wire and serves.
+            time.sleep(0.3)
+            proxy.schedule = FaultSchedule(0)  # all pass
+            executor = ClusterExecutor(url=dispatcher.url, worker_wait=10.0)
+            got = executor.map(_square, [2, 3, 4], order=[0, 1, 2], n_workers=1)
+            assert got == [4, 9, 16]
+            assert thread.is_alive()  # the worker never died
+        finally:
+            worker.stop()
+            proxy.shutdown()
+
+
+class TestBadPayloadDegradation:
+    def test_bad_payload_requeues_then_poisons_to_serial_degradation(self):
+        """A worker that keeps reporting BAD forces the bounded re-queue
+        path: _BAD_PAYLOAD_LIMIT re-sends, then the result slot poisons
+        and the executor degrades the batch (ExecutorUnavailableError →
+        the caller's bit-identical serial fallback)."""
+        dispatcher = ensure_dispatcher("cluster://127.0.0.1:0")
+        executor = ClusterExecutor(url=dispatcher.url, worker_wait=10.0)
+        box: dict = {}
+
+        def run_map():
+            try:
+                box["got"] = executor.map(_square, [3], order=[0], n_workers=1)
+            except Exception as exc:  # noqa: BLE001 - recorded for assertions
+                box["error"] = exc
+
+        runner = threading.Thread(target=run_map, daemon=True)
+        runner.start()
+
+        # A hand-rolled worker speaking the wire protocol: polls, then
+        # reports every payload as BAD (as if it arrived unusable).
+        import socket
+
+        sock = socket.create_connection(
+            (dispatcher.host, dispatcher.port), timeout=5.0
+        )
+        rfile, wfile = sock.makefile("rb"), sock.makefile("wb")
+
+        def call(frame):
+            write_frame(wfile, frame)
+            wfile.flush()
+            return read_frame(rfile)
+
+        try:
+            hello = call(cluster_mod._OP_HELLO + pack_str("badmouth"))
+            assert hello[:1] == cluster_mod._ST_OK
+            worker_id, _ = unpack_str(hello, 1)
+            bad_reports = 0
+            deadline = time.monotonic() + 10.0
+            while bad_reports < cluster_mod._BAD_PAYLOAD_LIMIT + 1:
+                assert time.monotonic() < deadline, "poison path never fired"
+                response = call(cluster_mod._OP_POLL + pack_str(worker_id))
+                if response[:1] != cluster_mod._ST_OK:
+                    time.sleep(0.02)
+                    continue
+                token, _ = unpack_str(response, 1)
+                ack = call(
+                    cluster_mod._OP_RESULT
+                    + pack_str(worker_id)
+                    + pack_str(token)
+                    + cluster_mod._RESULT_BAD
+                    + b"unreadable payload"
+                )
+                assert ack[:1] == cluster_mod._ST_OK
+                bad_reports += 1
+        finally:
+            sock.close()
+
+        runner.join(timeout=10.0)
+        assert not runner.is_alive()
+        # The batch did not hang and did not fabricate a result: it
+        # degraded cleanly for the serial fallback to take over.
+        assert isinstance(box.get("error"), ExecutorUnavailableError)
+        stats = dispatcher.stats()
+        assert stats["payloads_rejected"] == cluster_mod._BAD_PAYLOAD_LIMIT + 1
+        assert stats["tasks_redispatched"] >= cluster_mod._BAD_PAYLOAD_LIMIT
+
+
+class TestStatusRedial:
+    def test_dispatcher_status_redials_under_policy(self):
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        dead_port = probe.getsockname()[1]
+        probe.close()
+        url = f"cluster://127.0.0.1:{dead_port}"
+        t0 = time.monotonic()
+        with pytest.raises(ConnectionError):
+            dispatcher_status(
+                url, timeout=0.5, retries=2, retry_delay=0.1, retry_seed="redial"
+            )
+        elapsed = time.monotonic() - t0
+        # Two jittered redial delays actually happened (>= raw/2 each).
+        assert elapsed >= 0.1
+
+    def test_dispatcher_status_with_retries_still_reads_live_counters(self):
+        dispatcher = ensure_dispatcher("cluster://127.0.0.1:0")
+        stats = dispatcher_status(dispatcher.url, retries=2, retry_delay=0.05)
+        assert stats == dispatcher.stats()

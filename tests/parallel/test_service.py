@@ -147,25 +147,42 @@ class TestFailureModes:
 
     def test_down_window_backoff_doubles_per_failed_window(self):
         # A server that times out rather than refusing must not cost two
-        # connect timeouts per *operation*: the down window doubles per
-        # consecutive failed window.
+        # connect timeouts per *operation*: the circuit's open window is
+        # jittered and doubles per consecutive failed half-open probe —
+        # and for a fixed retry_seed the whole sequence is reproducible.
+        from repro.parallel.resilience import OPEN, RetryPolicy, policy_rng
+
         probe = socket.socket()
         probe.bind(("127.0.0.1", 0))
         port = probe.getsockname()[1]
         probe.close()
-        store = RemoteMemoStore(f"memo://127.0.0.1:{port}", retry_delay=0.05)
-        import time as _time
+        store = RemoteMemoStore(
+            f"memo://127.0.0.1:{port}", retry_delay=0.05, retry_seed="pin"
+        )
+        twin = policy_rng("pin")  # replays the store's jitter draws
+        cooldown = RetryPolicy(
+            retries=None, base_delay=0.05, max_delay=30.0, jitter=0.5
+        )
 
         store.get("unit", "k")
-        assert store._window_failures == 1
-        first_window = store._down_until - _time.monotonic()
+        snap = store.circuits.snapshot()[store.url]
+        assert snap["state"] == OPEN and snap["trips"] == 1
+        first_window = cooldown.delay(1, twin)
+        assert 0 < store.circuits.open_remaining(store.url) <= first_window
+        failures = snap["failures"]
         store.get("unit", "k")  # inside the window: no connect attempt
-        assert store._window_failures == 1
-        store._down_until = 0.0
+        assert store.circuits.snapshot()[store.url]["failures"] == failures
+        # Force the window shut: the next op is the half-open probe; its
+        # failure must re-open with a doubled (still jittered) window.
+        store.circuits._endpoints[store.url].open_until = 0.0
         store.get("unit", "k")
-        assert store._window_failures == 2
-        second_window = store._down_until - _time.monotonic()
-        assert second_window > first_window
+        snap = store.circuits.snapshot()[store.url]
+        assert snap["state"] == OPEN and snap["trips"] == 2
+        second_window = cooldown.delay(2, twin)
+        # Raw delays double; jitter keeps each in [raw/2, raw], and for
+        # this seed the drawn windows are ~0.046s then ~0.080s.
+        assert first_window < second_window
+        assert first_window < store.circuits.open_remaining(store.url) <= second_window
         store.close()
 
     def test_client_survives_server_restart_on_same_port(self, tmp_path):

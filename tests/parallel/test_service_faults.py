@@ -1,0 +1,151 @@
+"""Memo service behind the fault proxy: degrade-to-miss, never crash (ISSUE 9).
+
+The memo client's contract is the softest in the stack — a cache may
+always miss — so under injected wire faults every operation must resolve
+to a hit with the exact stored bytes or a clean default, the circuit
+must make a hard-dead server cost fast local checks instead of repeated
+timeouts, and a recovered wire must heal it.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.parallel.resilience import CLOSED, OPEN
+from repro.parallel.service import MemoServer, RemoteMemoStore
+from repro.testing import FaultSchedule, FaultWire
+
+
+@pytest.fixture()
+def memo_server(tmp_path):
+    server = MemoServer(tmp_path / "memo").start()
+    yield server
+    server.shutdown()
+
+
+def proxied_store(proxy, **kwargs):
+    kwargs.setdefault("timeout", 5.0)
+    return RemoteMemoStore(proxy.url("memo"), **kwargs)
+
+
+class TestLossyWire:
+    def test_every_get_is_exact_hit_or_clean_default(self, memo_server):
+        schedule = FaultSchedule(
+            "memo-storm", drop=0.1, garble=0.1, truncate=0.08
+        )
+        values = {
+            f"key-{i}": {"i": i, "arr": np.arange(4) * i} for i in range(30)
+        }
+        with FaultWire((memo_server.host, memo_server.port), schedule) as proxy:
+            store = proxied_store(
+                proxy, retry_delay=0.02, retry_seed="memo-storm"
+            )
+            try:
+                for key, value in values.items():
+                    store.put("tests", key, value)
+                hits = 0
+                for key, value in values.items():
+                    got = store.get("tests", key, default=None)
+                    if got is None:
+                        continue  # a miss is always a legal answer
+                    # A hit must be the exact stored value — faults may
+                    # cost misses, never corrupt data.
+                    assert got["i"] == value["i"]
+                    assert np.array_equal(got["arr"], value["arr"])
+                    hits += 1
+                stats = store.stats()
+                assert stats["hits"] == hits
+                # The storm really happened and was absorbed as errors.
+                assert proxy.stats()["injected"] > 0
+                assert stats["errors"] > 0
+            finally:
+                store.close()
+
+    def test_lossy_run_replays_identically_under_seed(self, memo_server):
+        def run(wire_seed, retry_seed):
+            schedule = FaultSchedule(wire_seed, drop=0.15, garble=0.1)
+            outcomes = []
+            with FaultWire(
+                (memo_server.host, memo_server.port), schedule
+            ) as proxy:
+                store = proxied_store(
+                    proxy, retry_delay=0.01, retry_seed=retry_seed
+                )
+                try:
+                    for i in range(20):
+                        key = f"replay-{i}"
+                        store.put("tests", key, i)
+                        # Let any open window lapse so the schedule, not
+                        # wall-clock jitter, decides each op's fate.
+                        ep = store.circuits._endpoints.get(store.url)
+                        if ep is not None:
+                            ep.open_until = 0.0
+                        got = store.get("tests", key, default="miss")
+                        outcomes.append(got)
+                finally:
+                    store.close()
+            return outcomes
+
+        assert run("wire-A", "retry-A") == run("wire-A", "retry-A")
+
+    def test_put_failures_degrade_to_noop_cache(self, memo_server):
+        # Every response frame dies: puts and gets are all errors/misses,
+        # but none of them raises.
+        schedule = FaultSchedule(0, drop=1.0)
+        with FaultWire((memo_server.host, memo_server.port), schedule) as proxy:
+            store = proxied_store(proxy, retry_delay=0.01, retry_seed="noop")
+            try:
+                for i in range(5):
+                    store.put("tests", f"k{i}", i)
+                    assert store.get("tests", f"k{i}", default="miss") == "miss"
+                assert store.stats()["hits"] == 0
+                assert store.stats()["errors"] > 0
+            finally:
+                store.close()
+
+
+class TestHardDead:
+    def test_reset_storm_trips_circuit_to_fast_local_misses(self, memo_server):
+        schedule = FaultSchedule(0, reset=1.0)
+        with FaultWire((memo_server.host, memo_server.port), schedule) as proxy:
+            # Wide retry_delay: the circuit must stay open for the test.
+            store = proxied_store(proxy, retry_delay=5.0, retry_seed="dead")
+            try:
+                assert store.get("tests", "k", default="miss") == "miss"
+                assert store.circuit_state() == OPEN
+                failures = store.circuits.snapshot()[store.url]["failures"]
+                # Inside the open window operations are instant local
+                # misses — no connect, no timeout, no new failures.
+                t0 = time.monotonic()
+                for i in range(20):
+                    assert store.get("tests", f"k{i}", default="miss") == "miss"
+                assert time.monotonic() - t0 < 0.5
+                assert (
+                    store.circuits.snapshot()[store.url]["failures"] == failures
+                )
+            finally:
+                store.close()
+
+    def test_recovered_wire_heals_the_circuit(self, memo_server):
+        proxy = FaultWire(
+            (memo_server.host, memo_server.port), FaultSchedule(0, reset=1.0)
+        ).start()
+        try:
+            store = proxied_store(proxy, retry_delay=0.05, retry_seed="heal")
+            try:
+                assert store.get("tests", "k", default="miss") == "miss"
+                assert store.circuit_state() == OPEN
+                # The wire recovers; the schedule is swappable live.
+                proxy.schedule = FaultSchedule(0)  # all pass
+                store.circuits._endpoints[store.url].open_until = 0.0
+                # The half-open probe succeeds and the circuit closes.
+                store.put("tests", "k", {"v": 42})
+                assert store.get("tests", "k") == {"v": 42}
+                assert store.circuit_state() == CLOSED
+            finally:
+                store.close()
+        finally:
+            proxy.shutdown()

@@ -239,14 +239,20 @@ class TestFailureContract:
         port = rogue.getsockname()[1]
 
         def serve_garbage():
-            for _ in range(2):  # initial attempt + the one reconnect
+            # Keep answering garbage for every reconnect and retry-round
+            # probe until the listener closes: each attempt must fail
+            # cleanly and instantly, however many the budget allows.
+            while True:
                 try:
                     conn, _ = rogue.accept()
                 except OSError:
                     return
-                conn.recv(4096)
-                conn.sendall(LEN.pack(2**31 - 1))  # huge frame announcement
-                conn.close()
+                try:
+                    conn.recv(4096)
+                    conn.sendall(LEN.pack(2**31 - 1))  # huge frame announcement
+                    conn.close()
+                except OSError:
+                    pass
 
         thread = threading.Thread(target=serve_garbage, daemon=True)
         thread.start()

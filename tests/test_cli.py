@@ -179,3 +179,61 @@ class TestMemoServe:
         finally:
             proc.terminate()
             proc.wait(timeout=10)
+
+
+class TestResilienceFlags:
+    """ISSUE 9: retry/timeout knobs and the clean-failure contract."""
+
+    def test_parser_accepts_resilience_knobs(self):
+        args = build_parser().parse_args(
+            ["query", "ping", "--url", "serve://h:1", "--timeout", "2.5",
+             "--retries", "4"]
+        )
+        assert args.timeout == 2.5 and args.retries == 4
+        args = build_parser().parse_args(["serve", "--max-pending", "64"])
+        assert args.max_pending == 64
+        args = build_parser().parse_args(
+            ["cluster-status", "--dispatcher", "cluster://h:1", "--retries", "3"]
+        )
+        assert args.retries == 3
+
+    @staticmethod
+    def _dead_port() -> int:
+        import socket
+
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        return port
+
+    def test_query_unreachable_server_exits_cleanly(self, capsys):
+        url = f"serve://127.0.0.1:{self._dead_port()}"
+        code = main(
+            ["query", "stq", "-O", "44", "-V", "260", "--url", url,
+             "--timeout", "1.0", "--retries", "0"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("query:")
+        assert "Traceback" not in err
+
+    def test_query_malformed_url_exits_cleanly(self, capsys):
+        code = main(
+            ["query", "ping", "--url", "not-a-url", "--retries", "0"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert err.startswith("query:")
+        assert "Traceback" not in err
+
+    def test_cluster_status_retries_then_exits_cleanly(self, capsys):
+        url = f"cluster://127.0.0.1:{self._dead_port()}"
+        code = main(
+            ["cluster-status", "--dispatcher", url, "--timeout", "0.5",
+             "--retries", "1"]
+        )
+        assert code == 1
+        err = capsys.readouterr().err
+        assert err.startswith("cluster-status:")
+        assert "Traceback" not in err

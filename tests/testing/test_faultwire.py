@@ -1,0 +1,289 @@
+"""Tests for the deterministic fault-injecting proxy (ISSUE 9).
+
+FaultWire is the proof harness for the resilience layer, so it has to be
+trustworthy itself: schedules must be pure functions of (seed, conn,
+frame), and each action must do exactly what the clients are later
+asserted to survive — drop = EOF, truncate = torn frame, reset = RST,
+garble = same-length unparseable body, delay = stall.  Everything here
+runs against a tiny in-process echo service.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+
+import pytest
+
+from repro.parallel.wire import ProtocolError, FrameService, read_frame, write_frame
+from repro.testing import (
+    ACTIONS,
+    Fault,
+    FaultSchedule,
+    FaultWire,
+    ScriptedSchedule,
+)
+
+
+class EchoService(FrameService):
+    """Echoes every request frame back verbatim."""
+
+    scheme = "echo://"
+
+    def _handle_frame(self, request: bytes) -> bytes:
+        return request
+
+
+@pytest.fixture()
+def echo():
+    service = EchoService(timeout=10.0).start()
+    yield service
+    service.shutdown()
+
+
+class ProxyClient:
+    """A persistent framed connection through the proxy (one conn index)."""
+
+    def __init__(self, proxy: FaultWire, timeout: float = 5.0) -> None:
+        self.sock = socket.create_connection(
+            (proxy.host, proxy.port), timeout=timeout
+        )
+        self.rfile = self.sock.makefile("rb")
+        self.wfile = self.sock.makefile("wb")
+
+    def call(self, payload: bytes) -> bytes:
+        write_frame(self.wfile, payload)
+        self.wfile.flush()
+        return read_frame(self.rfile)
+
+    def close(self) -> None:
+        for closer in (self.rfile.close, self.wfile.close, self.sock.close):
+            try:
+                closer()
+            except OSError:
+                pass
+
+
+# ---------------------------------------------------------------- schedules
+
+
+def test_fault_validation():
+    with pytest.raises(ValueError):
+        Fault("explode")
+    with pytest.raises(ValueError):
+        Fault("delay", delay_s=-1.0)
+    with pytest.raises(ValueError):
+        Fault("truncate", keep_bytes=-1)
+
+
+def test_schedule_rate_validation():
+    with pytest.raises(ValueError):
+        FaultSchedule(0, drop=1.2)
+    with pytest.raises(ValueError):
+        FaultSchedule(0, drop=0.6, reset=0.6)  # sums past 1.0
+    with pytest.raises(ValueError):
+        FaultSchedule(0, delay_s=-0.1)
+    with pytest.raises(ValueError):
+        FaultSchedule(0, warmup_frames=-1)
+
+
+def test_schedule_is_pure_function_of_seed_conn_frame():
+    kwargs = dict(drop=0.1, delay=0.1, truncate=0.1, reset=0.1, garble=0.1)
+    a = FaultSchedule("chaos-1", **kwargs)
+    b = FaultSchedule("chaos-1", **kwargs)
+    grid = [(c, f) for c in range(8) for f in range(32)]
+    decisions_a = [a.decide(c, f) for c, f in grid]
+    assert decisions_a == [b.decide(c, f) for c, f in grid]
+    # Order of evaluation is irrelevant: each decision is independent.
+    assert decisions_a == [a.decide(c, f) for c, f in grid]
+    # A different seed yields a different storm.
+    other = FaultSchedule("chaos-2", **kwargs)
+    assert decisions_a != [other.decide(c, f) for c, f in grid]
+    # With those rates something actually fires.
+    assert any(d.action != "pass" for d in decisions_a)
+
+
+def test_schedule_warmup_frames_pass_clean():
+    schedule = FaultSchedule(0, drop=1.0, warmup_frames=3)
+    for frame in range(3):
+        assert schedule.decide(0, frame).action == "pass"
+    assert schedule.decide(0, 3).action == "drop"
+
+
+def test_scripted_schedule():
+    schedule = ScriptedSchedule(
+        {(0, 1): "drop", (2, 0): Fault("delay", delay_s=0.5)}
+    )
+    assert schedule.decide(0, 0).action == "pass"
+    assert schedule.decide(0, 1).action == "drop"
+    assert schedule.decide(2, 0).delay_s == 0.5
+    assert schedule.decide(9, 9).action == "pass"
+
+
+def test_actions_tuple_is_complete():
+    assert set(ACTIONS) == {"pass", "delay", "drop", "truncate", "reset", "garble"}
+
+
+# ------------------------------------------------------------------- proxy
+
+
+def test_pass_through_is_byte_identical(echo):
+    with FaultWire((echo.host, echo.port)) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            for i in range(5):
+                payload = f"hello-{i}".encode() * (i + 1)
+                assert client.call(payload) == payload
+        finally:
+            client.close()
+        stats = proxy.stats()
+    assert stats["connections"] == 1
+    assert stats["frames"] == 5
+    assert stats["injected"] == 0
+    assert stats["by_action"]["pass"] == 5
+
+
+def test_drop_looks_like_server_death_mid_await(echo):
+    schedule = ScriptedSchedule({(0, 1): "drop"})
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            assert client.call(b"first") == b"first"  # frame 0 passes
+            with pytest.raises((ProtocolError, OSError)):
+                client.call(b"second")  # frame 1 swallowed, conn closed
+        finally:
+            client.close()
+        assert proxy.stats()["by_action"]["drop"] == 1
+
+
+def test_truncate_tears_the_frame(echo):
+    schedule = ScriptedSchedule({(0, 0): Fault("truncate", keep_bytes=3)})
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        sock = socket.create_connection((proxy.host, proxy.port), timeout=5.0)
+        try:
+            rfile = sock.makefile("rb")
+            wfile = sock.makefile("wb")
+            write_frame(wfile, b"0123456789")
+            wfile.flush()
+            # The length header promises 10 bytes; only 3 arrive then EOF.
+            with pytest.raises((ProtocolError, OSError)):
+                read_frame(rfile)
+        finally:
+            sock.close()
+        assert proxy.stats()["by_action"]["truncate"] == 1
+
+
+def test_reset_is_a_hard_rst(echo):
+    schedule = ScriptedSchedule({(0, 0): "reset"})
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            with pytest.raises((ConnectionError, ProtocolError, OSError)):
+                client.call(b"doomed")
+        finally:
+            client.close()
+        assert proxy.stats()["by_action"]["reset"] == 1
+
+
+def test_delay_stalls_but_delivers(echo):
+    schedule = ScriptedSchedule({(0, 0): Fault("delay", delay_s=0.3)})
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            t0 = time.monotonic()
+            assert client.call(b"slow but intact") == b"slow but intact"
+            assert time.monotonic() - t0 >= 0.28
+        finally:
+            client.close()
+
+
+def test_garble_keeps_length_and_status_byte_but_breaks_the_body(echo):
+    schedule = ScriptedSchedule({(0, 0): "garble"})
+    payload = b'+{"answer": 42}'
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            got = client.call(payload)
+        finally:
+            client.close()
+    assert len(got) == len(payload)
+    assert got[:1] == payload[:1]  # status byte survives classification
+    assert got[1:] == bytes(0xFF ^ b for b in payload[1:])
+    # The inverted body cannot decode as UTF-8, so it can never re-parse
+    # as different-but-valid JSON: garbled bodies fail, never lie.
+    with pytest.raises(UnicodeDecodeError):
+        got[1:].decode("utf-8")
+
+
+def test_connection_indices_follow_accept_order(echo):
+    # Conn 1's frame 0 dropped; conn 0 untouched.
+    schedule = ScriptedSchedule({(1, 0): "drop"})
+    with FaultWire((echo.host, echo.port), schedule) as proxy:
+        first = ProxyClient(proxy)
+        try:
+            assert first.call(b"conn-0") == b"conn-0"
+            second = ProxyClient(proxy)
+            try:
+                with pytest.raises((ProtocolError, OSError)):
+                    second.call(b"conn-1")
+            finally:
+                second.close()
+            assert first.call(b"conn-0 again") == b"conn-0 again"
+        finally:
+            first.close()
+        assert proxy.stats()["connections"] == 2
+
+
+def test_dead_upstream_yields_clean_eof():
+    # Find a port nothing listens on by binding and closing it.
+    probe = socket.socket()
+    probe.bind(("127.0.0.1", 0))
+    dead_port = probe.getsockname()[1]
+    probe.close()
+    with FaultWire(("127.0.0.1", dead_port)) as proxy:
+        client = ProxyClient(proxy)
+        try:
+            with pytest.raises((ProtocolError, OSError)):
+                client.call(b"nobody home")
+        finally:
+            client.close()
+
+
+def test_upstream_url_parsing():
+    with pytest.raises(ValueError):
+        FaultWire("not-a-hostport")
+    proxy = FaultWire("memo://127.0.0.1:7777")
+    assert proxy.upstream == ("127.0.0.1", 7777)
+    assert proxy.url("serve").startswith("serve://127.0.0.1:")
+    proxy.shutdown()
+
+
+def test_seeded_storm_replays_identically(echo):
+    """Same seed, same request sequence => byte-identical fault pattern."""
+
+    def run(seed):
+        schedule = FaultSchedule(seed, drop=0.3, garble=0.2)
+        outcomes = []
+        with FaultWire((echo.host, echo.port), schedule) as proxy:
+            for _ in range(6):
+                client = ProxyClient(proxy)
+                try:
+                    for i in range(4):
+                        try:
+                            got = client.call(b"ping-%d" % i)
+                            outcomes.append(
+                                "ok" if got == b"ping-%d" % i else "garbled"
+                            )
+                        except (ProtocolError, OSError):
+                            outcomes.append("dead")
+                            break
+                finally:
+                    client.close()
+            stats = proxy.stats()
+        return outcomes, stats["by_action"]
+
+    outcomes_a, by_action_a = run("replay")
+    outcomes_b, by_action_b = run("replay")
+    assert outcomes_a == outcomes_b
+    assert by_action_a == by_action_b
+    assert by_action_a["drop"] + by_action_a["garble"] > 0
