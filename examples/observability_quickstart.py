@@ -1,0 +1,115 @@
+#!/usr/bin/env python
+"""Observability quickstart: traces, metrics and telemetry (PR 10).
+
+``repro.obs`` is the zero-dependency observability layer every wire
+service speaks:
+
+1. **tracing** — every entry point opens a span; the trace context rides
+   an optional envelope on all three wire protocols (version-negotiated,
+   so old peers keep working), and each server's frame span parents on
+   the client span that sent the request.  Spans carry per-hop timings:
+   client wait, queue/coalesce wait, batch traversal, backoff sleeps.
+   Enable with ``--trace-dir DIR`` / ``REPRO_TRACE_DIR``; **tracing on vs
+   off changes no answered byte**, and ``REPRO_TRACE_SEED`` makes the
+   trace ids themselves replayable;
+2. **metrics** — a typed Counter/Gauge/Histogram registry with fixed
+   log-spaced buckets, so p50/p95/p99 derive server-side from bucket
+   counts; the legacy ``stats()`` dicts are views over the same
+   instruments;
+3. **telemetry** — every framed service answers one opcode with one
+   versioned JSON snapshot; ``repro-chem query fleet-stats`` and
+   ``repro-chem trace show/top`` consume it from outside the serving
+   process.
+
+Run with::
+
+    python examples/observability_quickstart.py
+
+The equivalent operational setup::
+
+    repro-chem serve --port 7601 --trace-dir /tmp/traces --slow-ms 50
+    repro-chem query fleet-stats --url serve://127.0.0.1:7601
+    repro-chem trace top --trace-dir /tmp/traces -n 3
+    repro-chem trace show --trace-dir /tmp/traces --url serve://127.0.0.1:7601
+"""
+
+import json
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.cli import main as repro_cli
+from repro.core.advisor import ResourceAdvisor
+from repro.data.datasets import build_dataset
+from repro.obs.trace import configure_tracing, recent_spans, span
+from repro.serve import ServeClient, ServeServer
+
+
+def main() -> None:
+    # ------------------------------------------------------------- fit one model
+    print("Fitting a small advisor...")
+    dataset = build_dataset("aurora", seed=0, n_total=400)
+    advisor = ResourceAdvisor.from_dataset(dataset, preset="fast")
+    X = np.ascontiguousarray(dataset.X_test[:16])
+
+    trace_dir = Path(tempfile.mkdtemp(prefix="repro-traces-"))
+
+    # Parity first: answers with tracing off...
+    with ServeServer(advisor) as replica:
+        client = ServeClient(replica.url)
+        baseline = client.predict(X)
+        client.close()
+
+    # ...then everything below runs traced, and must match byte for byte.
+    configure_tracing(trace_dir=str(trace_dir))
+
+    # ------------------------------------- a 2-replica fleet, traced end to end
+    with ServeServer(advisor, slow_ms=0.01) as replica_a, ServeServer(
+        advisor
+    ) as replica_b:
+        fleet = ServeClient([replica_a.url, replica_b.url])
+        with span("quickstart.workload"):
+            traced = fleet.predict(X)
+            for row in X[:4]:
+                fleet.predict(np.ascontiguousarray(row[None, :]))
+        assert traced.tobytes() == baseline.tobytes()
+        print("parity: traced prediction is byte-identical to untraced\n")
+
+        # ---------------------------------------------- scrape fleet telemetry
+        print("=== fleet telemetry (one snapshot per replica) ===")
+        docs = fleet.fleet_telemetry()
+        for url, doc in docs.items():
+            counters = doc["metrics"]["counters"]
+            hist = doc["metrics"]["histograms"].get("wire.frame_seconds", {})
+            print(
+                f"{url}: schema_version={doc['schema_version']} "
+                f"predict={counters.get('serve.requests{op=predict}', 0)} "
+                f"p50={1000.0 * hist.get('p50', 0.0):.3f}ms "
+                f"p99={1000.0 * hist.get('p99', 0.0):.3f}ms"
+            )
+        fleet.close()
+
+        # -------------------------------------- the CLI verb, same wire path
+        print("\n=== repro-chem query fleet-stats (first replica) ===")
+        repro_cli(["query", "fleet-stats", "--url", replica_a.url])
+
+    # --------------------------------------------------------- trace the hops
+    print("\n=== slowest traces (repro-chem trace top) ===")
+    repro_cli(["trace", "top", "--trace-dir", str(trace_dir), "-n", "3"])
+
+    print("\n=== span tree of the slowest trace (repro-chem trace show) ===")
+    repro_cli(["trace", "show", "--trace-dir", str(trace_dir)])
+
+    workload = [s for s in recent_spans(500) if s["name"] == "quickstart.workload"]
+    print(
+        f"\nring recorded {len(recent_spans(500))} spans in-process; "
+        f"workload root trace id: {workload[0]['trace_id']}"
+    )
+    print(f"JSONL sinks under {trace_dir}:")
+    for path in sorted(trace_dir.glob("trace-*.jsonl")):
+        print(f"  {path.name}: {len(path.read_text().splitlines())} spans")
+
+
+if __name__ == "__main__":
+    main()

@@ -30,9 +30,16 @@ Sub-commands
     route lazily with an LRU cap, overload sheds past ``--max-inflight``,
     and packed arenas are shared per host through POSIX shared memory).
 ``query``
-    Fire predict/stq/bq/health/stats queries at a running ``serve``
-    process — or a fleet of them (repeat ``--url``; requests
-    consistent-hash across replicas with failover).
+    Fire predict/stq/bq/health/stats/fleet-stats queries at a running
+    ``serve`` process — or a fleet of them (repeat ``--url``; requests
+    consistent-hash across replicas with failover).  ``fleet-stats``
+    scrapes every replica's versioned telemetry snapshot over the wire.
+``trace``
+    Inspect recorded trace spans: ``trace top`` ranks the slowest traces,
+    ``trace show`` reconstructs one trace's span tree with per-hop
+    timings.  Spans come from ``--trace-dir`` JSONL sinks (written by
+    servers/workers started with tracing on) and/or live replica
+    telemetry (``--url``).
 """
 
 from __future__ import annotations
@@ -104,6 +111,27 @@ def _print_memo_summary(baseline: Optional[dict]) -> None:
         f"[memo] dir={store.location} hits={delta['hits']} misses={delta['misses']} "
         f"puts={delta['puts']} objects={agg['store']['objects']} fits={fits} (this run)"
     )
+
+
+def _add_trace_dir_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trace-dir",
+        default=os.environ.get("REPRO_TRACE_DIR") or None,
+        metavar="DIR",
+        help=(
+            "Enable request tracing and append finished spans to "
+            "DIR/trace-<pid>.jsonl (default: $REPRO_TRACE_DIR; unset "
+            "disables tracing). Tracing never changes answered bytes; "
+            "seed trace ids with $REPRO_TRACE_SEED for reproducible runs."
+        ),
+    )
+
+
+def _configure_tracing(args: argparse.Namespace) -> None:
+    if getattr(args, "trace_dir", None):
+        from repro.obs.trace import configure_tracing
+
+        configure_tracing(trace_dir=args.trace_dir)
 
 
 def _add_wire_robustness_options(parser: argparse.ArgumentParser) -> None:
@@ -229,6 +257,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="TCP port to listen on (0 picks a free port; printed at startup).",
     )
     _add_wire_robustness_options(p_srv)
+    _add_trace_dir_option(p_srv)
 
     p_work = sub.add_parser(
         "cluster-work",
@@ -288,6 +317,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="Exit after running this many tasks (mostly for tests).",
     )
     _add_memo_dir_option(p_work)
+    _add_trace_dir_option(p_work)
 
     p_serve = sub.add_parser(
         "serve",
@@ -387,13 +417,26 @@ def build_parser() -> argparse.ArgumentParser:
             "automatically on any failure)."
         ),
     )
+    p_serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        metavar="MS",
+        help=(
+            "Log one structured line (trace id + per-hop breakdown, JSON, "
+            "stderr) for every request slower than MS milliseconds, "
+            "rate-limited to one line per second. Default: off."
+        ),
+    )
     _add_wire_robustness_options(p_serve)
+    _add_trace_dir_option(p_serve)
 
     p_query = sub.add_parser(
         "query", help="Query a running `repro-chem serve` server."
     )
     p_query.add_argument(
-        "action", choices=["predict", "stq", "bq", "health", "stats", "ping"]
+        "action",
+        choices=["predict", "stq", "bq", "health", "stats", "fleet-stats", "ping"],
     )
     p_query.add_argument(
         "--url",
@@ -459,6 +502,50 @@ def build_parser() -> argparse.ArgumentParser:
             "unreachable. Default: 0 (one shot)."
         ),
     )
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="Inspect recorded trace spans (span trees, slowest traces).",
+        description=(
+            "Read finished spans from a trace directory's JSONL sinks "
+            "(written by servers started with --trace-dir / "
+            "$REPRO_TRACE_DIR) and/or from live replica telemetry "
+            "(--url), then reconstruct traces. 'top' ranks the slowest "
+            "traces; 'show' prints one trace's span tree with per-hop "
+            "timing breakdowns."
+        ),
+    )
+    p_trace.add_argument("action", choices=["show", "top"])
+    p_trace.add_argument(
+        "trace_id",
+        nargs="?",
+        default=None,
+        help="Trace id for 'show' (default: the slowest recorded trace).",
+    )
+    p_trace.add_argument(
+        "--trace-dir",
+        default=os.environ.get("REPRO_TRACE_DIR") or None,
+        metavar="DIR",
+        help="Directory holding trace-<pid>.jsonl sinks (default: $REPRO_TRACE_DIR).",
+    )
+    p_trace.add_argument(
+        "--url",
+        action="append",
+        default=None,
+        help=(
+            "Also scrape the recent-span ring of a live serve replica's "
+            "telemetry endpoint; repeatable."
+        ),
+    )
+    p_trace.add_argument(
+        "-n",
+        "--limit",
+        type=int,
+        default=3,
+        metavar="N",
+        help="How many traces 'top' lists (default: 3).",
+    )
+    p_trace.add_argument("--timeout", type=float, default=5.0)
 
     return parser
 
@@ -589,6 +676,7 @@ def _cmd_cluster_work(args: argparse.Namespace) -> int:
     # of recursing into a pool or back into the cluster.
     mark_worker_process()
     configure_store(args.memo_dir)
+    _configure_tracing(args)
     worker = ClusterWorker(
         args.dispatcher,
         name=args.name,
@@ -618,6 +706,7 @@ def _cmd_cluster_work(args: argparse.Namespace) -> int:
 def _cmd_memo_serve(args: argparse.Namespace) -> int:
     from repro.parallel.service import MemoServer
 
+    _configure_tracing(args)
     server = MemoServer(
         args.memo_dir, host=args.host, port=args.port, **_wire_kwargs(args)
     )
@@ -690,6 +779,7 @@ def _serve_fit_advisor(args: argparse.Namespace):
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.serve import ModelRegistry, ServeServer
 
+    _configure_tracing(args)
     name = _serve_model_name(args)
     registry = ModelRegistry(args.registry) if args.registry else None
     advisor = None
@@ -744,6 +834,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         model_digests=(
             {name: digest, "default": digest} if digest is not None else None
         ),
+        slow_ms=args.slow_ms,
         **_wire_kwargs(args),
     )
     mode = "single-flight" if args.single_flight else f"micro-batch(max {args.max_batch} rows)"
@@ -788,6 +879,27 @@ def _cmd_query(args: argparse.Namespace) -> int:
         return 2
     fleet = ",".join(client.urls)
     try:
+        if args.action == "fleet-stats":
+            docs = client.fleet_telemetry(timeout=args.timeout)
+            report = {}
+            dead = []
+            for url, doc in docs.items():
+                if isinstance(doc, dict) and "schema_version" in doc:
+                    # The full snapshot minus the span ring: counters and
+                    # histograms are the fleet-stats payload; spans belong
+                    # to `repro-chem trace`.
+                    report[url] = {k: v for k, v in doc.items() if k != "spans"}
+                else:
+                    dead.append(f"{url}: {doc.get('error', 'unreachable')}")
+            if report:
+                print(json.dumps(report, indent=2, sort_keys=True))
+            if dead:
+                # Dead or pre-observability replicas: clean one-line
+                # report and a non-zero exit, never a traceback — the
+                # reachable replicas' stats still printed above.
+                print(f"query: fleet-stats: {'; '.join(dead)}", file=sys.stderr)
+                return 1
+            return 0
         if args.action == "ping":
             ok = client.ping()
             print(f"{fleet}: {'ok' if ok else 'no response'}")
@@ -866,6 +978,142 @@ def _cmd_cluster_status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_trace_spans(
+    trace_dir: Optional[str], urls: Optional[Sequence[str]], timeout: float
+) -> list[dict]:
+    """Collect span dicts from JSONL sinks and/or live replica telemetry.
+
+    Torn tail lines (a sink killed mid-write) and junk files read as no
+    spans, never as a crash; duplicate spans (a span present both in a
+    sink and a replica's ring) are dropped by span id.
+    """
+    spans: list[dict] = []
+    if trace_dir:
+        import glob
+
+        for path in sorted(glob.glob(os.path.join(trace_dir, "trace-*.jsonl"))):
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    lines = fh.readlines()
+            except OSError:
+                continue
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except ValueError:
+                    continue
+                if isinstance(doc, dict) and doc.get("trace_id"):
+                    spans.append(doc)
+    for url in urls or []:
+        from repro.parallel.wire import fetch_telemetry, parse_hostport_url
+        from repro.serve.server import SERVE_URL_SCHEME
+
+        host, port = parse_hostport_url(url, SERVE_URL_SCHEME)
+        doc = fetch_telemetry(host, port, timeout=timeout)
+        for span in doc.get("spans", []):
+            if isinstance(span, dict) and span.get("trace_id"):
+                spans.append(span)
+    seen: set = set()
+    unique = []
+    for span in spans:
+        key = (span.get("trace_id"), span.get("span_id"))
+        if key in seen:
+            continue
+        seen.add(key)
+        unique.append(span)
+    return unique
+
+
+def _trace_duration_ms(trace_spans: list[dict]) -> float:
+    """A trace's wall time: its slowest span (the root, when present)."""
+    return max(
+        (1000.0 * (s.get("duration_s") or 0.0) for s in trace_spans), default=0.0
+    )
+
+
+def _format_span_line(span: dict, depth: int) -> str:
+    duration = span.get("duration_s")
+    line = "  " * depth + f"{span.get('name', '?')}"
+    if duration is not None:
+        line += f"  {1000.0 * duration:.3f}ms"
+    hops = span.get("hops") or {}
+    if hops:
+        line += "  hops: " + " ".join(
+            f"{key}={1000.0 * value:.3f}ms" for key, value in sorted(hops.items())
+        )
+    tags = span.get("tags") or {}
+    if tags:
+        line += "  [" + " ".join(f"{k}={v}" for k, v in sorted(tags.items())) + "]"
+    return line
+
+
+def _print_span_tree(trace_spans: list[dict]) -> None:
+    by_parent: dict = {}
+    ids = {s.get("span_id") for s in trace_spans}
+    for span in trace_spans:
+        parent = span.get("parent_id")
+        # A span whose parent was never recorded (a peer without a sink)
+        # roots its own subtree rather than vanishing.
+        key = parent if parent in ids else None
+        by_parent.setdefault(key, []).append(span)
+
+    def walk(parent_key, depth: int) -> None:
+        for span in sorted(
+            by_parent.get(parent_key, []), key=lambda s: s.get("t_wall") or 0.0
+        ):
+            print(_format_span_line(span, depth))
+            walk(span.get("span_id"), depth + 1)
+
+    walk(None, 1)
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.parallel.wire import ProtocolError
+
+    if not args.trace_dir and not args.url:
+        print(
+            "trace needs --trace-dir DIR (or $REPRO_TRACE_DIR) and/or --url "
+            "serve://HOST:PORT",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spans = _load_trace_spans(args.trace_dir, args.url, args.timeout)
+    except (OSError, ProtocolError, ValueError) as exc:
+        # Dead replica or typo'd URL: clean one-line non-zero exit.
+        print(f"trace: {exc}", file=sys.stderr)
+        return 1
+    traces: dict[str, list[dict]] = {}
+    for span in spans:
+        traces.setdefault(span["trace_id"], []).append(span)
+    if not traces:
+        print("trace: no recorded spans found", file=sys.stderr)
+        return 1
+    ranked = sorted(
+        traces.items(), key=lambda item: _trace_duration_ms(item[1]), reverse=True
+    )
+    if args.action == "top":
+        for trace_id, trace_spans in ranked[: max(1, args.limit)]:
+            roots = [s for s in trace_spans if not s.get("parent_id")]
+            root_name = (roots or trace_spans)[0].get("name", "?")
+            print(
+                f"trace {trace_id}  {_trace_duration_ms(trace_spans):.3f}ms  "
+                f"spans={len(trace_spans)}  root={root_name}"
+            )
+        return 0
+    # show
+    trace_id = args.trace_id or ranked[0][0]
+    if trace_id not in traces:
+        print(f"trace: no spans recorded for trace id {trace_id!r}", file=sys.stderr)
+        return 1
+    print(f"trace {trace_id}  ({len(traces[trace_id])} spans)")
+    _print_span_tree(traces[trace_id])
+    return 0
+
+
 _DISPATCH = {
     "generate-data": _cmd_generate_data,
     "simulate": _cmd_simulate,
@@ -877,15 +1125,22 @@ _DISPATCH = {
     "cluster-status": _cmd_cluster_status,
     "serve": _cmd_serve,
     "query": _cmd_query,
+    "trace": _cmd_trace,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    from repro.obs import trace as obs_trace
+
     np.set_printoptions(precision=4, suppress=True)
     parser = build_parser()
     args = parser.parse_args(argv)
-    return _DISPATCH[args.command](args)
+    # The root span of everything this invocation does: a no-op unless
+    # tracing is enabled ($REPRO_TRACE_DIR, --trace-dir, or a test's
+    # configure_tracing call).
+    with obs_trace.span(f"cli.{args.command}"):
+        return _DISPATCH[args.command](args)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,60 @@
+"""``repro.obs`` — zero-dependency observability for the whole stack.
+
+Three layers, built on nothing but the stdlib and repro's own wire:
+
+* :mod:`repro.obs.trace` — per-request trace contexts propagated through
+  every wire protocol, span records with a per-hop timing breakdown, a
+  bounded in-process ring and an optional JSONL sink.
+* :mod:`repro.obs.metrics` — typed ``Counter`` / ``Gauge`` /
+  ``Histogram`` instruments on a per-component registry; the legacy
+  ``stats()`` dicts are views over it.
+* the ``telemetry`` wire opcode (:mod:`repro.parallel.wire`) — a
+  versioned JSON snapshot of both, scrapeable from outside the process
+  (``repro-chem query fleet-stats``, ``repro-chem trace show/top``).
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    LATENCY_BUCKETS_S,
+    MetricsRegistry,
+)
+from repro.obs.trace import (
+    TRACE_DIR_ENV,
+    TRACE_SEED_ENV,
+    Span,
+    annotate,
+    configure_tracing,
+    current_span,
+    new_trace_id,
+    parent_from_wire,
+    recent_spans,
+    reset_tracing,
+    span,
+    trace_dir,
+    tracing_enabled,
+    wire_context,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+    "TRACE_DIR_ENV",
+    "TRACE_SEED_ENV",
+    "Span",
+    "annotate",
+    "configure_tracing",
+    "current_span",
+    "new_trace_id",
+    "parent_from_wire",
+    "recent_spans",
+    "reset_tracing",
+    "span",
+    "trace_dir",
+    "tracing_enabled",
+    "wire_context",
+]

@@ -1,0 +1,265 @@
+"""Typed metrics for the whole stack — counters, gauges, histograms.
+
+Every stats producer in the distributed layers (micro-batcher, serve
+server, model registry, memo store, cluster dispatcher) grew its own
+ad-hoc counter dict between PRs 5 and 9.  This module gives them one
+typed substrate — Prometheus-shaped, zero dependencies — so the
+``telemetry`` wire opcode can expose a uniform, versioned snapshot and
+the legacy ``stats()`` dicts become *views* over the registry instead of
+parallel bookkeeping.
+
+Design points:
+
+* **Per-instance registries.**  A :class:`MetricsRegistry` belongs to the
+  object that owns the counters (one per :class:`ServeServer`, one per
+  dispatcher, ...), not to the process: in-process tests routinely run
+  several servers side by side and must not see each other's traffic.
+* **Fixed log-spaced latency buckets.**  Every latency histogram shares
+  :data:`LATENCY_BUCKETS_S` (powers of √2 from 100 µs up), so quantiles
+  derived server-side — :meth:`Histogram.quantile` — are comparable
+  across services and across processes, and two snapshots can be summed
+  bucket-by-bucket without resampling.
+* **Thread safety.**  Instruments take a per-instrument lock on update;
+  the registry locks only on create/snapshot.  Updates on the hot path
+  are a dict-free increment.
+"""
+
+from __future__ import annotations
+
+import bisect
+import math
+import threading
+from typing import Any, Iterable, Optional, Sequence
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "LATENCY_BUCKETS_S",
+    "MetricsRegistry",
+]
+
+#: Shared latency bucket upper bounds, in seconds: √2-spaced from 100 µs
+#: to ~105 s (41 finite buckets + implicit +inf overflow).  √2 spacing
+#: bounds the relative error of a derived quantile by ~41 % worst-case,
+#: typically far less with the log-linear interpolation below.
+LATENCY_BUCKETS_S: tuple[float, ...] = tuple(
+    1e-4 * math.sqrt(2.0) ** i for i in range(41)
+)
+
+
+class Counter:
+    """A monotonically increasing count (requests, errors, rows...)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase.")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that goes up and down (queue depth, in-flight requests)."""
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Histogram:
+    """Fixed-bucket histogram with server-side quantile derivation.
+
+    Buckets are upper bounds; an observation lands in the first bucket
+    whose bound is >= the value, or the overflow slot past the last
+    bound.  ``quantile`` interpolates log-linearly inside the winning
+    bucket — with log-spaced bounds that is linear interpolation in the
+    exponent, the natural choice for latency distributions.
+    """
+
+    __slots__ = ("name", "_lock", "_bounds", "_counts", "_count", "_sum", "_max")
+
+    def __init__(
+        self, name: str, buckets: Sequence[float] = LATENCY_BUCKETS_S
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b <= 0 for b in bounds) or list(bounds) != sorted(
+            set(bounds)
+        ):
+            raise ValueError("buckets must be positive, strictly increasing.")
+        self.name = name
+        self._lock = threading.Lock()
+        self._bounds = bounds
+        self._counts = [0] * (len(bounds) + 1)  # +1: overflow past the last bound
+        self._count = 0
+        self._sum = 0.0
+        self._max = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if value < 0.0 or value != value:  # negative or NaN: clamp, never throw
+            value = 0.0
+        idx = bisect.bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[idx] += 1
+            self._count += 1
+            self._sum += value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    def quantile(self, q: float) -> float:
+        """Estimate the ``q``-quantile (``0 <= q <= 1``) from the buckets.
+
+        Returns 0.0 for an empty histogram.  The estimate is exact to
+        within one bucket's width — with √2-spaced buckets, a relative
+        error bounded by √2 and usually much smaller.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1].")
+        with self._lock:
+            counts = list(self._counts)
+            total = self._count
+            observed_max = self._max
+        if total == 0:
+            return 0.0
+        rank = q * total
+        seen = 0.0
+        for idx, n in enumerate(counts):
+            if n == 0:
+                continue
+            if seen + n >= rank:
+                frac = min(1.0, max(0.0, (rank - seen) / n))
+                hi = self._bounds[idx] if idx < len(self._bounds) else observed_max
+                lo = self._bounds[idx - 1] if idx > 0 else hi / math.sqrt(2.0)
+                if hi <= lo:
+                    return hi
+                # Log-linear interpolation: linear in the exponent.
+                return lo * (hi / lo) ** frac
+            seen += n
+        return observed_max
+
+    def snapshot(self) -> dict[str, Any]:
+        with self._lock:
+            counts = list(self._counts)
+            return {
+                "count": self._count,
+                "sum": self._sum,
+                "max": self._max,
+                "bounds": list(self._bounds),
+                "counts": counts,
+            }
+
+
+class MetricsRegistry:
+    """Get-or-create home for one component's instruments.
+
+    Names follow ``dotted.name`` convention with optional label suffixes
+    rendered as ``name{k=v,...}`` — the snapshot key.  Re-requesting the
+    same name (and labels) returns the same instrument, so producers can
+    call :meth:`counter` on the hot path without holding references.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._instruments: dict[str, Any] = {}
+
+    @staticmethod
+    def _key(name: str, labels: dict[str, str]) -> str:
+        if not labels:
+            return name
+        inner = ",".join(f"{k}={labels[k]}" for k in sorted(labels))
+        return f"{name}{{{inner}}}"
+
+    def _get_or_create(self, cls: type, name: str, labels: dict[str, str], **kwargs):
+        key = self._key(name, labels)
+        with self._lock:
+            instrument = self._instruments.get(key)
+            if instrument is None:
+                instrument = cls(key, **kwargs)
+                self._instruments[key] = instrument
+            elif not isinstance(instrument, cls):
+                raise TypeError(
+                    f"metric {key!r} already registered as "
+                    f"{type(instrument).__name__}, not {cls.__name__}"
+                )
+            return instrument
+
+    def counter(self, name: str, **labels: str) -> Counter:
+        return self._get_or_create(Counter, name, labels)
+
+    def gauge(self, name: str, **labels: str) -> Gauge:
+        return self._get_or_create(Gauge, name, labels)
+
+    def histogram(
+        self,
+        name: str,
+        buckets: Optional[Iterable[float]] = None,
+        **labels: str,
+    ) -> Histogram:
+        kwargs = {} if buckets is None else {"buckets": tuple(buckets)}
+        return self._get_or_create(Histogram, name, labels, **kwargs)
+
+    def snapshot(self) -> dict[str, Any]:
+        """One JSON-able dict of every instrument, typed by section.
+
+        Histograms carry their bucket counts plus derived p50/p95/p99 so
+        a scraper never needs the bucket math client-side.
+        """
+        with self._lock:
+            instruments = list(self._instruments.values())
+        counters: dict[str, int] = {}
+        gauges: dict[str, float] = {}
+        histograms: dict[str, dict[str, Any]] = {}
+        for instrument in instruments:
+            if isinstance(instrument, Counter):
+                counters[instrument.name] = instrument.value
+            elif isinstance(instrument, Gauge):
+                gauges[instrument.name] = instrument.value
+            elif isinstance(instrument, Histogram):
+                doc = instrument.snapshot()
+                doc["p50"] = instrument.quantile(0.50)
+                doc["p95"] = instrument.quantile(0.95)
+                doc["p99"] = instrument.quantile(0.99)
+                histograms[instrument.name] = doc
+        return {"counters": counters, "gauges": gauges, "histograms": histograms}

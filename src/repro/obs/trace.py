@@ -1,0 +1,389 @@
+"""Dapper-style request tracing over repro's own wire.
+
+A *trace* is one logical request as it crosses processes: the CLI verb
+or ``ServeClient`` call that starts it, the serve replica that answers,
+the registry load or ``memo://`` fetch the answer needed.  Each hop is a
+*span* — ``(trace_id, span_id, parent_id)`` plus a wall-clock start, a
+duration, and a ``hops`` breakdown of where the time went (client wait,
+queue/coalesce wait, batch traversal, registry load, memo fetch,
+retry/backoff sleeps).
+
+The contract mirrors the resilience layer's determinism discipline:
+
+* **Tracing changes no answered byte.**  Spans are observed time, never
+  control flow; the wire context rides a separate envelope
+  (:mod:`repro.parallel.wire`) that old peers ignore, and is only sent
+  when tracing is enabled — tracing *off* is wire-identical to PR 9.
+* **Seeded ids replay.**  Trace/span ids come from a dedicated RNG
+  seeded exactly like retry jitter (explicit seed > ``REPRO_TRACE_SEED``
+  > OS entropy), so a seeded chaos run reproduces the same trace tree.
+* **Bounded everywhere.**  Finished spans land in a fixed-size
+  in-process ring (the ``telemetry`` opcode serves it) and, only when a
+  trace dir is configured (``--trace-dir`` / ``REPRO_TRACE_DIR``), in an
+  append-only JSONL file per process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import contextvars
+import json
+import os
+import random
+import threading
+import time
+from collections import deque
+from typing import Any, Iterator, Optional
+
+__all__ = [
+    "TRACE_DIR_ENV",
+    "TRACE_SEED_ENV",
+    "Span",
+    "annotate",
+    "configure_tracing",
+    "current_span",
+    "new_trace_id",
+    "parent_from_wire",
+    "recent_spans",
+    "reset_tracing",
+    "span",
+    "tracing_enabled",
+    "trace_dir",
+    "wire_context",
+]
+
+#: Environment variable: directory for per-process JSONL span sinks.
+#: Setting it both enables tracing and selects the sink location.
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Environment variable seeding trace/span id generation (same precedence
+#: model as ``REPRO_RETRY_SEED``: explicit seed > env > OS entropy).
+TRACE_SEED_ENV = "REPRO_TRACE_SEED"
+
+#: Finished spans kept in process for the telemetry opcode.
+RING_SIZE = 512
+
+_lock = threading.Lock()
+_enabled: Optional[bool] = None          # None: derive from the trace dir
+_trace_dir_override: Optional[str] = None
+_rng: Optional[random.Random] = None
+_ring: deque = deque(maxlen=RING_SIZE)
+_sink_file = None
+_sink_path: Optional[str] = None
+
+_current: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_obs_current_span", default=None
+)
+
+
+# ------------------------------------------------------------- configuration
+
+
+def configure_tracing(
+    *,
+    enabled: Optional[bool] = None,
+    trace_dir: Optional[str] = None,
+    seed: object = None,
+) -> None:
+    """Set process-wide tracing state (CLI knobs and tests call this).
+
+    ``enabled`` forces tracing on/off regardless of the trace dir;
+    ``trace_dir`` selects the JSONL sink (and enables tracing unless
+    ``enabled=False`` is forced); ``seed`` reseeds the id generator.
+    """
+    global _enabled, _trace_dir_override, _rng, _sink_file, _sink_path
+    with _lock:
+        if enabled is not None:
+            _enabled = bool(enabled)
+        if trace_dir is not None:
+            _trace_dir_override = str(trace_dir) or None
+            if _sink_file is not None:
+                try:
+                    _sink_file.close()
+                except OSError:
+                    pass
+            _sink_file = None
+            _sink_path = None
+        if seed is not None:
+            _rng = random.Random(str(seed))
+
+
+def reset_tracing() -> None:
+    """Back to ambient-env defaults; drops the ring and sink (tests)."""
+    global _enabled, _trace_dir_override, _rng, _sink_file, _sink_path
+    with _lock:
+        _enabled = None
+        _trace_dir_override = None
+        _rng = None
+        _ring.clear()
+        if _sink_file is not None:
+            try:
+                _sink_file.close()
+            except OSError:
+                pass
+        _sink_file = None
+        _sink_path = None
+
+
+def tracing_enabled() -> bool:
+    """True when spans should be created and wire context attached."""
+    with _lock:
+        if _enabled is not None:
+            return _enabled
+        if _trace_dir_override is not None:
+            return True
+    return bool(os.environ.get(TRACE_DIR_ENV, "").strip())
+
+
+def trace_dir() -> Optional[str]:
+    """The JSONL sink directory, or None when only the ring is kept."""
+    with _lock:
+        if _trace_dir_override is not None:
+            return _trace_dir_override
+    return os.environ.get(TRACE_DIR_ENV, "").strip() or None
+
+
+# ------------------------------------------------------------------ identity
+
+
+def _ids_rng() -> random.Random:
+    """The id generator, seeded on first use (explicit > env > entropy)."""
+    global _rng
+    with _lock:
+        if _rng is None:
+            env_seed = os.environ.get(TRACE_SEED_ENV, "").strip()
+            _rng = random.Random(env_seed) if env_seed else random.Random()
+        return _rng
+
+
+def _new_id() -> str:
+    rng = _ids_rng()
+    with _lock:
+        return f"{rng.getrandbits(64):016x}"
+
+
+def new_trace_id() -> str:
+    """A fresh 64-bit hex trace id (deterministic under a seed)."""
+    return _new_id()
+
+
+# --------------------------------------------------------------------- spans
+
+
+class Span:
+    """One timed hop of a trace; finished spans are immutable records."""
+
+    __slots__ = (
+        "trace_id",
+        "span_id",
+        "parent_id",
+        "name",
+        "tags",
+        "hops",
+        "t_wall",
+        "_t0",
+        "duration_s",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        *,
+        trace_id: str,
+        span_id: str,
+        parent_id: Optional[str],
+        tags: Optional[dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.trace_id = trace_id
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags: dict[str, Any] = dict(tags) if tags else {}
+        self.hops: dict[str, float] = {}
+        self.t_wall = time.time()
+        self._t0 = time.perf_counter()
+        self.duration_s: Optional[float] = None
+
+    def annotate(self, key: str, seconds: float) -> None:
+        """Accumulate ``seconds`` into the ``key`` hop (clamped >= 0)."""
+        self.hops[key] = self.hops.get(key, 0.0) + max(0.0, float(seconds))
+
+    def set_tag(self, key: str, value: Any) -> None:
+        self.tags[key] = value
+
+    def finish(self) -> None:
+        if self.duration_s is None:
+            self.duration_s = max(0.0, time.perf_counter() - self._t0)
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "trace_id": self.trace_id,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "t_wall": self.t_wall,
+            "duration_s": self.duration_s,
+            "hops": dict(self.hops),
+            "tags": dict(self.tags),
+        }
+
+
+class _NullSpan:
+    """No-op stand-in when tracing is off: every method swallows."""
+
+    __slots__ = ()
+
+    trace_id = span_id = parent_id = None
+
+    def annotate(self, key: str, seconds: float) -> None:
+        pass
+
+    def set_tag(self, key: str, value: Any) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
+def current_span() -> Optional[Span]:
+    """The live span of this thread/context, or None."""
+    return _current.get()
+
+
+def annotate(key: str, seconds: float) -> None:
+    """Add ``seconds`` to the ``key`` hop of the current span, if any.
+
+    The one-line hook instrumented code calls: retry backoff sleeps,
+    queue waits, memo fetches.  Free (one contextvar read) when no span
+    is live.
+    """
+    live = _current.get()
+    if live is not None:
+        live.annotate(key, seconds)
+
+
+@contextlib.contextmanager
+def span(
+    name: str,
+    *,
+    parent: Optional[dict[str, Any]] = None,
+    tags: Optional[dict[str, Any]] = None,
+    force: bool = False,
+) -> Iterator[Any]:
+    """Context manager producing one span (or a no-op when tracing is off).
+
+    ``parent`` is an inbound wire context (``{"trace_id", "span_id"}``);
+    without one, the parent is the context's current span.  ``force``
+    records the span even when tracing is globally off — servers use it
+    for frames that *arrive* carrying a context, so a traced client gets
+    server-side spans out of an otherwise untraced replica.
+    """
+    if parent is None and not force and not tracing_enabled():
+        yield _NULL_SPAN
+        return
+    enclosing = _current.get()
+    if parent is not None and parent.get("trace_id"):
+        trace_id = str(parent["trace_id"])
+        parent_id = str(parent.get("span_id") or "") or None
+    elif enclosing is not None:
+        trace_id = enclosing.trace_id
+        parent_id = enclosing.span_id
+    else:
+        trace_id = _new_id()
+        parent_id = None
+    record = Span(
+        name,
+        trace_id=trace_id,
+        span_id=_new_id(),
+        parent_id=parent_id,
+        tags=tags,
+    )
+    token = _current.set(record)
+    try:
+        yield record
+    finally:
+        _current.reset(token)
+        record.finish()
+        _emit(record)
+
+
+# ------------------------------------------------------------- wire context
+
+
+def wire_context() -> Optional[str]:
+    """The current span as a wire-ready JSON context, or None.
+
+    None both when tracing is off and when no span is live — callers can
+    use it directly as the optional-envelope argument.
+    """
+    live = _current.get()
+    if live is None or not tracing_enabled():
+        return None
+    return json.dumps(
+        {"trace_id": live.trace_id, "span_id": live.span_id},
+        separators=(",", ":"),
+    )
+
+
+def parent_from_wire(ctx: Optional[str]) -> Optional[dict[str, Any]]:
+    """Decode an inbound wire context; junk decodes to None, never raises."""
+    if not ctx:
+        return None
+    try:
+        doc = json.loads(ctx)
+    except ValueError:
+        return None
+    if not isinstance(doc, dict) or not doc.get("trace_id"):
+        return None
+    return {
+        "trace_id": str(doc["trace_id"]),
+        "span_id": str(doc.get("span_id") or "") or None,
+    }
+
+
+# ------------------------------------------------------------ ring and sink
+
+
+def recent_spans(limit: int = 100) -> list[dict[str, Any]]:
+    """The newest finished spans (oldest first), up to ``limit``."""
+    with _lock:
+        spans = list(_ring)
+    if limit is not None and limit >= 0:
+        spans = spans[-limit:]
+    return spans
+
+
+def _emit(record: Span) -> None:
+    doc = record.to_dict()
+    with _lock:
+        _ring.append(doc)
+    directory = trace_dir()
+    if directory:
+        _write_jsonl(directory, doc)
+
+
+def _write_jsonl(directory: str, doc: dict[str, Any]) -> None:
+    """Append one span to this process's sink; sink failure never raises.
+
+    The handle is keyed by path+pid so a forked worker writes its own
+    file instead of interleaving with its parent's.
+    """
+    global _sink_file, _sink_path
+    path = os.path.join(directory, f"trace-{os.getpid()}.jsonl")
+    line = json.dumps(doc, separators=(",", ":"), sort_keys=True)
+    with _lock:
+        try:
+            if _sink_file is None or _sink_path != path:
+                if _sink_file is not None:
+                    try:
+                        _sink_file.close()
+                    except OSError:
+                        pass
+                os.makedirs(directory, exist_ok=True)
+                _sink_file = open(path, "a", encoding="utf-8")
+                _sink_path = path
+            _sink_file.write(line + "\n")
+            _sink_file.flush()
+        except OSError:
+            _sink_file = None
+            _sink_path = None

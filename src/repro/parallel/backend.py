@@ -31,6 +31,7 @@ from __future__ import annotations
 import os
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
+from repro.obs import trace as obs_trace
 from repro.parallel.executors import (
     Executor,
     ExecutorUnavailableError,
@@ -168,12 +169,17 @@ class ParallelMap:
             # Un-picklable closures/tasks (e.g. lambda scorers) fall back to
             # the serial path, which is always available and bit-identical.
             return [fn(task) for task in tasks]
-        try:
-            return executor.map(fn, tasks, order=order, n_workers=n_workers)
-        except ExecutorUnavailableError:
-            # A dead executor (OOM-killed pool, unreachable cluster) is an
-            # infrastructure failure, not a task failure: recompute serially.
-            return [fn(task) for task in tasks]
+        with obs_trace.span(
+            "parallel.map",
+            tags={"n_tasks": len(tasks), "n_workers": n_workers},
+        ):
+            try:
+                return executor.map(fn, tasks, order=order, n_workers=n_workers)
+            except ExecutorUnavailableError:
+                # A dead executor (OOM-killed pool, unreachable cluster) is
+                # an infrastructure failure, not a task failure: recompute
+                # serially.
+                return [fn(task) for task in tasks]
 
 
 def parallel_map(

@@ -76,6 +76,7 @@ import time
 from collections import deque
 from typing import Any, Callable, Optional, Sequence
 
+from repro.obs import trace as obs_trace
 from repro.parallel.executors import (
     Executor,
     ExecutorUnavailableError,
@@ -88,10 +89,12 @@ from repro.parallel.wire import (
     DEFAULT_TIMEOUT,
     FrameService,
     ProtocolError,
+    negotiate_caps,
     pack_str,
     parse_hostport_url,
     read_frame,
     unpack_str,
+    wrap_context,
     write_frame,
 )
 
@@ -271,9 +274,16 @@ class ClusterDispatcher(FrameService):
         self._assigned: dict[int, list[tuple[str, float]]] = {}
         self._results: dict[int, tuple[bool, bytes]] = {}
         self._bad_payloads: dict[int, int] = {}
-        self._batches_done = 0
-        self._tasks_redispatched = 0
-        self._payloads_rejected = 0
+        # PR 10: scheduling counters live on the typed metrics registry
+        # (created by FrameService.__init__ above) so the telemetry opcode
+        # sees them; they are still only mutated under self._state.
+        self._c_batches_done = self.metrics.counter("cluster.batches_done")
+        self._c_tasks_redispatched = self.metrics.counter(
+            "cluster.tasks_redispatched"
+        )
+        self._c_payloads_rejected = self.metrics.counter(
+            "cluster.payloads_rejected"
+        )
         # Serialises whole batches (submit-to-collect), not frame handling.
         self._batch_lock = threading.Lock()
 
@@ -326,7 +336,7 @@ class ClusterDispatcher(FrameService):
         with self._state:
             while True:
                 if len(self._results) == n_tasks:
-                    self._batches_done += 1
+                    self._c_batches_done.inc()
                     return [self._results[idx] for idx in range(n_tasks)]
                 now = time.monotonic()
                 self._reap_dead_workers(now)
@@ -361,7 +371,7 @@ class ClusterDispatcher(FrameService):
                 # the front so survivors pick it up before fresh work.
                 del self._assigned[idx]
                 self._queue.appendleft(idx)
-                self._tasks_redispatched += 1
+                self._c_tasks_redispatched.inc()
 
     # ------------------------------------------------------------- dispatch
 
@@ -441,7 +451,7 @@ class ClusterDispatcher(FrameService):
                 idx = self._pick_straggler(worker_id, now)
                 if idx is None:
                     return _ST_IDLE, b""
-                self._tasks_redispatched += 1
+                self._c_tasks_redispatched.inc()
             self._assigned.setdefault(idx, []).append((worker_id, now))
             token = f"{self._generation}:{idx}"
             return _ST_OK, pack_str(token) + self._blobs[idx]
@@ -484,14 +494,14 @@ class ClusterDispatcher(FrameService):
                 # the task (a re-send re-reads the pristine blob) up to
                 # _BAD_PAYLOAD_LIMIT times, then poison the result slot so
                 # the executor degrades the batch to the serial path.
-                self._payloads_rejected += 1
+                self._c_payloads_rejected.inc()
                 count = self._bad_payloads.get(idx, 0) + 1
                 self._bad_payloads[idx] = count
                 self._assigned.pop(idx, None)
                 if count <= _BAD_PAYLOAD_LIMIT:
                     if idx not in self._queue:
                         self._queue.appendleft(idx)
-                        self._tasks_redispatched += 1
+                        self._c_tasks_redispatched.inc()
                 else:
                     self._results[idx] = (True, b"")  # unreadable on purpose
                 self._state.notify_all()
@@ -516,9 +526,9 @@ class ClusterDispatcher(FrameService):
                 "tasks_pending": len(self._queue),
                 "tasks_assigned": len(self._assigned),
                 "tasks_done": len(self._results),
-                "batches_done": self._batches_done,
-                "tasks_redispatched": self._tasks_redispatched,
-                "payloads_rejected": self._payloads_rejected,
+                "batches_done": self._c_batches_done.value,
+                "tasks_redispatched": self._c_tasks_redispatched.value,
+                "payloads_rejected": self._c_payloads_rejected.value,
                 "connections_shed": self.connections_shed,
             }
 
@@ -633,6 +643,10 @@ class ClusterWorker:
         self._rfile = None
         self._wfile = None
         self._worker_id: Optional[str] = None
+        # Dispatcher wire capabilities (None = not yet probed on this
+        # connection); probed lazily and only when tracing is active, so
+        # tracing-off wire behaviour is byte-identical to before.
+        self._caps: Optional[frozenset] = None
         self._stop = threading.Event()
 
     # ---------------------------------------------------------- connection
@@ -650,6 +664,7 @@ class ClusterWorker:
                     pass
         self._sock = self._rfile = self._wfile = None
         self._worker_id = None
+        self._caps = None
 
     def _ensure_connected(self) -> None:
         if self._sock is not None:
@@ -676,7 +691,14 @@ class ClusterWorker:
         with self._io_lock:
             try:
                 self._ensure_connected()
-                write_frame(self._wfile, build(self._worker_id))
+                payload = build(self._worker_id)
+                context = obs_trace.wire_context()
+                if context is not None:
+                    if self._caps is None:
+                        self._caps = negotiate_caps(self._rfile, self._wfile)
+                    if "context" in self._caps:
+                        payload = wrap_context(payload, context)
+                write_frame(self._wfile, payload)
                 response = read_frame(self._rfile)
                 return response[:1], response[1:]
             except (OSError, ProtocolError):
@@ -758,21 +780,32 @@ class ClusterWorker:
             )
             return
         else:
-            try:
-                value = _call_task(fn, task)
-            except Exception as exc:
-                status, payload = _RESULT_EXC, _seal_exception(exc)
-            else:
+            with obs_trace.span(
+                "cluster.task", tags={"token": token, "worker": self.name}
+            ) as task_span:
                 try:
-                    status, payload = _RESULT_OK, _seal_value(value)
+                    value = _call_task(fn, task)
                 except Exception as exc:
-                    status, payload = _RESULT_EXC, _seal_exception(
-                        RuntimeError(f"task result does not pickle: {exc!r}")
-                    )
-        self.tasks_done += 1
-        self._request(
-            lambda wid: _OP_RESULT + pack_str(wid) + pack_str(token) + status + payload
-        )
+                    status, payload = _RESULT_EXC, _seal_exception(exc)
+                else:
+                    try:
+                        status, payload = _RESULT_OK, _seal_value(value)
+                    except Exception as exc:
+                        status, payload = _RESULT_EXC, _seal_exception(
+                            RuntimeError(f"task result does not pickle: {exc!r}")
+                        )
+                task_span.set_tag("ok", status == _RESULT_OK)
+                self.tasks_done += 1
+                # Report from inside the span so the result frame carries
+                # its context: the dispatcher's frame span links back to
+                # the worker's task span.
+                self._request(
+                    lambda wid: _OP_RESULT
+                    + pack_str(wid)
+                    + pack_str(token)
+                    + status
+                    + payload
+                )
 
 
 # ------------------------------------------------ dispatcher registry

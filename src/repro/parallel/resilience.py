@@ -39,6 +39,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional
 
+from repro.obs import trace as obs_trace
+
 __all__ = [
     "CLOSED",
     "HALF_OPEN",
@@ -180,6 +182,10 @@ class RetryState:
             if remaining <= 0.0:
                 return None
             delay = min(delay, remaining)
+        # Every wire client funnels its retry sleeps through here, so this
+        # one annotation charges backoff time to the live trace span for
+        # all of them (serve client, memo client, cluster worker redial).
+        obs_trace.annotate("backoff_sleep", delay)
         return delay
 
     @property

@@ -46,6 +46,7 @@ import threading
 import time
 from typing import Any, Optional
 
+from repro.obs import trace as obs_trace
 from repro.parallel.resilience import HealthTracker, RetryPolicy, policy_rng
 from repro.parallel.wire import (
     DEFAULT_MAX_CONNECTIONS,
@@ -54,10 +55,12 @@ from repro.parallel.wire import (
     MAX_FRAME,
     FrameService,
     ProtocolError,
+    negotiate_caps,
     pack_str,
     parse_hostport_url,
     read_frame,
     unpack_str,
+    wrap_context,
     write_frame,
 )
 from repro.parallel.store import (
@@ -156,6 +159,15 @@ class MemoServer(FrameService):
     def __enter__(self) -> "MemoServer":
         self.start()
         return self
+
+    def stats(self) -> dict:
+        """Aggregated cross-process view of the served store.
+
+        This is what the ``telemetry`` opcode exposes under ``"stats"`` —
+        the sum of every client process's published snapshot plus the
+        on-disk object count.
+        """
+        return self.store.aggregated_stats()
 
     # -------------------------------------------------------------- dispatch
 
@@ -260,6 +272,11 @@ class RemoteMemoStore:
         self._sock: Optional[socket.socket] = None
         self._rfile = None
         self._wfile = None
+        # Wire capabilities of the connected server (None = not yet probed
+        # on this connection).  Probed lazily, and only when tracing is
+        # active — so tracing-off wire behaviour is byte-identical to
+        # before trace propagation existed.
+        self._caps: Optional[frozenset] = None
         self._conn_lock = threading.Lock()
         self._counter_lock = threading.Lock()
         self._last_flush = 0.0
@@ -290,6 +307,7 @@ class RemoteMemoStore:
                 except OSError:
                     pass
         self._sock = self._rfile = self._wfile = None
+        self._caps = None
 
     def close(self) -> None:
         """Drop the connection (the store stays usable; it reconnects lazily)."""
@@ -324,10 +342,19 @@ class RemoteMemoStore:
                 try:
                     if self._sock is None:
                         self._connect()
-                    write_frame(self._wfile, payload)
+                    wire_payload = payload
+                    context = obs_trace.wire_context()
+                    if context is not None:
+                        if self._caps is None:
+                            self._caps = negotiate_caps(self._rfile, self._wfile)
+                        if "context" in self._caps:
+                            wire_payload = wrap_context(payload, context)
+                    t0 = time.perf_counter()
+                    write_frame(self._wfile, wire_payload)
                     response = read_frame(self._rfile)
                     if not response:
                         raise _ProtocolError("empty response")
+                    obs_trace.annotate("memo_wait", time.perf_counter() - t0)
                     self.circuits.record_success(self.url)
                     return response[:1], response[1:]
                 except (OSError, _ProtocolError, struct.error):
@@ -370,7 +397,8 @@ class RemoteMemoStore:
         except _ProtocolError:
             self._count(misses=1, errors=1)
             return default
-        response = self._request(request)
+        with obs_trace.span("memo.get", tags={"namespace": namespace}):
+            response = self._request(request)
         if response is None:
             self._count(misses=1, errors=1)
             return default
@@ -398,12 +426,18 @@ class RemoteMemoStore:
         except Exception:
             self._count(errors=1)
             return
-        response = self._request(request)
+        with obs_trace.span("memo.put", tags={"namespace": namespace}):
+            response = self._request(request)
         if response is not None and response[0] == _ST_OK:
             self._count(puts=1)
         else:
             self._count(errors=1)
-        if time.monotonic() - self._last_flush > 1.0:
+        # Read the flush clock under the counter lock: an unlocked read
+        # races flush_stats() in another thread and can double-publish or
+        # skip a snapshot window (the PR 7 lock discipline, applied here).
+        with self._counter_lock:
+            due = time.monotonic() - self._last_flush > 1.0
+        if due:
             self.flush_stats()
 
     # ------------------------------------------------------------ statistics
@@ -440,7 +474,8 @@ class RemoteMemoStore:
         """
         snapshot = json.dumps(build_stats_snapshot(self._local_counters()))
         self._request(_OP_SNAP + pack_str(_process_token()) + snapshot.encode("utf-8"))
-        self._last_flush = time.monotonic()
+        with self._counter_lock:
+            self._last_flush = time.monotonic()
 
     def aggregated_stats(self) -> dict[str, Any]:
         """Sum the snapshots of every process that used the service."""

@@ -297,8 +297,12 @@ class MemoStore:
         # Keep the on-disk counters fresh enough that an interrupted serial
         # run loses at most a second of statistics, without paying a stats
         # write per put on hot sweeps (pool workers additionally flush
-        # after every task).
-        if time.monotonic() - self._last_flush > 1.0:
+        # after every task).  The flush clock is read under the lock: an
+        # unlocked read races a concurrent flush_stats() and can skip or
+        # double-publish a snapshot window.
+        with self._lock:
+            due = time.monotonic() - self._last_flush > 1.0
+        if due:
             self.flush_stats()
 
     @staticmethod
@@ -419,7 +423,8 @@ class MemoStore:
             os.replace(tmp, path)
         except OSError:
             self._discard(tmp)
-        self._last_flush = time.monotonic()
+        with self._lock:
+            self._last_flush = time.monotonic()
 
     def aggregated_stats(self) -> dict[str, Any]:
         """Sum the stats snapshots of every process that used this store."""
@@ -462,8 +467,22 @@ def build_stats_snapshot(counters: dict[str, int]) -> dict[str, Any]:
     }
 
 
+def _as_int(value: Any) -> int:
+    """Best-effort integer coercion; garbage reads as 0, never raises."""
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        return 0
+
+
 def sum_snapshots(snapshots: list[dict], *, objects: int) -> dict[str, Any]:
-    """Sum per-process stats snapshots into one aggregated view."""
+    """Sum per-process stats snapshots into one aggregated view.
+
+    Snapshots come off disk (or off the wire) from other processes, so any
+    of them can be torn or garbled: parseable-but-malformed JSON — a
+    non-numeric counter, a ``"store"`` that is a list, a cache entry that
+    is a string — contributes zeros instead of crashing the aggregation.
+    """
     totals: dict[str, int] = {"hits": 0, "misses": 0, "puts": 0, "errors": 0}
     caches: dict[str, dict[str, int]] = {}
     fits = 0
@@ -472,14 +491,20 @@ def sum_snapshots(snapshots: list[dict], *, objects: int) -> dict[str, Any]:
         if not isinstance(snapshot, dict):
             continue
         processes += 1
-        fits += int(snapshot.get("fits", 0))
-        for field, value in snapshot.get("store", {}).items():
+        fits += _as_int(snapshot.get("fits", 0))
+        store = snapshot.get("store")
+        for field, value in store.items() if isinstance(store, dict) else ():
             if field in totals:
-                totals[field] += int(value)
-        for name, counters in snapshot.get("caches", {}).items():
+                totals[field] += _as_int(value)
+        snap_caches = snapshot.get("caches")
+        for name, counters in (
+            snap_caches.items() if isinstance(snap_caches, dict) else ()
+        ):
+            if not isinstance(counters, dict):
+                continue
             bucket = caches.setdefault(name, {"hits": 0, "misses": 0})
-            bucket["hits"] += int(counters.get("hits", 0))
-            bucket["misses"] += int(counters.get("misses", 0))
+            bucket["hits"] += _as_int(counters.get("hits", 0))
+            bucket["misses"] += _as_int(counters.get("misses", 0))
     totals["objects"] = objects
     return {"store": totals, "caches": caches, "fits": fits, "processes": processes}
 

@@ -33,11 +33,16 @@ Two robustness guards protect the thread-per-connection model itself:
 
 from __future__ import annotations
 
+import json
 import socket
 import socketserver
 import struct
 import threading
+import time
 from typing import Any, Optional
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = [
     "MAX_FRAME",
@@ -45,12 +50,21 @@ __all__ = [
     "STR_LEN",
     "DEFAULT_TIMEOUT",
     "DEFAULT_MAX_CONNECTIONS",
+    "CONTEXT_MARKER",
+    "OP_CAPS",
+    "OP_TELEMETRY",
+    "TELEMETRY_SCHEMA_VERSION",
+    "WIRE_CAPS",
     "ProtocolError",
     "pack_str",
     "unpack_str",
     "read_exact",
     "read_frame",
     "write_frame",
+    "wrap_context",
+    "split_context",
+    "negotiate_caps",
+    "fetch_telemetry",
     "parse_hostport_url",
     "FrameService",
 ]
@@ -77,6 +91,28 @@ DEFAULT_TIMEOUT = 300.0
 #: cap are shed (accepted and closed immediately) instead of growing the
 #: handler-thread population unboundedly.
 DEFAULT_MAX_CONNECTIONS = 128
+
+#: First byte of a context-wrapped request frame.  Every service opcode is
+#: printable ASCII, so NUL is unambiguous: a wrapped frame is
+#: ``b"\\x00" + pack_str(context_json) + real_payload``.  Old peers that
+#: receive one (they never should — clients only wrap after a successful
+#: capability probe) answer their usual unknown-opcode error frame.
+CONTEXT_MARKER = b"\x00"
+
+#: Generic capability-probe opcode, handled by :class:`FrameService` itself
+#: before service dispatch.  Old peers answer it with a clean error frame —
+#: which *is* the negotiation: a non-``+`` status means "no extensions".
+OP_CAPS = b"\x01"
+
+#: Generic telemetry opcode: a versioned JSON snapshot of the service's
+#: metrics registry, legacy stats and recent spans (:meth:`FrameService.telemetry`).
+OP_TELEMETRY = b"\x02"
+
+#: Version stamped into telemetry snapshots and capability documents.
+TELEMETRY_SCHEMA_VERSION = 1
+
+#: Wire extensions this build speaks.
+WIRE_CAPS = ("context", "telemetry")
 
 
 class ProtocolError(Exception):
@@ -152,6 +188,85 @@ def write_frame(wfile, payload: bytes) -> None:
     wfile.flush()
 
 
+# --------------------------------------------------------- context envelope
+
+
+def wrap_context(payload: bytes, context: Optional[str]) -> bytes:
+    """Wrap a request payload in the optional trace-context envelope.
+
+    ``None`` (tracing off, no live span, or a peer without the
+    ``context`` capability) returns the payload untouched — the wrapped
+    and unwrapped forms differ only when there is a context to carry.
+    """
+    if context is None:
+        return payload
+    return CONTEXT_MARKER + pack_str(context) + payload
+
+
+def split_context(frame: bytes) -> tuple[Optional[str], bytes]:
+    """Peel the context envelope off an inbound frame, if present.
+
+    Returns ``(context_json_or_None, real_payload)``.  A frame that does
+    not start with :data:`CONTEXT_MARKER` is returned unchanged; a
+    truncated envelope raises :class:`ProtocolError`.
+    """
+    if not frame.startswith(CONTEXT_MARKER):
+        return None, frame
+    context, offset = unpack_str(frame, 1)
+    return context, frame[offset:]
+
+
+def negotiate_caps(rfile, wfile) -> frozenset:
+    """Probe a connected peer's wire extensions over an open connection.
+
+    Sends :data:`OP_CAPS` and reads one response.  A peer from before
+    this protocol answers with its unknown-opcode error frame (any
+    non-``+`` status), which decodes as "no extensions" — that round trip
+    *is* the version negotiation, so mixed fleets keep working.  Raises
+    ``OSError``/:class:`ProtocolError` only for transport-level failures,
+    exactly like any other request on the connection.
+    """
+    write_frame(wfile, OP_CAPS)
+    response = read_frame(rfile)
+    if response[:1] != b"+":
+        return frozenset()
+    try:
+        doc = json.loads(response[1:])
+    except ValueError:
+        return frozenset()
+    caps = doc.get("caps") if isinstance(doc, dict) else None
+    if not isinstance(caps, list):
+        return frozenset()
+    return frozenset(str(cap) for cap in caps)
+
+
+def fetch_telemetry(host: str, port: int, *, timeout: float = 5.0) -> dict[str, Any]:
+    """One-shot telemetry scrape from any framed repro service.
+
+    Dials ``host:port``, sends :data:`OP_TELEMETRY` and returns the
+    versioned snapshot dict.  Raises ``OSError`` when nothing answers and
+    :class:`ProtocolError` when the peer refuses the opcode (an old build)
+    or returns junk — callers map both onto clean non-zero exits.
+    """
+    with socket.create_connection((host, port), timeout=timeout) as sock:
+        sock.settimeout(timeout)
+        with sock.makefile("rb") as rfile, sock.makefile("wb") as wfile:
+            write_frame(wfile, OP_TELEMETRY)
+            response = read_frame(rfile)
+    if response[:1] != b"+":
+        raise ProtocolError(
+            "peer refused telemetry (pre-observability build?): "
+            f"{response[1:].decode('utf-8', 'replace')!r}"
+        )
+    try:
+        doc = json.loads(response[1:])
+    except ValueError:
+        raise ProtocolError("telemetry response is not JSON") from None
+    if not isinstance(doc, dict) or "schema_version" not in doc:
+        raise ProtocolError("telemetry response is not a snapshot document")
+    return doc
+
+
 # ------------------------------------------------------------------- server
 
 
@@ -187,7 +302,7 @@ class _FrameRequestHandler(socketserver.StreamRequestHandler):
             except (OSError, ProtocolError):
                 return  # EOF, reset, timeout or garbage: drop the connection
             try:
-                response = service._handle_frame(request)
+                response = service._respond(request)
             except Exception:
                 response = service._internal_error_frame()
             try:
@@ -298,6 +413,12 @@ class FrameService:
     #: URL scheme rendered by :attr:`url` (e.g. ``"memo://"``).
     scheme = "tcp://"
 
+    #: Whether this service speaks the PR 10 wire extensions (context
+    #: envelope, CAPS/TELEMETRY opcodes).  Tests flip it off to emulate a
+    #: pre-observability peer: every extension frame then falls through to
+    #: the service's own dispatch and earns its historical error response.
+    wire_extensions = True
+
     def __init__(
         self,
         host: str = "127.0.0.1",
@@ -316,6 +437,16 @@ class FrameService:
         self._tcp.frame_service = self
         self._thread: Optional[threading.Thread] = None
         self._started = False
+        #: Typed instrument home for this service instance; subclasses
+        #: hang their own counters/histograms off it and the telemetry
+        #: opcode snapshots it.  A subclass that created its registry
+        #: before calling up (to instrument pre-bind construction work)
+        #: keeps it.
+        if not isinstance(getattr(self, "metrics", None), MetricsRegistry):
+            self.metrics = MetricsRegistry()
+        self._frames_total = self.metrics.counter("wire.frames")
+        self._frame_seconds = self.metrics.histogram("wire.frame_seconds")
+        self._started_monotonic = time.monotonic()
 
     # ------------------------------------------------------------- lifecycle
 
@@ -382,6 +513,117 @@ class FrameService:
         self.shutdown()
 
     # -------------------------------------------------------------- dispatch
+
+    def _respond(self, request: bytes) -> bytes:
+        """Generic wire-extension layer wrapped around :meth:`_handle_frame`.
+
+        Handles the CAPS/TELEMETRY opcodes, peels the optional trace
+        context off the frame, and — when a context arrived or tracing is
+        on in this process — records a server-side span around the
+        service dispatch.  With :attr:`wire_extensions` off (or for plain
+        unwrapped frames with tracing off) this is byte-for-byte the old
+        behaviour: the raw request goes straight to the service.
+        """
+        if not self.wire_extensions:
+            return self._handle_frame(request)
+        op = request[:1]
+        if op == OP_CAPS:
+            return b"+" + json.dumps(self._caps_doc(), sort_keys=True).encode("utf-8")
+        if op == OP_TELEMETRY:
+            doc = json.dumps(self.telemetry(), sort_keys=True, default=str)
+            return b"+" + doc.encode("utf-8")
+        try:
+            context, payload = split_context(request)
+        except ProtocolError:
+            # A truncated envelope cannot be attributed: let the service
+            # answer the raw frame with its own malformed-request error.
+            context, payload = None, request
+        self._frames_total.inc()
+        parent = obs_trace.parent_from_wire(context)
+        if (
+            parent is None
+            and not obs_trace.tracing_enabled()
+            and not self._force_frame_spans()
+        ):
+            t0 = time.perf_counter()
+            response = self._handle_frame(payload)
+            self._frame_seconds.observe(time.perf_counter() - t0)
+            return response
+        with obs_trace.span(
+            f"{self._span_service()}.frame",
+            parent=parent,
+            force=True,
+            tags={"service": type(self).__name__, "op": self._op_label(payload)},
+        ) as frame_span:
+            t0 = time.perf_counter()
+            response = self._handle_frame(payload)
+            self._frame_seconds.observe(time.perf_counter() - t0)
+            frame_span.set_tag("status", repr(response[:1]))
+        self._on_frame_span(frame_span)
+        return response
+
+    def _span_service(self) -> str:
+        """Short span-name prefix derived from the URL scheme."""
+        return self.scheme.split(":", 1)[0] or "wire"
+
+    def _op_label(self, payload: bytes) -> str:
+        """Human-readable opcode label for span tags and slow-request lines.
+
+        Services that know their opcode names override this (e.g. the
+        serve protocol maps ``b"p"`` to ``"predict"``).
+        """
+        return repr(payload[:1])
+
+    def _caps_doc(self) -> dict[str, Any]:
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "service": type(self).__name__,
+            "caps": list(WIRE_CAPS),
+        }
+
+    def telemetry(self) -> dict[str, Any]:
+        """The versioned observability snapshot served by :data:`OP_TELEMETRY`.
+
+        One document, JSON-able, same shape for every framed service:
+        metrics registry snapshot, the service's legacy ``stats()`` view,
+        and the newest spans from this process's ring.
+        """
+        try:
+            stats = self._telemetry_stats()
+        except Exception:
+            stats = {}
+        return {
+            "schema_version": TELEMETRY_SCHEMA_VERSION,
+            "service": type(self).__name__,
+            "url": self.url,
+            "caps": list(WIRE_CAPS),
+            "uptime_s": time.monotonic() - self._started_monotonic,
+            "connections": {
+                "open": self.open_connections,
+                "shed": self.connections_shed,
+            },
+            "metrics": self.metrics.snapshot(),
+            "stats": stats,
+            "spans": obs_trace.recent_spans(limit=100),
+        }
+
+    def _telemetry_stats(self) -> dict[str, Any]:
+        """The legacy stats view embedded in telemetry (override to adjust)."""
+        stats = getattr(self, "stats", None)
+        if callable(stats):
+            return stats()
+        return {}
+
+    def _force_frame_spans(self) -> bool:
+        """Record frame spans even with tracing globally off (override).
+
+        The serve server's ``--slow-ms`` knob needs per-frame spans to
+        measure against without requiring tracing to be enabled.
+        """
+        return False
+
+    def _on_frame_span(self, frame_span: Any) -> None:
+        """Hook called after a traced frame finishes (slow-log lives here)."""
 
     def _handle_frame(self, request: bytes) -> bytes:
         """Map one request frame to one response frame (status + body)."""

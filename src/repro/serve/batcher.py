@@ -36,9 +36,13 @@ from __future__ import annotations
 import copy
 import queue
 import threading
+import time
 from typing import Any, Callable, Optional
 
 import numpy as np
+
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 
 __all__ = ["MicroBatcher"]
 
@@ -46,15 +50,24 @@ _CLOSE = object()  # queue sentinel: drain and exit the worker loop
 
 
 class _Pending:
-    """One queued request: its rows, and a slot the worker fills."""
+    """One queued request: its rows, and a slot the worker fills.
 
-    __slots__ = ("X", "result", "error", "done")
+    The worker stamps ``t_start``/``t_done`` (batch pickup and batch
+    completion) so the *submitter* thread — the one holding the request's
+    trace span — can attribute queue wait and traversal time to the right
+    hops without any cross-thread context propagation.
+    """
+
+    __slots__ = ("X", "result", "error", "done", "t_enqueue", "t_start", "t_done")
 
     def __init__(self, X: np.ndarray) -> None:
         self.X = X
         self.result: Optional[np.ndarray] = None
         self.error: Optional[BaseException] = None
         self.done = threading.Event()
+        self.t_enqueue = 0.0
+        self.t_start = 0.0
+        self.t_done = 0.0
 
 
 class MicroBatcher:
@@ -79,6 +92,8 @@ class MicroBatcher:
         *,
         n_features: int,
         max_batch_rows: int = 1024,
+        metrics: Optional[MetricsRegistry] = None,
+        model: str = "",
     ) -> None:
         if max_batch_rows < 1:
             raise ValueError("max_batch_rows must be >= 1.")
@@ -90,18 +105,56 @@ class MicroBatcher:
         # request can slip in behind it (FIFO + single consumer), so the
         # worker's exit can never strand a submitter on done.wait().
         self._close_lock = threading.Lock()
+        # Guards compound counter updates so stats() reads one consistent
+        # batch's worth, exactly as before the typed-registry migration.
         self._stats_lock = threading.Lock()
-        self.requests = 0
-        self.rows = 0
-        self.batches = 0
-        self.batched_requests_max = 0
-        self.errors = 0
-        self.pending = 0
+        # PR 10: counters live on a typed metrics registry — the server
+        # passes its own (labelled by model) so the telemetry opcode sees
+        # them; a standalone batcher gets a private one.  stats() and the
+        # legacy attribute names below are views over these instruments.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        labels = {"model": model} if model else {}
+        self._c_requests = self.metrics.counter("batch.requests", **labels)
+        self._c_rows = self.metrics.counter("batch.rows", **labels)
+        self._c_batches = self.metrics.counter("batch.batches", **labels)
+        self._c_errors = self.metrics.counter("batch.errors", **labels)
+        self._g_pending = self.metrics.gauge("batch.pending", **labels)
+        self._g_batched_max = self.metrics.gauge("batch.batched_requests_max", **labels)
+        self._h_queue_wait = self.metrics.histogram(
+            "batch.queue_wait_seconds", **labels
+        )
+        self._h_traverse = self.metrics.histogram("batch.traverse_seconds", **labels)
         self._closed = False
         self._worker = threading.Thread(
             target=self._serve, name="micro-batcher", daemon=True
         )
         self._worker.start()
+
+    # Legacy counter attributes, now read-only views over the registry.
+
+    @property
+    def requests(self) -> int:
+        return self._c_requests.value
+
+    @property
+    def rows(self) -> int:
+        return self._c_rows.value
+
+    @property
+    def batches(self) -> int:
+        return self._c_batches.value
+
+    @property
+    def errors(self) -> int:
+        return self._c_errors.value
+
+    @property
+    def pending(self) -> int:
+        return int(self._g_pending.value)
+
+    @property
+    def batched_requests_max(self) -> int:
+        return int(self._g_batched_max.value)
 
     # ------------------------------------------------------------------ client
 
@@ -126,9 +179,19 @@ class MicroBatcher:
             if self._closed:
                 raise RuntimeError("MicroBatcher is closed.")
             with self._stats_lock:
-                self.pending += 1
+                self._g_pending.inc()
+            pending.t_enqueue = time.perf_counter()
             self._queue.put(pending)
         pending.done.wait()
+        # Hop attribution happens here, in the submitter thread — the one
+        # that owns the request's trace context; the worker only stamped
+        # the batch pickup/completion times.
+        queue_wait = max(0.0, pending.t_start - pending.t_enqueue)
+        traverse = max(0.0, pending.t_done - pending.t_start)
+        self._h_queue_wait.observe(queue_wait)
+        self._h_traverse.observe(traverse)
+        obs_trace.annotate("queue_wait", queue_wait)
+        obs_trace.annotate("traverse", traverse)
         if pending.error is not None:
             raise pending.error
         return pending.result
@@ -171,6 +234,7 @@ class MicroBatcher:
             self._run_batch(batch)
 
     def _run_batch(self, batch: list) -> None:
+        t_start = time.perf_counter()
         try:
             if len(batch) == 1:
                 results = [self._predict(batch[0].X)]
@@ -180,31 +244,37 @@ class MicroBatcher:
                 bounds = np.cumsum([0] + [p.X.shape[0] for p in batch])
                 results = [y[lo:hi] for lo, hi in zip(bounds[:-1], bounds[1:])]
         except BaseException as exc:  # the whole batch shares the model error
-            with self._stats_lock:
-                self.errors += len(batch)
-                # An errored batch is still served traffic: count it into
-                # the volume counters so stats() reports what actually ran.
-                self.requests += len(batch)
-                self.rows += sum(p.X.shape[0] for p in batch)
-                self.batches += 1
-                self.batched_requests_max = max(self.batched_requests_max, len(batch))
-                self.pending -= len(batch)
+            self._count_batch(batch, errored=True)
+            t_done = time.perf_counter()
             for pending in batch:
                 # Each rider re-raises its own copy: N submitter threads
                 # raising one shared instance concurrently would clobber
                 # each other's __traceback__ mid-flight.
+                pending.t_start = t_start
+                pending.t_done = t_done
                 pending.error = self._rider_error(exc)
                 pending.done.set()
             return
-        with self._stats_lock:
-            self.requests += len(batch)
-            self.rows += sum(p.X.shape[0] for p in batch)
-            self.batches += 1
-            self.batched_requests_max = max(self.batched_requests_max, len(batch))
-            self.pending -= len(batch)
+        self._count_batch(batch, errored=False)
+        t_done = time.perf_counter()
         for pending, result in zip(batch, results):
+            pending.t_start = t_start
+            pending.t_done = t_done
             pending.result = result
             pending.done.set()
+
+    def _count_batch(self, batch: list, *, errored: bool) -> None:
+        with self._stats_lock:
+            if errored:
+                # An errored batch is still served traffic: count it into
+                # the volume counters so stats() reports what actually ran.
+                self._c_errors.inc(len(batch))
+            self._c_requests.inc(len(batch))
+            self._c_rows.inc(sum(p.X.shape[0] for p in batch))
+            self._c_batches.inc()
+            if len(batch) > self._g_batched_max.value:
+                self._g_batched_max.set(len(batch))
+            self._g_pending.dec(len(batch))
 
     @staticmethod
     def _rider_error(exc: BaseException) -> BaseException:
@@ -234,21 +304,22 @@ class MicroBatcher:
         shedding is statistical back-pressure, not an exact semaphore.
         """
         with self._stats_lock:
-            return self.pending
+            return int(self._g_pending.value)
 
     def stats(self) -> dict[str, Any]:
         with self._stats_lock:
-            batches = self.batches
+            requests = self._c_requests.value
+            batches = self._c_batches.value
             return {
-                "requests": self.requests,
-                "rows": self.rows,
+                "requests": requests,
+                "rows": self._c_rows.value,
                 "batches": batches,
-                "errors": self.errors,
-                "batched_requests_max": self.batched_requests_max,
+                "errors": self._c_errors.value,
+                "batched_requests_max": int(self._g_batched_max.value),
                 # Queue-depth gauge: requests submitted but not yet answered
                 # — the signal admission control bounds at the request layer.
-                "pending": self.pending,
+                "pending": int(self._g_pending.value),
                 "requests_per_batch_mean": (
-                    self.requests / batches if batches else 0.0
+                    requests / batches if batches else 0.0
                 ),
             }

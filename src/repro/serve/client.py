@@ -63,6 +63,7 @@ from typing import Any, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.parallel.resilience import (
     CLOSED,
     HealthTracker,
@@ -72,8 +73,11 @@ from repro.parallel.resilience import (
 from repro.parallel.wire import (
     MAX_FRAME,
     ProtocolError,
+    fetch_telemetry,
+    negotiate_caps,
     parse_hostport_url,
     read_frame,
+    wrap_context,
     write_frame,
 )
 from repro.serve.server import (
@@ -85,6 +89,7 @@ from repro.serve.server import (
     PING_BANNER,
     SERVE_URL_SCHEME,
     ST_OK,
+    _OP_NAMES,
 )
 
 __all__ = [
@@ -140,6 +145,10 @@ class _Replica:
         self.wfile = None
         self.lock = threading.Lock()
         self.requests = 0
+        # Wire extensions this connection's peer speaks; None = not yet
+        # probed.  Probing happens lazily, and only when tracing is on —
+        # with tracing off the client's bytes are identical to PR 9.
+        self.caps: Optional[frozenset] = None
 
     def teardown(self) -> None:
         for closer in (self.rfile, self.wfile, self.sock):
@@ -149,6 +158,7 @@ class _Replica:
                 except OSError:
                     pass
         self.sock = self.rfile = self.wfile = None
+        self.caps = None
 
 
 class ServeClient:
@@ -355,7 +365,21 @@ class ServeClient:
                 try:
                     if replica.sock is None:
                         self._connect(replica)
-                    write_frame(replica.wfile, payload)
+                    # Trace context is attached at *send* time, never in
+                    # the routing key: per-request trace ids must not
+                    # scatter the consistent-hash ring.  Old peers (no
+                    # "context" cap) get the bare payload — that is the
+                    # mixed-fleet contract.
+                    wire_payload = payload
+                    context = obs_trace.wire_context()
+                    if context is not None:
+                        if replica.caps is None:
+                            replica.caps = negotiate_caps(
+                                replica.rfile, replica.wfile
+                            )
+                        if "context" in replica.caps:
+                            wire_payload = wrap_context(payload, context)
+                    write_frame(replica.wfile, wire_payload)
                     response = read_frame(replica.rfile)
                     self.circuits.record_success(replica.url)
                     return response[:1], response[1:]
@@ -392,65 +416,73 @@ class ServeClient:
             # A local mistake, not a server fault: fail this call alone
             # without tearing down connections or opening back-off windows.
             raise ServeError(f"request of {len(payload)} bytes exceeds the frame cap")
-        retry = self._policy.start(self._rng)
-        while True:
-            last_error: Optional[ServeError] = None
-            for position, (idx, probe) in enumerate(self._order(payload)):
-                replica = self._replicas[idx]
-                if position > 0:
-                    with self._fleet_lock:
-                        self._failovers += 1
-                try:
-                    status, body = self._request_replica(
-                        replica, payload, probe=probe
-                    )
-                except ServeUnavailableError as exc:
-                    last_error = exc
-                    continue
-                if status != ST_OK:
+        # The client-side span of this request: its duration is the full
+        # client wait (routing, failover, backoff rounds included) and its
+        # context rides the wire to whichever replica answers.
+        with obs_trace.span(
+            "serve.call", tags={"op": _OP_NAMES.get(op, repr(op))}
+        ) as call_span:
+            retry = self._policy.start(self._rng)
+            while True:
+                last_error: Optional[ServeError] = None
+                for position, (idx, probe) in enumerate(self._order(payload)):
+                    replica = self._replicas[idx]
+                    if position > 0:
+                        with self._fleet_lock:
+                            self._failovers += 1
                     try:
-                        message = body.decode("utf-8") or "request failed"
-                    except UnicodeDecodeError:
-                        # A garbled error body is wire rot, not a verdict
-                        # on the request: retryable, never ServeError.
+                        status, body = self._request_replica(
+                            replica, payload, probe=probe
+                        )
+                    except ServeUnavailableError as exc:
+                        last_error = exc
+                        continue
+                    if status != ST_OK:
+                        try:
+                            message = body.decode("utf-8") or "request failed"
+                        except UnicodeDecodeError:
+                            # A garbled error body is wire rot, not a verdict
+                            # on the request: retryable, never ServeError.
+                            last_error = self._bad_response(
+                                replica, "an undecodable error body"
+                            )
+                            continue
+                        if message.startswith(_OVERLOADED_PREFIX):
+                            # Healthy refusal: try the next replica, remember
+                            # the retryable flavour in case everyone refuses.
+                            # The circuit is untouched — shed is not dead.
+                            self.circuits.record_overload(replica.url)
+                            with self._fleet_lock:
+                                self._overloaded += 1
+                            last_error = ServeOverloadedError(message)
+                            continue
+                        # The request itself is wrong; every replica would
+                        # agree.
+                        raise ServeError(message)
+                    try:
+                        out = json.loads(body)
+                    except ValueError:
                         last_error = self._bad_response(
-                            replica, "an undecodable error body"
+                            replica, "an undecodable response"
                         )
                         continue
-                    if message.startswith(_OVERLOADED_PREFIX):
-                        # Healthy refusal: try the next replica, remember
-                        # the retryable flavour in case everyone refuses.
-                        # The circuit is untouched — shed is not dead.
-                        self.circuits.record_overload(replica.url)
-                        with self._fleet_lock:
-                            self._overloaded += 1
-                        last_error = ServeOverloadedError(message)
+                    if not isinstance(out, dict):
+                        last_error = self._bad_response(
+                            replica, "a malformed response"
+                        )
                         continue
-                    # The request itself is wrong; every replica would agree.
-                    raise ServeError(message)
-                try:
-                    out = json.loads(body)
-                except ValueError:
-                    last_error = self._bad_response(
-                        replica, "an undecodable response"
+                    call_span.set_tag("replica", replica.url)
+                    return out
+                # The whole pass refused (dead or shedding): back off under
+                # the budgeted jittered policy and try another round.
+                delay = retry.note_failure()
+                if delay is None:
+                    raise last_error or ServeUnavailableError(
+                        "no serve replica available"
                     )
-                    continue
-                if not isinstance(out, dict):
-                    last_error = self._bad_response(
-                        replica, "a malformed response"
-                    )
-                    continue
-                return out
-            # The whole pass refused (dead or shedding): back off under
-            # the budgeted jittered policy and try another round.
-            delay = retry.note_failure()
-            if delay is None:
-                raise last_error or ServeUnavailableError(
-                    "no serve replica available"
-                )
-            with self._fleet_lock:
-                self._retry_rounds += 1
-            time.sleep(delay)
+                with self._fleet_lock:
+                    self._retry_rounds += 1
+                time.sleep(delay)
 
     # ------------------------------------------------------------- endpoints
 
@@ -543,3 +575,24 @@ class ServeClient:
             "retry_rounds": retry_rounds,
             "replicas": replicas,
         }
+
+    def fleet_telemetry(self, *, timeout: Optional[float] = None) -> dict:
+        """Server-side telemetry snapshot per replica, scraped over the wire.
+
+        Each reachable replica contributes its versioned snapshot (the
+        ``telemetry`` opcode: metrics, legacy stats, recent spans); an
+        unreachable or pre-observability replica contributes an ``error``
+        entry instead of failing the whole scrape.  One fresh connection
+        per replica, so the scrape never perturbs the request sockets.
+        """
+        out: dict[str, dict] = {}
+        for replica in self._replicas:
+            try:
+                out[replica.url] = fetch_telemetry(
+                    replica.host,
+                    replica.port,
+                    timeout=self.timeout if timeout is None else timeout,
+                )
+            except (OSError, ProtocolError) as exc:
+                out[replica.url] = {"error": str(exc)}
+        return out

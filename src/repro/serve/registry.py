@@ -45,6 +45,8 @@ import time
 from pathlib import Path
 from typing import Any, Optional
 
+from repro.obs.metrics import MetricsRegistry
+
 __all__ = ["ModelRegistry", "warm_model", "REGISTRY_FORMAT_VERSION"]
 
 #: Bump to invalidate every previously published artifact.
@@ -101,16 +103,38 @@ class ModelRegistry:
         self._artifacts.mkdir(parents=True, exist_ok=True)
         self._aliases.mkdir(parents=True, exist_ok=True)
         self._stats_lock = threading.Lock()
-        self.publishes = 0
-        self.loads = 0
-        self.misses = 0
-        self.errors = 0
+        # PR 10: counters live on the typed metrics registry; the legacy
+        # attribute names below are read-only views.  The stats lock still
+        # makes multi-counter bumps (misses+errors) one atomic step so a
+        # concurrent stats() read never sees half an event.
+        self.metrics = MetricsRegistry()
+        self._counters = {
+            name: self.metrics.counter(f"registry.{name}")
+            for name in ("publishes", "loads", "misses", "errors")
+        }
+        self._h_load_seconds = self.metrics.histogram("registry.load_seconds")
 
     def _count(self, **deltas: int) -> None:
         """Bump counters atomically (``_count(misses=1, errors=1)``)."""
         with self._stats_lock:
             for name, delta in deltas.items():
-                setattr(self, name, getattr(self, name) + delta)
+                self._counters[name].inc(delta)
+
+    @property
+    def publishes(self) -> int:
+        return self._counters["publishes"].value
+
+    @property
+    def loads(self) -> int:
+        return self._counters["loads"].value
+
+    @property
+    def misses(self) -> int:
+        return self._counters["misses"].value
+
+    @property
+    def errors(self) -> int:
+        return self._counters["errors"].value
 
     # ------------------------------------------------------------------ paths
 
@@ -207,6 +231,7 @@ class ModelRegistry:
         against* — it keys the host-shared arena segment — and resolving
         the alias again after the load would race a concurrent republish.
         """
+        t0 = time.perf_counter()
         digest = self.resolve(ref)
         if digest is None:
             self._count(misses=1)
@@ -228,7 +253,9 @@ class ModelRegistry:
             self._discard(path)
             return None
         self._count(loads=1)
-        return digest, (warm_model(model) if warm else model)
+        result = digest, (warm_model(model) if warm else model)
+        self._h_load_seconds.observe(time.perf_counter() - t0)
+        return result
 
     @staticmethod
     def _discard(path: Path) -> None:
@@ -262,10 +289,7 @@ class ModelRegistry:
     def stats(self) -> dict[str, int]:
         with self._stats_lock:
             counters = {
-                "publishes": self.publishes,
-                "loads": self.loads,
-                "misses": self.misses,
-                "errors": self.errors,
+                name: counter.value for name, counter in self._counters.items()
             }
         counters["artifacts"] = len(self.artifacts())
         return counters

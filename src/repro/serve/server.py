@@ -53,6 +53,7 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 import threading
 import time
 from collections import OrderedDict
@@ -60,6 +61,8 @@ from typing import Any, Mapping, Optional
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import MetricsRegistry
 from repro.parallel.wire import (
     DEFAULT_MAX_CONNECTIONS,
     DEFAULT_TIMEOUT,
@@ -116,6 +119,7 @@ class _HostedModel:
         digest: Optional[str] = None,
         arena: Optional[SharedArena] = None,
         source: str = "static",
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.name = name
         self.model = model
@@ -143,7 +147,11 @@ class _HostedModel:
         self.n_features = int(n_features)
         self.batcher: Optional[MicroBatcher] = (
             MicroBatcher(
-                self.predict, n_features=self.n_features, max_batch_rows=max_batch_rows
+                self.predict,
+                n_features=self.n_features,
+                max_batch_rows=max_batch_rows,
+                metrics=metrics,
+                model=name,
             )
             if batcher
             else None
@@ -228,6 +236,7 @@ class ServeServer(FrameService):
         max_pending: Optional[int] = None,
         shared_arenas: Optional[bool] = None,
         model_digests: Optional[Mapping[str, str]] = None,
+        slow_ms: Optional[float] = None,
         timeout: Optional[float] = DEFAULT_TIMEOUT,
         max_connections: Optional[int] = DEFAULT_MAX_CONNECTIONS,
     ) -> None:
@@ -238,6 +247,10 @@ class ServeServer(FrameService):
                 "ServeServer needs at least one model (or a registry to "
                 "route aliases through)."
             )
+        # The metrics registry must exist before models are hosted: each
+        # model's micro-batcher registers its instruments on it (labelled
+        # by model name) so one telemetry snapshot covers the whole server.
+        self.metrics = MetricsRegistry()
         self.micro_batch = bool(micro_batch)
         self.registry = registry
         self.max_models = int(max_models) if max_models and max_models > 0 else None
@@ -258,8 +271,8 @@ class ServeServer(FrameService):
         self._dynamic: "OrderedDict[str, _HostedModel]" = OrderedDict()
         self._models_lock = threading.Lock()
         self._load_lock = threading.Lock()
-        self._models_loaded = 0
-        self._models_evicted = 0
+        self._c_models_loaded = self.metrics.counter("serve.models_loaded")
+        self._c_models_evicted = self.metrics.counter("serve.models_evicted")
         # Several names may alias one model object (the CLI serves the
         # registry alias and "default" as the same model); they share one
         # hosted entry so coalescing is not split across names.
@@ -286,14 +299,30 @@ class ServeServer(FrameService):
                     digest=digest,
                     arena=arena,
                     source="static",
+                    metrics=self.metrics,
                 )
                 hosted_by_id[id(model)] = hosted
             self.models[name] = hosted
-        self._counters = {name: 0 for name in _OP_NAMES.values()}
+        # Request counters on the typed registry; legacy stats() keys are
+        # views over these instruments.
+        self._op_counters = {
+            name: self.metrics.counter("serve.requests", op=name)
+            for name in _OP_NAMES.values()
+        }
         self._counter_lock = threading.Lock()
-        self._error_count = 0
+        self._c_errors = self.metrics.counter("serve.errors")
+        self._c_requests_shed = self.metrics.counter("serve.requests_shed")
+        self._g_inflight = self.metrics.gauge("serve.inflight")
         self._inflight = 0
-        self._requests_shed = 0
+        # --slow-ms: requests whose frame span exceeds the threshold log
+        # one structured line — rate-limited so a pathological workload
+        # cannot turn the log into the bottleneck.
+        self.slow_ms = float(slow_ms) if slow_ms and slow_ms > 0 else None
+        self._slow_lock = threading.Lock()
+        self._slow_last = 0.0
+        self._slow_min_interval_s = 1.0
+        self._c_slow_logged = self.metrics.counter("serve.slow_logged")
+        self._c_slow_suppressed = self.metrics.counter("serve.slow_suppressed")
         self._started_at = time.monotonic()
         try:
             super().__init__(
@@ -339,29 +368,71 @@ class ServeServer(FrameService):
             body = self._dispatch(request)
             return ST_OK + body
         except (_RequestError, ProtocolError) as exc:
-            with self._counter_lock:
-                self._error_count += 1
+            self._c_errors.inc()
             return ST_ERR + str(exc).encode("utf-8", "replace")
         except Exception:
-            with self._counter_lock:
-                self._error_count += 1
+            self._c_errors.inc()
             return self._internal_error_frame()
 
     def _internal_error_frame(self) -> bytes:
         return ST_ERR + b"internal error"
+
+    def _force_frame_spans(self) -> bool:
+        # --slow-ms needs per-frame spans to measure against even when
+        # tracing is globally off (spans then stay in the ring; nothing
+        # hits a sink and no context rides the wire).
+        return self.slow_ms is not None
+
+    def _on_frame_span(self, frame_span: Any) -> None:
+        """Slow-request log: one structured line per offending request.
+
+        Rate-limited to one line per ``_slow_min_interval_s`` so a
+        pathological workload cannot turn stderr into the bottleneck;
+        suppressed lines are still counted (``serve.slow_suppressed``).
+        """
+        if self.slow_ms is None or frame_span.duration_s is None:
+            return
+        duration_ms = frame_span.duration_s * 1000.0
+        if duration_ms < self.slow_ms:
+            return
+        now = time.monotonic()
+        with self._slow_lock:
+            if now - self._slow_last < self._slow_min_interval_s:
+                self._c_slow_suppressed.inc()
+                return
+            self._slow_last = now
+        self._c_slow_logged.inc()
+        line = json.dumps(
+            {
+                "event": "slow_request",
+                "threshold_ms": self.slow_ms,
+                "duration_ms": round(duration_ms, 3),
+                "trace_id": frame_span.trace_id,
+                "span_id": frame_span.span_id,
+                "op": frame_span.tags.get("op"),
+                "hops_ms": {
+                    key: round(seconds * 1000.0, 3)
+                    for key, seconds in sorted(frame_span.hops.items())
+                },
+            },
+            sort_keys=True,
+        )
+        print(line, file=sys.stderr, flush=True)
 
     def _shed_frame(self) -> bytes:
         # Wire-level sheds (connection cap) now speak the same retryable
         # refusal the request-level budget does, instead of a bare EOF.
         return ST_ERR + b"overloaded: connection limit reached (retryable)"
 
+    def _op_label(self, payload: bytes) -> str:
+        return _OP_NAMES.get(payload[:1]) or repr(payload[:1])
+
     def _dispatch(self, request: bytes) -> bytes:
         op = request[:1]
         name = _OP_NAMES.get(op)
         if name is None:
             raise _RequestError(f"unknown opcode {op!r}")
-        with self._counter_lock:
-            self._counters[name] += 1
+        self._op_counters[name].inc()
         if op == OP_PING:
             return PING_BANNER
         if op == OP_HEALTH:
@@ -383,13 +454,15 @@ class ServeServer(FrameService):
         finally:
             with self._counter_lock:
                 self._inflight -= 1
+                self._g_inflight.set(self._inflight)
 
     def _admit(self) -> bool:
         with self._counter_lock:
             if self.max_inflight is not None and self._inflight >= self.max_inflight:
-                self._requests_shed += 1
+                self._c_requests_shed.inc()
                 return False
             self._inflight += 1
+            self._g_inflight.set(self._inflight)
             return True
 
     @staticmethod
@@ -442,17 +515,22 @@ class ServeServer(FrameService):
                 if hosted is not None:
                     self._dynamic.move_to_end(name)
                     return hosted
-            loaded = self.registry.load_with_digest(name, warm=False)
-            if loaded is None:
-                raise _RequestError(
-                    f"unknown model {name!r} (serving: {self.model_names()}; "
-                    f"registry aliases: {sorted(self.registry.aliases())})"
+            t_load = time.perf_counter()
+            with obs_trace.span("serve.registry_load", tags={"model": name}):
+                loaded = self.registry.load_with_digest(name, warm=False)
+                if loaded is None:
+                    raise _RequestError(
+                        f"unknown model {name!r} (serving: {self.model_names()}; "
+                        f"registry aliases: {sorted(self.registry.aliases())})"
+                    )
+                digest, model = loaded
+                arena = (
+                    attach_shared_arena(model, digest) if self.shared_arenas else None
                 )
-            digest, model = loaded
-            arena = (
-                attach_shared_arena(model, digest) if self.shared_arenas else None
-            )
-            warm_model(model)
+                warm_model(model)
+            # Attribute the load to the *request's* hop breakdown (the
+            # frame span is current again outside the child span).
+            obs_trace.annotate("registry_load", time.perf_counter() - t_load)
             try:
                 hosted = _HostedModel(
                     name,
@@ -462,6 +540,7 @@ class ServeServer(FrameService):
                     digest=digest,
                     arena=arena,
                     source="registry",
+                    metrics=self.metrics,
                 )
             except TypeError as exc:
                 if arena is not None:
@@ -477,8 +556,8 @@ class ServeServer(FrameService):
                 ):
                     _, cold = self._dynamic.popitem(last=False)
                     evicted.append(cold)
-                self._models_loaded += 1
-                self._models_evicted += len(evicted)
+                self._c_models_loaded.inc()
+                self._c_models_evicted.inc(len(evicted))
         # Close evicted models outside every lock: batcher close drains the
         # queue (riders already accepted still get answers) and may block.
         for cold in evicted:
@@ -497,8 +576,7 @@ class ServeServer(FrameService):
             # Queue pressure, not processing pressure: the batcher already
             # has max_pending rows waiting, so shed with the same
             # retryable flavour the in-flight budget uses.
-            with self._counter_lock:
-                self._requests_shed += 1
+            self._c_requests_shed.inc()
             raise _RequestError(
                 f"overloaded: model {name!r} has {self.max_pending} rows "
                 f"pending (retryable; try another replica)"
@@ -519,7 +597,9 @@ class ServeServer(FrameService):
                 y = hosted.batcher.submit(X)
             else:
                 self._validate(X, hosted.n_features)
+                t_predict = time.perf_counter()
                 y = hosted.predict(X)
+                obs_trace.annotate("traverse", time.perf_counter() - t_predict)
         except ValueError as exc:
             raise _RequestError(str(exc))
         except RuntimeError:
@@ -572,10 +652,16 @@ class ServeServer(FrameService):
         }
 
     def stats(self) -> dict:
-        """Server counters; also what the ``stats`` endpoint returns."""
+        """Server counters; also what the ``stats`` endpoint returns.
+
+        Since PR 10 this dict is a *view* over the typed metrics registry
+        (the same instruments the telemetry opcode snapshots) — shape and
+        meaning unchanged.
+        """
         with self._models_lock:
             resident = list(self._dynamic.items())
-            loaded, evicted = self._models_loaded, self._models_evicted
+        loaded = self._c_models_loaded.value
+        evicted = self._c_models_evicted.value
         models = {}
         arenas = {"shared": self.shared_arenas, "segments": 0, "nbytes": 0}
         counted: set[int] = set()
@@ -594,12 +680,15 @@ class ServeServer(FrameService):
                 arenas["segments"] += 1
                 arenas["nbytes"] += hosted.arena.nbytes
         with self._counter_lock:
-            inflight, shed = self._inflight, self._requests_shed
+            inflight = self._inflight
+        shed = self._c_requests_shed.value
         return {
             "uptime_s": time.monotonic() - self._started_at,
             "micro_batch": self.micro_batch,
-            "requests": dict(self._counters),
-            "errors": self._error_count,
+            "requests": {
+                name: counter.value for name, counter in self._op_counters.items()
+            },
+            "errors": self._c_errors.value,
             "connections": {
                 "open": self.open_connections,
                 "shed": self.connections_shed,

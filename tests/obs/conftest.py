@@ -1,0 +1,39 @@
+"""Shared fixtures for the observability tests.
+
+Tracing is process-global state (ring, sink, RNG), so every test starts
+and ends from a clean slate; the serve-layer fixtures mirror
+``tests/serve/conftest.py`` — a deliberately tiny fitted advisor, because
+the tracing contracts are model-size-independent.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import ResourceAdvisor
+from repro.core.estimator import ResourceEstimator
+from repro.ml.gradient_boosting import GradientBoostingRegressor
+from repro.obs.trace import TRACE_DIR_ENV, TRACE_SEED_ENV, reset_tracing
+
+
+@pytest.fixture(autouse=True)
+def _clean_tracing(monkeypatch):
+    monkeypatch.delenv(TRACE_DIR_ENV, raising=False)
+    monkeypatch.delenv(TRACE_SEED_ENV, raising=False)
+    reset_tracing()
+    yield
+    reset_tracing()
+
+
+@pytest.fixture(scope="session")
+def tiny_advisor(small_aurora_dataset) -> ResourceAdvisor:
+    estimator = ResourceEstimator(
+        model=GradientBoostingRegressor(n_estimators=12, max_depth=3, random_state=0)
+    )
+    return ResourceAdvisor.from_dataset(small_aurora_dataset, estimator=estimator)
+
+
+@pytest.fixture(scope="session")
+def probe_X(small_aurora_dataset) -> np.ndarray:
+    return np.ascontiguousarray(small_aurora_dataset.X_test[:8])

@@ -1,0 +1,190 @@
+"""The observability CLI surface: ``query fleet-stats``, ``trace``, ``--slow-ms``.
+
+All in-process through ``repro.cli.main`` (the subprocess wiring is proven
+in ``test_subprocess.py`` and the serve CLI suite), pinning the exit-code
+contract: dead replica -> clean one-line stderr and exit 1, never a
+traceback; missing configuration -> exit 2.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+import pytest
+
+from repro.cli import main
+from repro.obs.trace import configure_tracing
+from repro.serve import ServeClient, ServeServer
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _span(trace, span_id, name, *, parent=None, t=0.0, dur=0.001, hops=None, tags=None):
+    return {
+        "trace_id": trace,
+        "span_id": span_id,
+        "parent_id": parent,
+        "name": name,
+        "t_wall": t,
+        "duration_s": dur,
+        "hops": hops or {},
+        "tags": tags or {},
+    }
+
+
+@pytest.fixture()
+def trace_dir(tmp_path):
+    """Two recorded traces plus a torn tail line (a process died mid-write)."""
+    spans = [
+        _span("aaaa", "s1", "cli.query", t=1.0, dur=0.010),
+        _span("aaaa", "s2", "serve.call", parent="s1", t=1.001, dur=0.005,
+              tags={"op": "predict"}),
+        _span("aaaa", "s3", "serve.frame", parent="s2", t=1.002, dur=0.002,
+              hops={"queue_wait": 0.0001, "traverse": 0.001}),
+        _span("bbbb", "s4", "memo.get", t=2.0, dur=0.001),
+    ]
+    lines = [json.dumps(s) for s in spans]
+    lines.append('{"trace_id": "cc')  # torn mid-write: must be skipped
+    (tmp_path / "trace-12345.jsonl").write_text("\n".join(lines) + "\n")
+    return tmp_path
+
+
+class TestTraceTop:
+    def test_ranks_slowest_first(self, trace_dir, capsys):
+        assert main(["trace", "top", "--trace-dir", str(trace_dir)]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "trace aaaa  10.000ms  spans=3  root=cli.query"
+        assert lines[1].startswith("trace bbbb  1.000ms  spans=1")
+
+    def test_limit(self, trace_dir, capsys):
+        assert main(["trace", "top", "-n", "1", "--trace-dir", str(trace_dir)]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 1
+
+    def test_env_dir_default(self, trace_dir, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_TRACE_DIR", str(trace_dir))
+        assert main(["trace", "top"]) == 0
+        assert "trace aaaa" in capsys.readouterr().out
+
+
+class TestTraceShow:
+    def test_reconstructs_multi_hop_tree(self, trace_dir, capsys):
+        assert main(["trace", "show", "aaaa", "--trace-dir", str(trace_dir)]) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0] == "trace aaaa  (3 spans)"
+        # Indentation encodes the hop chain: CLI -> client call -> server frame.
+        assert lines[1].startswith("  cli.query  10.000ms")
+        assert lines[2].startswith("    serve.call  5.000ms")
+        assert "[op=predict]" in lines[2]
+        assert lines[3].startswith("      serve.frame  2.000ms")
+        assert "queue_wait=0.100ms" in lines[3]
+        assert "traverse=1.000ms" in lines[3]
+
+    def test_defaults_to_slowest_trace(self, trace_dir, capsys):
+        assert main(["trace", "show", "--trace-dir", str(trace_dir)]) == 0
+        assert "trace aaaa" in capsys.readouterr().out
+
+    def test_unknown_id_exits_one(self, trace_dir, capsys):
+        assert main(["trace", "show", "zzzz", "--trace-dir", str(trace_dir)]) == 1
+        assert "no spans recorded" in capsys.readouterr().err
+
+    def test_no_dir_or_url_exits_two(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_DIR", raising=False)
+        assert main(["trace", "top"]) == 2
+        assert "--trace-dir" in capsys.readouterr().err
+
+    def test_empty_dir_exits_one(self, tmp_path, capsys):
+        assert main(["trace", "top", "--trace-dir", str(tmp_path)]) == 1
+        assert "no recorded spans" in capsys.readouterr().err
+
+    def test_scrapes_replica_ring_over_the_wire(self, tiny_advisor, probe_X, capsys):
+        configure_tracing(enabled=True)
+        with ServeServer({"default": tiny_advisor}) as srv:
+            client = ServeClient(srv.url)
+            try:
+                client.predict(probe_X)
+            finally:
+                client.close()
+            assert main(["trace", "top", "--url", srv.url]) == 0
+        assert "serve" in capsys.readouterr().out
+
+    def test_dead_url_is_clean_error(self, capsys):
+        url = f"serve://127.0.0.1:{_free_port()}"
+        assert main(["trace", "top", "--url", url, "--timeout", "1"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("trace: ")
+        assert "Traceback" not in err
+
+
+class TestFleetStats:
+    def test_live_replica_snapshot(self, tiny_advisor, probe_X, capsys):
+        with ServeServer({"default": tiny_advisor}) as srv:
+            client = ServeClient(srv.url)
+            try:
+                client.predict(probe_X)
+            finally:
+                client.close()
+            assert main(["query", "fleet-stats", "--url", srv.url]) == 0
+        report = json.loads(capsys.readouterr().out)
+        doc = report[srv.url]
+        assert doc["schema_version"] == 1
+        assert doc["metrics"]["counters"]["serve.requests{op=predict}"] >= 1
+        assert "spans" not in doc  # spans belong to `trace`, not fleet-stats
+
+    def test_dead_replica_is_one_line_exit_one(self, capsys):
+        url = f"serve://127.0.0.1:{_free_port()}"
+        assert main(["query", "fleet-stats", "--url", url, "--timeout", "1"]) == 1
+        captured = capsys.readouterr()
+        err_lines = captured.err.strip().splitlines()
+        assert len(err_lines) == 1
+        assert err_lines[0].startswith("query: fleet-stats: ")
+        assert "Traceback" not in captured.err
+
+    def test_mixed_fleet_reports_live_and_flags_dead(
+        self, tiny_advisor, probe_X, capsys
+    ):
+        dead = f"serve://127.0.0.1:{_free_port()}"
+        with ServeServer({"default": tiny_advisor}) as srv:
+            code = main(
+                ["query", "fleet-stats", "--url", f"{srv.url},{dead}", "--timeout", "1"]
+            )
+        captured = capsys.readouterr()
+        assert code == 1  # the dead replica still fails the scrape...
+        report = json.loads(captured.out)  # ...but the live one reported
+        assert srv.url in report and dead not in report
+        assert dead in captured.err
+
+
+class TestSlowMs:
+    def test_slow_request_line_is_structured(self, tiny_advisor, probe_X, capsys):
+        # Threshold of ~0 means every request is "slow": one predict, one line.
+        with ServeServer({"default": tiny_advisor}, slow_ms=1e-4) as srv:
+            client = ServeClient(srv.url)
+            try:
+                client.predict(probe_X)
+            finally:
+                client.close()
+        err = capsys.readouterr().err
+        lines = [l for l in err.splitlines() if '"slow_request"' in l]
+        assert lines, err
+        doc = json.loads(lines[0])
+        assert doc["event"] == "slow_request"
+        assert doc["threshold_ms"] == pytest.approx(1e-4)
+        assert doc["duration_ms"] >= 0.0
+        assert doc["op"] == "predict"
+        assert doc["trace_id"]  # frame spans are forced on, ring-only
+        assert isinstance(doc["hops_ms"], dict)
+
+    def test_off_by_default_logs_nothing(self, tiny_advisor, probe_X, capsys):
+        with ServeServer({"default": tiny_advisor}) as srv:
+            client = ServeClient(srv.url)
+            try:
+                client.predict(probe_X)
+            finally:
+                client.close()
+        assert '"slow_request"' not in capsys.readouterr().err

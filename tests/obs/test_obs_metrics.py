@@ -1,0 +1,119 @@
+"""Tests for the typed metrics registry (``repro.obs.metrics``).
+
+The contract that matters most is the histogram's bucket math: quantiles
+derived from fixed log-spaced buckets must track ``numpy.percentile``
+within the bucket resolution (a factor of sqrt(2)) for any latency-shaped
+sample, because CI's tail-latency guards read p95/p99 straight from
+telemetry snapshots.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS_S,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = Counter("x")
+        assert c.value == 0
+        c.inc()
+        c.inc(5)
+        assert c.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("x").inc(-1)
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("x")
+        g.set(10)
+        g.inc(2.5)
+        g.dec()
+        assert g.value == 11.5
+
+
+class TestHistogram:
+    def test_empty_quantile_is_zero(self):
+        assert Histogram("h").quantile(0.99) == 0.0
+
+    def test_count_sum_max(self):
+        h = Histogram("h")
+        for v in (0.001, 0.002, 0.004):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 3
+        assert snap["sum"] == pytest.approx(0.007)
+        assert snap["max"] == pytest.approx(0.004)
+
+    def test_negative_and_nan_clamp_to_zero(self):
+        h = Histogram("h")
+        h.observe(-1.0)
+        h.observe(float("nan"))
+        assert h.snapshot()["count"] == 2
+        assert h.quantile(0.5) <= LATENCY_BUCKETS_S[0]
+
+    @pytest.mark.parametrize("q", [0.50, 0.95, 0.99])
+    def test_quantiles_track_numpy_percentile(self, q):
+        # Latency-shaped sample: log-uniform over three decades, well
+        # inside the fixed bucket range.
+        rng = np.random.default_rng(7)
+        samples = 10.0 ** rng.uniform(-3.5, -0.5, size=5000)
+        h = Histogram("h")
+        for v in samples:
+            h.observe(float(v))
+        estimated = h.quantile(q)
+        true = float(np.percentile(samples, 100.0 * q))
+        # Bucket bounds are sqrt(2)-spaced, so the interpolated estimate
+        # can be off by at most one bucket's width.
+        assert true / math.sqrt(2.0) * 0.999 <= estimated <= true * math.sqrt(2.0) * 1.001
+
+    def test_overflow_bucket_counts(self):
+        h = Histogram("h")
+        h.observe(1e9)  # beyond the last bound
+        assert h.snapshot()["count"] == 1
+        # Overflow interpolates between the last bound and the observed
+        # max — never past what was actually seen.
+        assert LATENCY_BUCKETS_S[-1] <= h.quantile(0.5) <= 1e9
+        assert h.quantile(1.0) == pytest.approx(1e9)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.counter("a", model="m") is reg.counter("a", model="m")
+        assert reg.counter("a") is not reg.counter("a", model="m")
+
+    def test_type_mismatch_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(TypeError):
+            reg.gauge("a")
+
+    def test_labels_render_sorted_into_key(self):
+        reg = MetricsRegistry()
+        reg.counter("req", b="2", a="1").inc()
+        snap = reg.snapshot()
+        assert snap["counters"] == {"req{a=1,b=2}": 1}
+
+    def test_snapshot_has_derived_percentiles(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("lat")
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.observe(v)
+        snap = reg.snapshot()["histograms"]["lat"]
+        assert snap["count"] == 4
+        assert 0.0005 < snap["p50"] < snap["p95"] <= snap["p99"] < 0.02

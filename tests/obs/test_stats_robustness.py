@@ -1,0 +1,124 @@
+"""Cross-process stats aggregation under torn and garbled snapshots.
+
+Snapshot files in ``<store>/stats/`` are written by other processes with
+atomic rename, but a reader can still race a crashed writer (tmp rename
+never happened, half a JSON document on disk) or meet a hostile/corrupt
+file. The PR 10 contract: a torn snapshot reads as an empty snapshot — the
+aggregation never crashes and never invents counts.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+import pytest
+
+from repro.parallel.service import MemoServer, RemoteMemoStore
+from repro.parallel.store import MemoStore, sum_snapshots
+
+
+class TestSumSnapshots:
+    def test_sums_well_formed_snapshots(self):
+        snaps = [
+            {"pid": 1, "store": {"hits": 2, "misses": 1, "puts": 3, "errors": 0},
+             "fits": 5, "caches": {"tree": {"hits": 1, "misses": 0}}},
+            {"pid": 2, "store": {"hits": 1, "misses": 0, "puts": 0, "errors": 1},
+             "fits": 2, "caches": {"tree": {"hits": 4, "misses": 2}}},
+        ]
+        agg = sum_snapshots(snaps, objects=7)
+        assert agg["store"] == {
+            "hits": 3, "misses": 1, "puts": 3, "errors": 1, "objects": 7,
+        }
+        assert agg["fits"] == 7
+        assert agg["processes"] == 2
+        assert agg["caches"]["tree"] == {"hits": 5, "misses": 2}
+
+    @pytest.mark.parametrize(
+        "garbage",
+        [
+            {"store": "nope", "fits": "x", "caches": 3},
+            {"store": ["not", "a", "dict"], "caches": {"tree": "zap"}},
+            {"store": {"hits": "garbage", "misses": None}, "fits": [1]},
+            {"store": {"hits": 1, "bogus_field": 9}, "caches": {"t": {"hits": "?"}}},
+        ],
+    )
+    def test_garbled_snapshot_contributes_zeros(self, garbage):
+        clean = {"store": {"hits": 2, "misses": 0, "puts": 0, "errors": 0}, "fits": 1}
+        agg = sum_snapshots([clean, garbage], objects=0)
+        # The garbled snapshot counts as a process but adds at most its
+        # parseable numeric fields — never a crash, never invented counts.
+        assert agg["processes"] == 2
+        assert agg["store"]["hits"] in (2, 3)
+        assert agg["store"]["misses"] == 0
+
+    def test_non_dict_snapshots_are_skipped(self):
+        agg = sum_snapshots([None, [], "junk", 42], objects=0)
+        assert agg["processes"] == 0
+        assert agg["store"] == {
+            "hits": 0, "misses": 0, "puts": 0, "errors": 0, "objects": 0,
+        }
+
+
+class TestTornSnapshotFiles:
+    def test_torn_file_reads_as_empty_snapshot(self, tmp_path):
+        store = MemoStore(tmp_path)
+        store.put("ns", "k", 1)
+        assert store.get("ns", "k") == 1
+        # A process died mid-write: half a JSON document, no closing brace.
+        (store._stats_dir / "99999.json").write_text('{"pid": 99999, "store": {"hi')
+        agg = store.aggregated_stats()
+        assert agg["store"]["hits"] >= 1
+        assert agg["store"]["puts"] >= 1
+
+    def test_parseable_garbage_file_does_not_crash(self, tmp_path):
+        store = MemoStore(tmp_path)
+        store.put("ns", "k", 1)
+        (store._stats_dir / "66666.json").write_text(
+            json.dumps({"pid": 66666, "store": "zap", "fits": "x", "caches": []})
+        )
+        agg = store.aggregated_stats()
+        assert agg["store"]["puts"] >= 1
+
+    def test_remote_aggregation_survives_torn_server_files(self, tmp_path):
+        with MemoServer(tmp_path / "served") as srv:
+            (srv.store._stats_dir / "31337.json").write_text('{"torn": ')
+            remote = RemoteMemoStore(srv.url)
+            try:
+                remote.put("ns", "k", [1])
+                assert remote.get("ns", "k") == [1]
+                agg = remote.aggregated_stats()
+            finally:
+                remote.close()
+            srv.shutdown()
+        assert agg["store"]["puts"] >= 1
+
+
+class TestConcurrentFlush:
+    def test_racing_flushes_and_reads_stay_coherent(self, tmp_path):
+        """Hammer put/get/flush/aggregate from threads: counters must end
+        exactly right — the PR 7 lock discipline covers the snapshot path."""
+        store = MemoStore(tmp_path)
+        n_threads, n_ops = 4, 50
+        errors = []
+
+        def worker(tid):
+            try:
+                for i in range(n_ops):
+                    store.put("ns", (tid, i), i)
+                    assert store.get("ns", (tid, i)) == i
+                    if i % 10 == 0:
+                        store.flush_stats()
+                        store.aggregated_stats()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(t,)) for t in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []
+        agg = store.aggregated_stats()
+        assert agg["store"]["puts"] == n_threads * n_ops
+        assert agg["store"]["hits"] == n_threads * n_ops

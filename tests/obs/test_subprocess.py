@@ -1,0 +1,249 @@
+"""Trace propagation across REAL process boundaries.
+
+The in-process suite (``test_propagation.py``) proves span linkage inside
+one ring; these tests prove the wire actually carries the context: a
+traced client in this process must show up as the ``parent_id`` of frame
+spans recorded in the *server process's* JSONL sink — for the memo
+protocol (enabled via the ``REPRO_TRACE_DIR`` env), the serve protocol
+(enabled via the ``--trace-dir`` flag), and a cluster worker agent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+import repro
+from repro.obs.trace import TRACE_DIR_ENV, configure_tracing, recent_spans
+from repro.parallel.cluster import (
+    ClusterExecutor,
+    ensure_dispatcher,
+    shutdown_dispatchers,
+)
+from repro.parallel.service import RemoteMemoStore
+from repro.serve import ServeClient
+
+
+def _env(trace_dir=None, extra_pythonpath=None):
+    env = dict(os.environ)
+    parts = [str(Path(repro.__file__).resolve().parents[1])]
+    if extra_pythonpath:
+        parts.append(str(extra_pythonpath))
+    if env.get("PYTHONPATH"):
+        parts.append(env["PYTHONPATH"])
+    env["PYTHONPATH"] = os.pathsep.join(parts)
+    if trace_dir is not None:
+        env[TRACE_DIR_ENV] = str(trace_dir)
+    else:
+        env.pop(TRACE_DIR_ENV, None)
+    return env
+
+
+def _sink_spans(trace_dir, pid):
+    path = Path(trace_dir) / f"trace-{pid}.jsonl"
+    assert path.exists(), f"server process wrote no trace sink at {path}"
+    return [json.loads(line) for line in path.read_text().splitlines() if line]
+
+
+def _terminate(proc):
+    if proc.poll() is None:
+        proc.terminate()
+    proc.wait(timeout=10.0)
+
+
+class TestMemoServeSubprocess:
+    def test_client_span_parents_frame_span_across_processes(self, tmp_path):
+        sink = tmp_path / "traces"
+        sink.mkdir()
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "memo-serve",
+                "--memo-dir", str(tmp_path / "memo"),
+                "--port", "0",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(trace_dir=sink),
+        )
+        try:
+            banner = proc.stdout.readline()
+            assert "listening on memo://" in banner, banner
+            url = banner.rsplit("listening on ", 1)[1].strip()
+
+            configure_tracing(enabled=True)
+            store = RemoteMemoStore(url)
+            try:
+                store.put("ns", {"q": 1}, {"answer": 42})
+                assert store.get("ns", {"q": 1}) == {"answer": 42}
+            finally:
+                store.close()
+        finally:
+            _terminate(proc)
+
+        client_ids = {
+            s["span_id"]: s["trace_id"]
+            for s in recent_spans(100)
+            if s["name"] in ("memo.get", "memo.put")
+        }
+        assert client_ids
+        server_frames = [
+            s for s in _sink_spans(sink, proc.pid) if s["name"] == "memo.frame"
+        ]
+        linked = [
+            s
+            for s in server_frames
+            if s["parent_id"] in client_ids
+            and s["trace_id"] == client_ids[s["parent_id"]]
+        ]
+        assert linked, server_frames
+
+
+class TestServeSubprocess:
+    def test_client_span_parents_frame_span_across_processes(self, tmp_path):
+        sink = tmp_path / "traces"
+        sink.mkdir()
+        proc = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro.cli", "serve",
+                "--rows", "150", "--trees", "12", "--depth", "3",
+                "--tree-method", "hist",
+                "--port", "0",
+                "--registry", str(tmp_path / "registry"),
+                "--trace-dir", str(sink),
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.STDOUT,
+            text=True,
+            env=_env(),
+        )
+        try:
+            url = None
+            lines = []
+            for line in proc.stdout:
+                lines.append(line)
+                if "listening on serve://" in line:
+                    url = line.rsplit("listening on ", 1)[1].strip()
+                    break
+            assert url, "".join(lines)
+
+            configure_tracing(enabled=True)
+            client = ServeClient(url)
+            try:
+                import numpy as np
+
+                client.predict(
+                    np.array([[44.0, 260.0, 5.0, 40.0], [99.0, 718.0, 40.0, 80.0]])
+                )
+            finally:
+                client.close()
+        finally:
+            _terminate(proc)
+
+        call_ids = {
+            s["span_id"]: s["trace_id"]
+            for s in recent_spans(100)
+            if s["name"] == "serve.call"
+        }
+        assert call_ids
+        frames = [
+            s for s in _sink_spans(sink, proc.pid) if s["name"] == "serve.frame"
+        ]
+        linked = [
+            s
+            for s in frames
+            if s["parent_id"] in call_ids
+            and s["trace_id"] == call_ids[s["parent_id"]]
+        ]
+        assert linked, frames
+        # The hop breakdown survived the process boundary too.
+        assert any("traverse" in s["hops"] for s in linked)
+
+
+_TASK_MODULE = """\
+def square(task):
+    return task * task
+"""
+
+
+class TestClusterWorkerSubprocess:
+    def test_worker_task_spans_land_in_worker_sink(self, tmp_path):
+        sink = tmp_path / "traces"
+        sink.mkdir()
+        taskdir = tmp_path / "taskmod"
+        taskdir.mkdir()
+        (taskdir / "obs_cluster_tasks.py").write_text(_TASK_MODULE)
+        sys.path.insert(0, str(taskdir))
+        try:
+            import obs_cluster_tasks
+
+            configure_tracing(enabled=True)
+            dispatcher = ensure_dispatcher("cluster://127.0.0.1:0")
+            proc = subprocess.Popen(
+                [
+                    sys.executable, "-m", "repro.cli", "cluster-work",
+                    "--dispatcher", dispatcher.url,
+                    "--name", "obs-sub",
+                    "--heartbeat-interval", "0.2",
+                    "--idle-exit", "60",
+                    "--trace-dir", str(sink),
+                ],
+                stdout=subprocess.PIPE,
+                stderr=subprocess.STDOUT,
+                text=True,
+                env=_env(extra_pythonpath=taskdir),
+            )
+            try:
+                banner = proc.stdout.readline()
+                assert "cluster-work:" in banner, banner
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    if dispatcher.stats()["workers"]:
+                        break
+                    time.sleep(0.02)
+                got = ClusterExecutor(url=dispatcher.url, worker_wait=30.0).map(
+                    obs_cluster_tasks.square, [2, 3], order=[0, 1], n_workers=1
+                )
+                assert got == [4, 9]
+                # The batch completes when the dispatcher holds the results;
+                # the worker may still be closing (and flushing) its second
+                # task span — give the sink a moment before the SIGTERM.
+                sink_path = sink / f"trace-{proc.pid}.jsonl"
+                deadline = time.monotonic() + 10.0
+                while time.monotonic() < deadline:
+                    if (
+                        sink_path.exists()
+                        and sink_path.read_text().count('"cluster.task"') >= 2
+                    ):
+                        break
+                    time.sleep(0.02)
+            finally:
+                _terminate(proc)
+        finally:
+            sys.path.remove(str(taskdir))
+            sys.modules.pop("obs_cluster_tasks", None)
+            shutdown_dispatchers()
+
+        worker_tasks = {
+            s["span_id"]: s["trace_id"]
+            for s in _sink_spans(sink, proc.pid)
+            if s["name"] == "cluster.task"
+        }
+        assert len(worker_tasks) == 2
+        # The dispatcher (this process) parented its result-frame spans on
+        # the worker's task spans — context crossed the wire backwards too.
+        linked = [
+            s
+            for s in recent_spans(500)
+            if s["name"] == "cluster.frame"
+            and s["parent_id"] in worker_tasks
+            and s["trace_id"] == worker_tasks[s["parent_id"]]
+        ]
+        assert len(linked) == 2

@@ -1,0 +1,154 @@
+"""Tests for the tracing core (``repro.obs.trace``).
+
+Pins the PR 10 contracts: spans are free when tracing is off, trace ids
+replay under a seed, context propagates through ``contextvars`` and the
+wire-context JSON, and the ring/sink record what the CLI tools read back.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.trace import (
+    TRACE_DIR_ENV,
+    TRACE_SEED_ENV,
+    configure_tracing,
+    current_span,
+    new_trace_id,
+    parent_from_wire,
+    recent_spans,
+    reset_tracing,
+    span,
+    tracing_enabled,
+    wire_context,
+)
+
+
+class TestEnablement:
+    def test_disabled_by_default(self):
+        assert not tracing_enabled()
+        with span("x") as s:
+            assert s.trace_id is None  # the null span
+        assert recent_spans() == []
+
+    def test_trace_dir_env_enables(self, monkeypatch, tmp_path):
+        monkeypatch.setenv(TRACE_DIR_ENV, str(tmp_path))
+        reset_tracing()
+        assert tracing_enabled()
+
+    def test_configure_enabled_without_dir(self):
+        configure_tracing(enabled=True)
+        assert tracing_enabled()
+        with span("x") as s:
+            assert s.trace_id is not None
+        assert len(recent_spans()) == 1
+
+
+class TestSeededReplay:
+    def test_same_seed_same_ids(self):
+        configure_tracing(enabled=True, seed=42)
+        first = [new_trace_id() for _ in range(5)]
+        reset_tracing()
+        configure_tracing(enabled=True, seed=42)
+        assert [new_trace_id() for _ in range(5)] == first
+
+    def test_env_seed_respected(self, monkeypatch):
+        monkeypatch.setenv(TRACE_SEED_ENV, "7")
+        configure_tracing(enabled=True)
+        first = new_trace_id()
+        reset_tracing()
+        configure_tracing(enabled=True)
+        assert new_trace_id() == first
+
+    def test_different_seeds_differ(self):
+        configure_tracing(enabled=True, seed=1)
+        a = new_trace_id()
+        reset_tracing()
+        configure_tracing(enabled=True, seed=2)
+        assert new_trace_id() != a
+
+
+class TestSpans:
+    def test_nesting_links_parent_and_trace(self):
+        configure_tracing(enabled=True)
+        with span("outer") as outer:
+            assert current_span() is outer
+            with span("inner") as inner:
+                assert inner.parent_id == outer.span_id
+                assert inner.trace_id == outer.trace_id
+        assert current_span() is None
+        names = [s["name"] for s in recent_spans()]
+        assert names == ["inner", "outer"]  # children finish first
+
+    def test_annotate_accumulates_and_clamps(self):
+        configure_tracing(enabled=True)
+        with span("x") as s:
+            s.annotate("wait", 0.25)
+            s.annotate("wait", 0.25)
+            s.annotate("wait", -5.0)  # clamped, never negative
+        recorded = recent_spans()[-1]
+        assert recorded["hops"]["wait"] == pytest.approx(0.5)
+
+    def test_module_annotate_without_span_is_noop(self):
+        configure_tracing(enabled=True)
+        obs_trace.annotate("wait", 1.0)  # must not raise
+
+    def test_duration_is_positive(self):
+        configure_tracing(enabled=True)
+        with span("x"):
+            pass
+        assert recent_spans()[-1]["duration_s"] >= 0.0
+
+
+class TestWireContext:
+    def test_round_trip(self):
+        configure_tracing(enabled=True)
+        with span("root") as root:
+            ctx = wire_context()
+            parent = parent_from_wire(ctx)
+            assert parent["trace_id"] == root.trace_id
+            assert parent["span_id"] == root.span_id
+            with span("remote", parent=parent) as child:
+                assert child.trace_id == root.trace_id
+                assert child.parent_id == root.span_id
+
+    def test_none_without_live_span_or_tracing(self):
+        assert wire_context() is None
+        configure_tracing(enabled=True)
+        assert wire_context() is None  # enabled but no live span
+
+    @pytest.mark.parametrize(
+        "junk", [None, "", "not json", "[]", "42", '{"a": "b"}', '{"trace_id": ""}']
+    )
+    def test_junk_wire_context_never_raises(self, junk):
+        assert parent_from_wire(junk) is None
+
+    def test_non_string_ids_coerce(self):
+        parent = parent_from_wire('{"trace_id": 7, "span_id": 8}')
+        assert parent == {"trace_id": "7", "span_id": "8"}
+
+
+class TestSink:
+    def test_spans_append_to_jsonl(self, tmp_path):
+        configure_tracing(trace_dir=str(tmp_path))
+        with span("first"):
+            pass
+        with span("second"):
+            pass
+        path = tmp_path / f"trace-{os.getpid()}.jsonl"
+        lines = path.read_text().strip().splitlines()
+        docs = [json.loads(line) for line in lines]
+        assert [d["name"] for d in docs] == ["first", "second"]
+        assert all(d["trace_id"] for d in docs)
+
+    def test_unwritable_sink_is_swallowed(self, tmp_path):
+        target = tmp_path / "nope"
+        target.write_text("a file, not a directory")
+        configure_tracing(trace_dir=str(target / "sub"))
+        with span("x"):
+            pass  # must not raise; ring still records
+        assert recent_spans()[-1]["name"] == "x"
